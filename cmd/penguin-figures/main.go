@@ -1,0 +1,37 @@
+// Command penguin-figures regenerates every evaluation artifact of the
+// paper — Figures 1-4, the §6 translator-selection dialog, and the §6
+// replacement example — as deterministic text, either to stdout or to a
+// file.
+//
+// Usage:
+//
+//	penguin-figures [-out report.txt]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"penguin/internal/figures"
+)
+
+func main() {
+	out := flag.String("out", "", "write the report to this file instead of stdout")
+	flag.Parse()
+
+	report, err := figures.All()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "penguin-figures:", err)
+		os.Exit(1)
+	}
+	if *out == "" {
+		fmt.Print(report)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(report), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "penguin-figures:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d bytes to %s\n", len(report), *out)
+}

@@ -1,0 +1,401 @@
+// Command penguin is an interactive shell over the PENGUIN system: RQL
+// statements run directly against the database; dot-commands expose the
+// view-object layer (definitions, instantiation, object queries, update
+// translation, and translator-selection dialogs).
+//
+// Usage:
+//
+//	penguin                   # start with the seeded university database
+//	penguin -empty            # start with an empty database (RQL only)
+//	penguin -load snapshot.db # load a snapshot written by .save
+//
+// Commands:
+//
+//	<RQL statement>           e.g. SELECT * FROM COURSES WHERE Units > 3
+//	.tables                   list relations
+//	.schema REL               show one relation's schema
+//	.graph                    render the structural schema (Figure 1)
+//	.objects                  list defined view objects
+//	.object NAME              render a view object's tree
+//	.query NAME [OQL]         run an object query, e.g.
+//	                          .query omega Level = 'graduate' and count(STUDENT) < 5
+//	.instance NAME KEY        assemble one instance by pivot key
+//	.delete NAME KEY          complete deletion (VO-CD) by pivot key
+//	.dialog NAME              run the translator-selection dialog
+//	.figures                  regenerate the paper's figures
+//	.save FILE / .load FILE   snapshot the database
+//	.help / .quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"penguin/internal/figures"
+	"penguin/internal/oql"
+	"penguin/internal/reldb"
+	"penguin/internal/rql"
+	"penguin/internal/structural"
+	"penguin/internal/university"
+	"penguin/internal/viewobject"
+	"penguin/internal/vupdate"
+)
+
+// shell holds the interactive session state.
+type shell struct {
+	db       *reldb.Database
+	g        *structural.Graph
+	objects  map[string]*viewobject.Definition
+	updaters map[string]*vupdate.Updater
+	out      *bufio.Writer
+	in       *bufio.Reader
+}
+
+func main() {
+	empty := flag.Bool("empty", false, "start with an empty database instead of the seeded university")
+	load := flag.String("load", "", "load a database snapshot")
+	flag.Parse()
+
+	sh := &shell{
+		objects:  make(map[string]*viewobject.Definition),
+		updaters: make(map[string]*vupdate.Updater),
+		out:      bufio.NewWriter(os.Stdout),
+		in:       bufio.NewReader(os.Stdin),
+	}
+	switch {
+	case *load != "":
+		f, err := os.Open(*load)
+		if err != nil {
+			fatal(err)
+		}
+		db, err := reldb.ReadSnapshot(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		sh.db = db
+		sh.g = structural.NewGraph(db)
+		fmt.Printf("loaded %s (%d relations, %d rows)\n", *load, len(db.Names()), db.TotalRows())
+	case *empty:
+		sh.db = reldb.NewDatabase()
+		sh.g = structural.NewGraph(sh.db)
+	default:
+		db, g, err := university.NewSeeded()
+		if err != nil {
+			fatal(err)
+		}
+		sh.db, sh.g = db, g
+		om, err := university.Omega(g)
+		if err != nil {
+			fatal(err)
+		}
+		op, err := university.OmegaPrime(g)
+		if err != nil {
+			fatal(err)
+		}
+		sh.objects["omega"] = om
+		sh.objects["omega-prime"] = op
+		for name, def := range sh.objects {
+			sh.updaters[name] = vupdate.NewUpdater(vupdate.PermissiveTranslator(def))
+		}
+		fmt.Println("PENGUIN shell — university database loaded; objects: omega, omega-prime")
+		fmt.Println("type .help for commands")
+	}
+	sh.run()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "penguin:", err)
+	os.Exit(1)
+}
+
+// flushWriter flushes the shell's buffered output after every write so
+// dialog prompts appear before the answer is read.
+type flushWriter struct{ w *bufio.Writer }
+
+// Write implements io.Writer.
+func (f flushWriter) Write(p []byte) (int, error) {
+	n, err := f.w.Write(p)
+	if err != nil {
+		return n, err
+	}
+	return n, f.w.Flush()
+}
+
+func (sh *shell) run() {
+	for {
+		sh.out.Flush()
+		fmt.Print("penguin> ")
+		line, err := sh.in.ReadString('\n')
+		if err != nil {
+			fmt.Println()
+			return
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ".") {
+			if sh.command(line) {
+				return
+			}
+			continue
+		}
+		sh.execRQL(line)
+	}
+}
+
+// execRQL runs one RQL statement and prints its outcome.
+func (sh *shell) execRQL(line string) {
+	out, err := rql.Exec(sh.db, line)
+	switch {
+	case err != nil:
+		fmt.Fprintln(sh.out, "error:", err)
+	case out.Rows != nil:
+		fmt.Fprint(sh.out, rql.FormatResult(out.Rows))
+	case out.Message != "":
+		fmt.Fprintln(sh.out, out.Message)
+	default:
+		fmt.Fprintf(sh.out, "%d row(s) affected\n", out.Affected)
+	}
+}
+
+// command dispatches a dot-command; it returns true to exit the shell.
+func (sh *shell) command(line string) bool {
+	fields := strings.Fields(line)
+	cmd := fields[0]
+	args := fields[1:]
+	switch cmd {
+	case ".quit", ".exit":
+		return true
+	case ".help":
+		sh.help()
+	case ".tables":
+		for _, n := range sh.db.Names() {
+			rel, _ := sh.db.Relation(n)
+			fmt.Fprintf(sh.out, "%-12s %6d rows\n", n, rel.Count())
+		}
+	case ".schema":
+		if len(args) != 1 {
+			fmt.Fprintln(sh.out, "usage: .schema REL")
+			break
+		}
+		rel, err := sh.db.Relation(args[0])
+		if err != nil {
+			fmt.Fprintln(sh.out, "error:", err)
+			break
+		}
+		fmt.Fprintln(sh.out, rel.Schema())
+	case ".graph":
+		fmt.Fprint(sh.out, sh.g.Render())
+	case ".objects":
+		names := make([]string, 0, len(sh.objects))
+		for n := range sh.objects {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			def := sh.objects[n]
+			fmt.Fprintf(sh.out, "%-12s pivot %s, complexity %d\n", n, def.Pivot(), def.Complexity())
+		}
+	case ".object":
+		if def := sh.lookupObject(args); def != nil {
+			fmt.Fprint(sh.out, def.Render())
+		}
+	case ".query":
+		if len(args) < 1 {
+			fmt.Fprintln(sh.out, "usage: .query NAME [OQL]")
+			break
+		}
+		def := sh.lookupObject(args[:1])
+		if def == nil {
+			break
+		}
+		insts, err := oql.Query(sh.db, def, strings.Join(args[1:], " "))
+		if err != nil {
+			fmt.Fprintln(sh.out, "error:", err)
+			break
+		}
+		fmt.Fprintf(sh.out, "%d instance(s)\n", len(insts))
+		for _, inst := range insts {
+			fmt.Fprint(sh.out, inst.Render())
+		}
+	case ".instance":
+		def, key := sh.objectAndKey(args, ".instance")
+		if def == nil {
+			break
+		}
+		inst, ok, err := viewobject.InstantiateByKey(sh.db, def, key)
+		if err != nil {
+			fmt.Fprintln(sh.out, "error:", err)
+			break
+		}
+		if !ok {
+			fmt.Fprintln(sh.out, "no instance with that key")
+			break
+		}
+		fmt.Fprint(sh.out, inst.Render())
+	case ".delete":
+		def, key := sh.objectAndKey(args, ".delete")
+		if def == nil {
+			break
+		}
+		u := sh.updaters[args[0]]
+		if u == nil {
+			fmt.Fprintln(sh.out, "no translator chosen for", args[0], "- run .dialog first")
+			break
+		}
+		res, err := u.DeleteByKey(key)
+		if err != nil {
+			fmt.Fprintln(sh.out, "rejected:", err)
+			break
+		}
+		fmt.Fprintf(sh.out, "translated into %d operation(s):\n%s\n", len(res.Ops), res)
+	case ".preview":
+		def, key := sh.objectAndKey(args, ".preview")
+		if def == nil {
+			break
+		}
+		u := sh.updaters[args[0]]
+		if u == nil {
+			fmt.Fprintln(sh.out, "no translator chosen for", args[0], "- run .dialog first")
+			break
+		}
+		res, err := u.PreviewDeleteByKey(key)
+		if err != nil {
+			fmt.Fprintln(sh.out, "would be rejected:", err)
+			break
+		}
+		fmt.Fprintf(sh.out, "would translate into %d operation(s) (nothing executed):\n%s\n", len(res.Ops), res)
+	case ".dialog":
+		def := sh.lookupObject(args)
+		if def == nil {
+			break
+		}
+		sh.out.Flush()
+		tr, tape, err := vupdate.ChooseTranslator(def,
+			&vupdate.InteractiveAnswerer{R: sh.in, W: flushWriter{sh.out}})
+		if err != nil {
+			fmt.Fprintln(sh.out, "error:", err)
+			break
+		}
+		tr.RepairInserts = true
+		sh.updaters[args[0]] = vupdate.NewUpdater(tr)
+		fmt.Fprintf(sh.out, "translator chosen after %d question(s)\n", len(tape))
+	case ".figures":
+		report, err := figures.All()
+		if err != nil {
+			fmt.Fprintln(sh.out, "error:", err)
+			break
+		}
+		fmt.Fprint(sh.out, report)
+	case ".save":
+		if len(args) != 1 {
+			fmt.Fprintln(sh.out, "usage: .save FILE")
+			break
+		}
+		f, err := os.Create(args[0])
+		if err != nil {
+			fmt.Fprintln(sh.out, "error:", err)
+			break
+		}
+		err = sh.db.WriteSnapshot(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(sh.out, "error:", err)
+			break
+		}
+		fmt.Fprintln(sh.out, "saved", args[0])
+	case ".load":
+		if len(args) != 1 {
+			fmt.Fprintln(sh.out, "usage: .load FILE")
+			break
+		}
+		f, err := os.Open(args[0])
+		if err != nil {
+			fmt.Fprintln(sh.out, "error:", err)
+			break
+		}
+		db, err := reldb.ReadSnapshot(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(sh.out, "error:", err)
+			break
+		}
+		sh.db = db
+		sh.g = structural.NewGraph(db)
+		sh.objects = map[string]*viewobject.Definition{}
+		sh.updaters = map[string]*vupdate.Updater{}
+		fmt.Fprintln(sh.out, "loaded", args[0], "(objects cleared: snapshots hold data, not schemas' connections)")
+	default:
+		fmt.Fprintln(sh.out, "unknown command", cmd, "- try .help")
+	}
+	return false
+}
+
+func (sh *shell) lookupObject(args []string) *viewobject.Definition {
+	if len(args) < 1 {
+		fmt.Fprintln(sh.out, "usage: ... NAME")
+		return nil
+	}
+	def, ok := sh.objects[args[0]]
+	if !ok {
+		fmt.Fprintln(sh.out, "no object named", args[0], "- see .objects")
+		return nil
+	}
+	return def
+}
+
+// objectAndKey resolves "NAME KEYVALUE..." into a definition and a typed
+// pivot key.
+func (sh *shell) objectAndKey(args []string, usage string) (*viewobject.Definition, reldb.Tuple) {
+	if len(args) < 2 {
+		fmt.Fprintf(sh.out, "usage: %s NAME KEY...\n", usage)
+		return nil, nil
+	}
+	def := sh.lookupObject(args[:1])
+	if def == nil {
+		return nil, nil
+	}
+	pivotRel, err := sh.db.Relation(def.Pivot())
+	if err != nil {
+		fmt.Fprintln(sh.out, "error:", err)
+		return nil, nil
+	}
+	schema := pivotRel.Schema()
+	keyIdx := schema.Key()
+	if len(args)-1 != len(keyIdx) {
+		fmt.Fprintf(sh.out, "key of %s has %d attribute(s)\n", def.Pivot(), len(keyIdx))
+		return nil, nil
+	}
+	key := make(reldb.Tuple, len(keyIdx))
+	for i, raw := range args[1:] {
+		v, err := reldb.ParseValue(schema.Attr(keyIdx[i]).Type, raw)
+		if err != nil {
+			fmt.Fprintln(sh.out, "error:", err)
+			return nil, nil
+		}
+		key[i] = v
+	}
+	return def, key
+}
+
+func (sh *shell) help() {
+	fmt.Fprint(sh.out, `RQL statements run directly, e.g.
+  SELECT * FROM COURSES WHERE Units > 3
+  SELECT CourseID, COUNT(*) AS n FROM GRADES GROUP BY CourseID
+Dot-commands:
+  .tables .schema REL .graph
+  .objects .object NAME
+  .query NAME [OQL]     e.g. .query omega Level = 'graduate' and count(STUDENT) < 5
+  .instance NAME KEY    .delete NAME KEY
+  .preview NAME KEY     show a deletion's translation without executing it
+  .dialog NAME          choose a translator interactively
+  .figures              regenerate the paper's figures
+  .save FILE .load FILE .quit
+`)
+}

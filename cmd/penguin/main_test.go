@@ -1,0 +1,215 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+
+	"penguin/internal/reldb"
+	"penguin/internal/university"
+	"penguin/internal/viewobject"
+	"penguin/internal/vupdate"
+)
+
+func keyOf(id string) reldb.Tuple { return reldb.Tuple{reldb.String(id)} }
+
+// testShell builds a shell over the seeded university with ω and ω′
+// registered, capturing output in a buffer.
+func testShell(t *testing.T) (*shell, *bytes.Buffer) {
+	t.Helper()
+	db, g, err := university.NewSeeded()
+	if err != nil {
+		t.Fatal(err)
+	}
+	om := university.MustOmega(g)
+	op := university.MustOmegaPrime(g)
+	var out bytes.Buffer
+	sh := &shell{
+		db: db, g: g,
+		objects:  map[string]*viewobject.Definition{"omega": om, "omega-prime": op},
+		updaters: make(map[string]*vupdate.Updater),
+		out:      bufio.NewWriter(&out),
+		in:       bufio.NewReader(strings.NewReader("")),
+	}
+	sh.updaters["omega"] = vupdate.NewUpdater(vupdate.PermissiveTranslator(om))
+	return sh, &out
+}
+
+// run executes one shell command (or RQL line) and returns the output.
+func run(t *testing.T, sh *shell, out *bytes.Buffer, line string) string {
+	t.Helper()
+	out.Reset()
+	if strings.HasPrefix(line, ".") {
+		sh.command(line)
+	} else {
+		sh.execRQL(line)
+	}
+	sh.out.Flush()
+	return out.String()
+}
+
+func TestShellTablesAndSchema(t *testing.T) {
+	sh, out := testShell(t)
+	text := run(t, sh, out, ".tables")
+	for _, want := range []string{"COURSES", "GRADES", "DEPARTMENT"} {
+		if !strings.Contains(text, want) {
+			t.Errorf(".tables missing %q:\n%s", want, text)
+		}
+	}
+	text = run(t, sh, out, ".schema COURSES")
+	if !strings.Contains(text, "key(CourseID)") {
+		t.Errorf(".schema output:\n%s", text)
+	}
+	text = run(t, sh, out, ".schema NOPE")
+	if !strings.Contains(text, "error") {
+		t.Errorf("missing error:\n%s", text)
+	}
+	text = run(t, sh, out, ".schema")
+	if !strings.Contains(text, "usage") {
+		t.Errorf("missing usage:\n%s", text)
+	}
+}
+
+func TestShellRQL(t *testing.T) {
+	sh, out := testShell(t)
+	text := run(t, sh, out, "SELECT CourseID FROM COURSES WHERE Level = 'graduate' ORDER BY CourseID")
+	for _, want := range []string{"CS345", "CS445", "EE380", "(3 rows)"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("query output missing %q:\n%s", want, text)
+		}
+	}
+	text = run(t, sh, out, "DELETE FROM STAFF")
+	if !strings.Contains(text, "1 row(s) affected") {
+		t.Errorf("mutation output:\n%s", text)
+	}
+	text = run(t, sh, out, "SELEKT nonsense")
+	if !strings.Contains(text, "error") {
+		t.Errorf("bad RQL should error:\n%s", text)
+	}
+	text = run(t, sh, out, "CREATE TABLE T (a int) KEY (a)")
+	if !strings.Contains(text, "created T") {
+		t.Errorf("DDL output:\n%s", text)
+	}
+}
+
+func TestShellObjects(t *testing.T) {
+	sh, out := testShell(t)
+	text := run(t, sh, out, ".objects")
+	if !strings.Contains(text, "omega") || !strings.Contains(text, "complexity 5") {
+		t.Errorf(".objects output:\n%s", text)
+	}
+	text = run(t, sh, out, ".object omega")
+	if !strings.Contains(text, "--* GRADES") {
+		t.Errorf(".object output:\n%s", text)
+	}
+	text = run(t, sh, out, ".object nope")
+	if !strings.Contains(text, "no object named") {
+		t.Errorf("unknown object output:\n%s", text)
+	}
+	text = run(t, sh, out, ".graph")
+	if !strings.Contains(text, "Structural schema") {
+		t.Errorf(".graph output:\n%s", text)
+	}
+}
+
+func TestShellQueryAndInstance(t *testing.T) {
+	sh, out := testShell(t)
+	text := run(t, sh, out, ".query omega Level = 'graduate' and count(STUDENT) < 5")
+	if !strings.Contains(text, "2 instance(s)") || !strings.Contains(text, "CS345") {
+		t.Errorf(".query output:\n%s", text)
+	}
+	text = run(t, sh, out, ".instance omega CS345")
+	if !strings.Contains(text, "COURSES: (CS345") {
+		t.Errorf(".instance output:\n%s", text)
+	}
+	text = run(t, sh, out, ".instance omega NOPE")
+	if !strings.Contains(text, "no instance") {
+		t.Errorf("missing-instance output:\n%s", text)
+	}
+	text = run(t, sh, out, ".instance omega")
+	if !strings.Contains(text, "usage") {
+		t.Errorf("usage output:\n%s", text)
+	}
+	// ω′ has an int... no, pivot is COURSES everywhere; test key arity.
+	text = run(t, sh, out, ".instance omega CS345 extra")
+	if !strings.Contains(text, "has 1 attribute(s)") {
+		t.Errorf("arity output:\n%s", text)
+	}
+}
+
+func TestShellDelete(t *testing.T) {
+	sh, out := testShell(t)
+	text := run(t, sh, out, ".delete omega CS445")
+	if !strings.Contains(text, "translated into") {
+		t.Errorf(".delete output:\n%s", text)
+	}
+	if sh.db.MustRelation(university.Courses).Has(keyOf("CS445")) {
+		t.Fatal("CS445 survived")
+	}
+	// ω′ has no updater registered in the test shell.
+	text = run(t, sh, out, ".delete omega-prime CS101")
+	if !strings.Contains(text, "no translator chosen") {
+		t.Errorf("missing-translator output:\n%s", text)
+	}
+}
+
+func TestShellFiguresAndHelp(t *testing.T) {
+	sh, out := testShell(t)
+	text := run(t, sh, out, ".figures")
+	if !strings.Contains(text, "Figure 4") {
+		t.Errorf(".figures output too short")
+	}
+	text = run(t, sh, out, ".help")
+	if !strings.Contains(text, ".dialog NAME") {
+		t.Errorf(".help output:\n%s", text)
+	}
+	text = run(t, sh, out, ".bogus")
+	if !strings.Contains(text, "unknown command") {
+		t.Errorf("unknown command output:\n%s", text)
+	}
+}
+
+func TestShellSaveLoad(t *testing.T) {
+	sh, out := testShell(t)
+	dir := t.TempDir()
+	path := dir + "/snap.db"
+	text := run(t, sh, out, ".save "+path)
+	if !strings.Contains(text, "saved") {
+		t.Fatalf(".save output:\n%s", text)
+	}
+	run(t, sh, out, "DELETE FROM GRADES")
+	text = run(t, sh, out, ".load "+path)
+	if !strings.Contains(text, "loaded") {
+		t.Fatalf(".load output:\n%s", text)
+	}
+	if sh.db.MustRelation(university.Grades).Count() == 0 {
+		t.Fatal("load did not restore data")
+	}
+	text = run(t, sh, out, ".load /nonexistent/file")
+	if !strings.Contains(text, "error") {
+		t.Errorf("missing load error:\n%s", text)
+	}
+}
+
+func TestShellQuit(t *testing.T) {
+	sh, _ := testShell(t)
+	if !sh.command(".quit") || !sh.command(".exit") {
+		t.Fatal("quit should return true")
+	}
+}
+
+func TestShellPreview(t *testing.T) {
+	sh, out := testShell(t)
+	text := run(t, sh, out, ".preview omega CS445")
+	if !strings.Contains(text, "would translate into") || !strings.Contains(text, "nothing executed") {
+		t.Fatalf(".preview output:\n%s", text)
+	}
+	if !sh.db.MustRelation(university.Courses).Has(keyOf("CS445")) {
+		t.Fatal("preview mutated the database")
+	}
+	text = run(t, sh, out, ".preview omega-prime CS101")
+	if !strings.Contains(text, "no translator chosen") {
+		t.Fatalf("missing-translator output:\n%s", text)
+	}
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+
+	"penguin/internal/university"
+	"penguin/internal/viewobject"
+	"penguin/internal/vupdate"
+)
+
+// TestShellRunLoop drives the whole interactive loop through a scripted
+// stdin: RQL, object commands, a full translator dialog (answering the
+// dialog's questions), a translated deletion, and .quit.
+func TestShellRunLoop(t *testing.T) {
+	db, g, err := university.NewSeeded()
+	if err != nil {
+		t.Fatal(err)
+	}
+	om := university.MustOmega(g)
+
+	script := strings.Join([]string{
+		"", // blank line is skipped
+		"SELECT CourseID FROM COURSES WHERE Level = 'graduate' ORDER BY CourseID",
+		".object omega",
+		".dialog omega",
+		// Dialog answers: insertion? deletion? peninsula? replacement?
+		// then 5 relations' questions — answer everything yes except one
+		// garbage line to exercise the re-prompt.
+		"y", "y", "y", "maybe", "y",
+		"y", "y", "n", // COURSES: keymod yes, dbkey yes, merge no
+		"y", "y", "y", // CURRICULUM
+		"y", "y", "y", // DEPARTMENT
+		"y", "y", "n", // GRADES
+		"y", "y", "y", // STUDENT
+		".delete omega CS445",
+		".quit",
+	}, "\n") + "\n"
+
+	var out bytes.Buffer
+	sh := &shell{
+		db: db, g: g,
+		objects:  map[string]*viewobject.Definition{"omega": om},
+		updaters: map[string]*vupdate.Updater{},
+		out:      bufio.NewWriter(&out),
+		in:       bufio.NewReader(strings.NewReader(script)),
+	}
+	sh.run()
+	sh.out.Flush()
+	text := out.String()
+	for _, want := range []string{
+		"CS345",
+		"view object omega",
+		"translator chosen after 19 question(s)",
+		"translated into",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("run loop output missing %q:\n%s", want, text)
+		}
+	}
+	if db.MustRelation(university.Courses).Has(keyOf("CS445")) {
+		t.Fatal("dialog-driven delete did not run")
+	}
+}
+
+// EOF on stdin exits the loop cleanly.
+func TestShellRunLoopEOF(t *testing.T) {
+	db, g, err := university.NewSeeded()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	sh := &shell{
+		db: db, g: g,
+		objects:  map[string]*viewobject.Definition{},
+		updaters: map[string]*vupdate.Updater{},
+		out:      bufio.NewWriter(&out),
+		in:       bufio.NewReader(strings.NewReader("SELECT * FROM STAFF")),
+	}
+	sh.run() // no trailing newline: statement runs? bufio returns EOF with partial line
+}

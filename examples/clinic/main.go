@@ -1,0 +1,196 @@
+// Clinic: a medical-records domain (the application area that motivated
+// PENGUIN — the original work was funded by the National Library of
+// Medicine). A patient-chart view object aggregates visits, diagnoses,
+// prescriptions, and providers over a normalized clinical database, and
+// updates on charts translate into consistent relational updates.
+//
+//	go run ./examples/clinic
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"penguin"
+)
+
+// buildSchema creates the clinical database and its structural model:
+//
+//	PATIENT(MRN*, Name, BirthYear)
+//	PROVIDER(NPI*, Name, Specialty)
+//	VISIT(MRN*, VisitNo*, Date, NPI→PROVIDER)     PATIENT —* VISIT
+//	DIAGNOSIS(MRN*, VisitNo*, Code*, Severity)    VISIT —* DIAGNOSIS
+//	RX(MRN*, VisitNo*, Drug*, Dose)               VISIT —* RX
+//	ALLERGY(MRN*, Substance*)                     PATIENT —* ALLERGY
+func buildSchema() (*penguin.Database, *penguin.Graph) {
+	db := penguin.NewDatabase()
+	mustSchema := func(name string, attrs []penguin.Attribute, key []string) {
+		s, err := penguin.NewSchema(name, attrs, key)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := db.CreateRelation(s); err != nil {
+			log.Fatal(err)
+		}
+	}
+	mustSchema("PATIENT", []penguin.Attribute{
+		{Name: "MRN", Type: penguin.KindInt},
+		{Name: "Name", Type: penguin.KindString, Nullable: true},
+		{Name: "BirthYear", Type: penguin.KindInt, Nullable: true},
+	}, []string{"MRN"})
+	mustSchema("PROVIDER", []penguin.Attribute{
+		{Name: "NPI", Type: penguin.KindInt},
+		{Name: "Name", Type: penguin.KindString, Nullable: true},
+		{Name: "Specialty", Type: penguin.KindString, Nullable: true},
+	}, []string{"NPI"})
+	mustSchema("VISIT", []penguin.Attribute{
+		{Name: "MRN", Type: penguin.KindInt},
+		{Name: "VisitNo", Type: penguin.KindInt},
+		{Name: "Date", Type: penguin.KindString, Nullable: true},
+		{Name: "NPI", Type: penguin.KindInt, Nullable: true},
+	}, []string{"MRN", "VisitNo"})
+	mustSchema("DIAGNOSIS", []penguin.Attribute{
+		{Name: "MRN", Type: penguin.KindInt},
+		{Name: "VisitNo", Type: penguin.KindInt},
+		{Name: "Code", Type: penguin.KindString},
+		{Name: "Severity", Type: penguin.KindString, Nullable: true},
+	}, []string{"MRN", "VisitNo", "Code"})
+	mustSchema("RX", []penguin.Attribute{
+		{Name: "MRN", Type: penguin.KindInt},
+		{Name: "VisitNo", Type: penguin.KindInt},
+		{Name: "Drug", Type: penguin.KindString},
+		{Name: "Dose", Type: penguin.KindString, Nullable: true},
+	}, []string{"MRN", "VisitNo", "Drug"})
+	mustSchema("ALLERGY", []penguin.Attribute{
+		{Name: "MRN", Type: penguin.KindInt},
+		{Name: "Substance", Type: penguin.KindString},
+	}, []string{"MRN", "Substance"})
+
+	g := penguin.NewGraph(db)
+	addConn := func(c *penguin.Connection) {
+		if err := g.AddConnection(c); err != nil {
+			log.Fatal(err)
+		}
+	}
+	addConn(&penguin.Connection{Name: "patient-visits", Type: penguin.Ownership,
+		From: "PATIENT", To: "VISIT", FromAttrs: []string{"MRN"}, ToAttrs: []string{"MRN"}})
+	addConn(&penguin.Connection{Name: "visit-dx", Type: penguin.Ownership,
+		From: "VISIT", To: "DIAGNOSIS",
+		FromAttrs: []string{"MRN", "VisitNo"}, ToAttrs: []string{"MRN", "VisitNo"}})
+	addConn(&penguin.Connection{Name: "visit-rx", Type: penguin.Ownership,
+		From: "VISIT", To: "RX",
+		FromAttrs: []string{"MRN", "VisitNo"}, ToAttrs: []string{"MRN", "VisitNo"}})
+	addConn(&penguin.Connection{Name: "patient-allergies", Type: penguin.Ownership,
+		From: "PATIENT", To: "ALLERGY", FromAttrs: []string{"MRN"}, ToAttrs: []string{"MRN"}})
+	addConn(&penguin.Connection{Name: "visit-provider", Type: penguin.Reference,
+		From: "VISIT", To: "PROVIDER", FromAttrs: []string{"NPI"}, ToAttrs: []string{"NPI"}})
+	return db, g
+}
+
+func seed(db *penguin.Database) {
+	err := db.RunInTx(func(tx *penguin.Tx) error {
+		ins := func(rel string, rows ...penguin.Tuple) error {
+			for _, r := range rows {
+				if err := tx.Insert(rel, r); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		s, i := penguin.String, penguin.Int
+		if err := ins("PROVIDER",
+			penguin.Tuple{i(1001), s("Dr. Osler"), s("Internal Medicine")},
+			penguin.Tuple{i(1002), s("Dr. Cushing"), s("Neurosurgery")},
+		); err != nil {
+			return err
+		}
+		if err := ins("PATIENT",
+			penguin.Tuple{i(1), s("Pat Doe"), i(1950)},
+			penguin.Tuple{i(2), s("Jo Roe"), i(1972)},
+		); err != nil {
+			return err
+		}
+		if err := ins("VISIT",
+			penguin.Tuple{i(1), i(1), s("1991-02-03"), i(1001)},
+			penguin.Tuple{i(1), i(2), s("1991-04-17"), i(1002)},
+			penguin.Tuple{i(2), i(1), s("1991-03-08"), i(1001)},
+		); err != nil {
+			return err
+		}
+		if err := ins("DIAGNOSIS",
+			penguin.Tuple{i(1), i(1), s("I10"), s("moderate")},
+			penguin.Tuple{i(1), i(2), s("G40"), s("severe")},
+			penguin.Tuple{i(2), i(1), s("J45"), s("mild")},
+		); err != nil {
+			return err
+		}
+		if err := ins("RX",
+			penguin.Tuple{i(1), i(1), s("lisinopril"), s("10mg")},
+			penguin.Tuple{i(1), i(2), s("carbamazepine"), s("200mg")},
+		); err != nil {
+			return err
+		}
+		return ins("ALLERGY", penguin.Tuple{i(1), s("penicillin")})
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func main() {
+	db, g := buildSchema()
+	seed(db)
+
+	// The patient chart: a view object anchored on PATIENT. The whole
+	// chart below the pivot is reachable by ownership, so the dependency
+	// island covers PATIENT, VISIT, DIAGNOSIS, RX, and ALLERGY; PROVIDER
+	// is a referenced relation.
+	chart, err := penguin.Define(g, "patient-chart", "PATIENT", penguin.DefaultMetric(),
+		map[string][]string{
+			"VISIT": nil, "DIAGNOSIS": nil, "RX": nil, "ALLERGY": nil, "PROVIDER": nil,
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(chart.Render())
+	topo := penguin.Analyze(chart)
+	fmt.Printf("\ndependency island: %v\n", topo.Island())
+
+	// Charts with a severe diagnosis.
+	insts, err := penguin.QueryOQL(db, chart, `exists(DIAGNOSIS: Severity = 'severe')`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npatients with a severe diagnosis: %d\n\n", len(insts))
+	for _, inst := range insts {
+		fmt.Print(inst.Render())
+	}
+
+	// Updates through the chart.
+	u := penguin.NewUpdater(penguin.PermissiveTranslator(chart))
+
+	// Add a prescription to visit 2 of patient 1 (partial insertion).
+	res, err := u.PartialInsert(penguin.Tuple{penguin.Int(1)}, "RX",
+		penguin.Tuple{penguin.Int(1), penguin.Int(2), penguin.String("levetiracetam"), penguin.String("500mg")})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nadded a prescription (%d op): %s\n", len(res.Ops), res)
+
+	// Deleting a patient's chart cascades through visits, diagnoses,
+	// prescriptions, and allergies — providers survive.
+	res, err = u.DeleteByKey(penguin.Tuple{penguin.Int(1)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndeleting patient 1's chart: %d operations\n%s\n", len(res.Ops), res)
+	fmt.Printf("\nproviders remaining: %d (referenced entities are never cascaded)\n",
+		db.MustRelation("PROVIDER").Count())
+
+	integrity := &penguin.Integrity{G: g}
+	vs, err := integrity.Audit(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("structural-model violations: %d\n", len(vs))
+}

@@ -1,0 +1,68 @@
+// Quickstart: define a view object over the paper's university database,
+// query it (Figure 4), and run a translated update through it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"penguin"
+	"penguin/internal/university"
+)
+
+func main() {
+	// 1. The Figure 1 database: eight relations, nine typed connections,
+	// seeded with the paper's sample instance.
+	db, g, err := university.NewSeeded()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("database: %d relations, %d rows\n", len(db.Names()), db.TotalRows())
+
+	// 2. Define ω through the Figure 2 pipeline: extract the relevant
+	// subgraph around the pivot, expand it into a tree, prune.
+	omega, err := university.Omega(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(omega.Render())
+
+	// 3. Figure 4's query: graduate courses with < 5 enrolled students.
+	insts, err := penguin.QueryOQL(db, omega, `Level = 'graduate' and count(STUDENT) < 5`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ngraduate courses with fewer than 5 students: %d\n\n", len(insts))
+	for _, inst := range insts {
+		fmt.Print(inst.Render())
+	}
+
+	// 4. Choose a translator once (the §6 dialog, scripted with the
+	// paper's answers), then run updates through the object.
+	tr, tape, err := penguin.ChooseTranslator(omega, penguin.PaperDialogAnswers())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntranslator chosen after %d dialog questions\n", len(tape))
+	u := penguin.NewUpdater(tr)
+
+	// A complete deletion of CS445 translates into deletions across the
+	// dependency island plus foreign-key maintenance on the CURRICULUM
+	// peninsula — one call, all consequences handled.
+	res, err := u.DeleteByKey(penguin.Tuple{penguin.String("CS445")})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndeleting course CS445 translated into %d operations:\n%s\n", len(res.Ops), res)
+
+	// 5. The database stays globally consistent.
+	integrity := &penguin.Integrity{G: g}
+	violations, err := integrity.Audit(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstructural-model violations after the update: %d\n", len(violations))
+}

@@ -1,0 +1,3 @@
+module penguin
+
+go 1.22

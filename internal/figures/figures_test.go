@@ -1,0 +1,164 @@
+package figures
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"penguin/internal/university"
+)
+
+func TestFigure1(t *testing.T) {
+	_, g := university.New()
+	out := Figure1(g)
+	for _, want := range []string{
+		"Figure 1", "DEPARTMENT", "PEOPLE", "STUDENT", "FACULTY", "STAFF",
+		"CURRICULUM", "COURSES", "GRADES",
+		"COURSES(CourseID) --* GRADES(CourseID)",
+		"PEOPLE(PID) --) STUDENT(PID)",
+		"CURRICULUM(CourseID) --> COURSES(CourseID)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure1 missing %q", want)
+		}
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	_, g := university.New()
+	out, err := Figure2(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"(a) relevant subgraph for pivot COURSES",
+		"(b) expanded tree for pivot COURSES",
+		"PEOPLE appears 2 times",
+		"(c) view object omega (pivot COURSES, key CourseID, complexity 5)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure3(t *testing.T) {
+	_, g := university.New()
+	out, err := Figure3(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"omega-prime", "FACULTY", "STUDENT",
+		"a path of 2 connections",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure3 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure4(t *testing.T) {
+	db, g := university.MustNewSeeded()
+	out, err := Figure4(db, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"matching instances: 2",
+		"COURSES: (CS345, Database Systems, Computer Science, 4, graduate)",
+		"COURSES: (CS445",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure4 missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "EE380") {
+		t.Error("Figure4 must not select EE380 (5 students)")
+	}
+}
+
+func TestSection6Dialog(t *testing.T) {
+	_, g := university.New()
+	out, err := Section6Dialog(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Is replacement of tuples in an object instance allowed? <YES>",
+		"The key of a tuple of relation COURSES could be modified during replacements. Do you allow this? <YES>",
+		"The system might need to delete the old database tuple, and replace it with an existing tuple with matching key. Do you allow this? <NO>",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dialog missing %q", want)
+		}
+	}
+}
+
+func TestSection6Example(t *testing.T) {
+	out, err := Section6Example()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"ACCEPTED",
+		"DEPARTMENT now contains <Engineering Economic Systems>: true",
+		"REJECTED",
+		"not allowed to insert tuples in DEPARTMENT",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("example missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAllIsDeterministic(t *testing.T) {
+	a, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("All() is not deterministic")
+	}
+	if len(a) < 2000 {
+		t.Fatalf("report suspiciously short: %d bytes", len(a))
+	}
+}
+
+func TestSection4Enumeration(t *testing.T) {
+	db, _ := university.MustNewSeeded()
+	out, err := Section4Enumeration(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"space of alternative translations",
+		"3 candidate(s), 2 valid",
+		"C3: not minimal",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Section4 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// The committed artifact file must match what the code generates — run
+// `go run ./cmd/penguin-figures -out figures_output.txt` after changing
+// any renderer.
+func TestFiguresArtifactUpToDate(t *testing.T) {
+	want, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile("../../figures_output.txt")
+	if err != nil {
+		t.Fatalf("figures_output.txt missing: %v", err)
+	}
+	if string(got) != want {
+		t.Fatal("figures_output.txt is stale; regenerate with: go run ./cmd/penguin-figures -out figures_output.txt")
+	}
+}

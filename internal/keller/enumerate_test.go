@@ -1,0 +1,266 @@
+package keller_test
+
+import (
+	"strings"
+	"testing"
+
+	. "penguin/internal/keller"
+	"penguin/internal/reldb"
+	"penguin/internal/university"
+)
+
+// The ambiguity of view-update translation, made concrete: deleting one
+// row of the COURSES ⋈ GRADES view admits several candidate translations;
+// the validity criteria prune the space.
+func TestEnumerateDeletionTranslations(t *testing.T) {
+	db, _ := university.MustNewSeeded()
+	v := courseGradesView(t, db)
+	tr := PermissiveTranslator(v)
+	// CS445 has two grades (students 1 and 5). Deleting the (CS445, 5)
+	// view row:
+	viewTuple := reldb.Tuple{s("CS445"), s("Distributed Systems"), s("graduate"), iv(5), s("B")}
+	cands, err := tr.EnumerateDeletionTranslations(viewTuple)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Primitives: delete COURSES(CS445), delete GRADES(CS445,5) — the
+	// join runs over key attributes, so no set-null primitive applies.
+	// Space: 3 nonempty subsets.
+	if len(cands) != 3 {
+		t.Fatalf("space size = %d, want 3:\n%s", len(cands), renderCands(cands))
+	}
+
+	valid, err := tr.ValidTranslations(viewTuple)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deleting the course kills the OTHER view row too (C2 violation);
+	// deleting both likewise; only deleting the grade is valid.
+	if len(valid) != 1 {
+		t.Fatalf("valid translations = %d, want 1:\n%s", len(valid), renderCands(cands))
+	}
+	if len(valid[0].Ops) != 1 || valid[0].Ops[0].Relation != university.Grades {
+		t.Fatalf("valid translation = %s", valid[0])
+	}
+	// The course-deletion candidate is invalid with a C2 reason.
+	foundC2 := false
+	for _, c := range cands {
+		if !c.Valid && strings.Contains(c.Reason, "C2") {
+			foundC2 = true
+		}
+	}
+	if !foundC2 {
+		t.Fatalf("no C2 violation reported:\n%s", renderCands(cands))
+	}
+}
+
+// A course with exactly one grade: deleting its only view row admits TWO
+// minimal valid translations (delete the grade, or delete the course —
+// the course deletion also removes the view row and, with no other grades,
+// violates nothing at the view level). This is precisely the ambiguity
+// the definition-time dialog resolves.
+func TestEnumerationShowsGenuineAmbiguity(t *testing.T) {
+	db, _ := university.MustNewSeeded()
+	v := courseGradesView(t, db)
+	tr := PermissiveTranslator(v)
+	// EE201 has exactly one grade (student 3).
+	viewTuple := reldb.Tuple{s("EE201"), s("Circuits I"), s("undergraduate"), iv(3), s("A")}
+	valid, err := tr.ValidTranslations(viewTuple)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(valid) != 2 {
+		t.Fatalf("valid translations = %d, want 2 (the ambiguity):\n%s",
+			len(valid), renderCands(valid))
+	}
+	rels := map[string]bool{}
+	for _, c := range valid {
+		if len(c.Ops) != 1 {
+			t.Fatalf("non-minimal candidate survived: %s", c)
+		}
+		rels[c.Ops[0].Relation] = true
+	}
+	if !rels[university.Courses] || !rels[university.Grades] {
+		t.Fatalf("expected one candidate per relation: %v", rels)
+	}
+	// The delete-both candidate must be rejected as non-minimal (C3).
+	all, err := tr.EnumerateDeletionTranslations(viewTuple)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundC3 := false
+	for _, c := range all {
+		if !c.Valid && strings.Contains(c.Reason, "C3") {
+			foundC3 = true
+		}
+	}
+	if !foundC3 {
+		t.Fatalf("no C3 rejection:\n%s", renderCands(all))
+	}
+	// Enumeration never mutates the real database.
+	if !db.MustRelation(university.Courses).Has(reldb.Tuple{s("EE201")}) {
+		t.Fatal("enumeration mutated the database")
+	}
+}
+
+// Set-null primitives appear when a join attribute is nullable and
+// non-key: a view over PEOPLE ⋈ DEPARTMENT can disconnect a person by
+// nulling their DeptName.
+func TestEnumerationSetNullPrimitive(t *testing.T) {
+	db, _ := university.MustNewSeeded()
+	v, err := NewView(db, "people-dept",
+		[]Join{
+			{Relation: university.People},
+			{Relation: university.Department,
+				LeftAttrs: []string{"PEOPLE.DeptName"}, RightAttrs: []string{"DeptName"}},
+		}, nil,
+		[]string{"PEOPLE.PID", "PEOPLE.Name", "DEPARTMENT.DeptName", "DEPARTMENT.Building"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := PermissiveTranslator(v)
+	// Bob (PID 2) is the only ME person; ME owns a curriculum row but the
+	// view does not see it. Deleting Bob's view row:
+	viewTuple := reldb.Tuple{iv(2), s("Bob Builder"), s("Mechanical Engineering"), s("Building 530")}
+	cands, err := tr.EnumerateDeletionTranslations(viewTuple)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Primitives: delete PEOPLE(2), set-null PEOPLE(2).DeptName,
+	// delete DEPARTMENT(ME) — 7 subsets.
+	if len(cands) != 7 {
+		t.Fatalf("space = %d, want 7:\n%s", len(cands), renderCands(cands))
+	}
+	valid, err := tr.ValidTranslations(viewTuple)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bob is ME's only member and ME appears in no other view row, so
+	// three minimal translations are view-valid: delete Bob, null Bob's
+	// DeptName, or delete the department.
+	if len(valid) != 3 {
+		t.Fatalf("valid = %d, want 3:\n%s", len(valid), renderCands(cands))
+	}
+	kinds := map[string]bool{}
+	for _, c := range valid {
+		if len(c.Ops) != 1 {
+			t.Fatalf("non-minimal survived: %s", c)
+		}
+		kinds[c.Ops[0].Kind+":"+c.Ops[0].Relation] = true
+	}
+	for _, want := range []string{"delete:PEOPLE", "set-null:PEOPLE", "delete:DEPARTMENT"} {
+		if !kinds[want] {
+			t.Fatalf("missing candidate %s: %v", want, kinds)
+		}
+	}
+}
+
+func renderCands(cands []Candidate) string {
+	var b strings.Builder
+	for _, c := range cands {
+		b.WriteString(c.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Insertion enumeration: adding a grade to an existing course admits one
+// minimal valid translation (insert the grade), and replacing the
+// course's visible values appears only in non-minimal or side-effecting
+// candidates.
+func TestEnumerateInsertionTranslations(t *testing.T) {
+	db, _ := university.MustNewSeeded()
+	v := courseGradesView(t, db)
+	tr := PermissiveTranslator(v)
+	// New grade for CS445 by student 2; the course row matches the
+	// database's visible values exactly.
+	viewTuple := reldb.Tuple{s("CS445"), s("Distributed Systems"), s("graduate"), iv(2), s("B-")}
+	cands, err := tr.EnumerateInsertionTranslations(viewTuple)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Primitives: insert GRADES(CS445,2); the COURSES side offers no
+	// operation (identical visible values). Space: 1 candidate.
+	if len(cands) != 1 {
+		t.Fatalf("space = %d, want 1:\n%s", len(cands), renderCands(cands))
+	}
+	if !cands[0].Valid || cands[0].Ops[0].Kind != "insert" || cands[0].Ops[0].Relation != university.Grades {
+		t.Fatalf("candidate = %s", cands[0])
+	}
+	// Enumeration never mutates the database.
+	if db.MustRelation(university.Grades).Has(reldb.Tuple{s("CS445"), iv(2)}) {
+		t.Fatal("enumeration mutated the database")
+	}
+}
+
+// A brand-new course with one grade: only the both-inserts candidate is
+// valid — inserting just one side never materializes the join row (C1).
+func TestEnumerateInsertionNeedsBothSides(t *testing.T) {
+	db, _ := university.MustNewSeeded()
+	v := courseGradesView(t, db)
+	tr := PermissiveTranslator(v)
+	viewTuple := reldb.Tuple{s("CS999"), s("Fresh"), s("graduate"), iv(1), s("A")}
+	cands, err := tr.EnumerateInsertionTranslations(viewTuple)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Space: {course}, {grade}, {course+grade}.
+	if len(cands) != 3 {
+		t.Fatalf("space = %d, want 3:\n%s", len(cands), renderCands(cands))
+	}
+	var valid []Candidate
+	c1s := 0
+	for _, c := range cands {
+		if c.Valid {
+			valid = append(valid, c)
+		} else if strings.Contains(c.Reason, "C1") {
+			c1s++
+		}
+	}
+	if len(valid) != 1 || len(valid[0].Ops) != 2 {
+		t.Fatalf("valid = %v", valid)
+	}
+	if c1s != 2 {
+		t.Fatalf("C1 rejections = %d, want 2:\n%s", c1s, renderCands(cands))
+	}
+}
+
+// A conflicting course title makes the COURSES side a replace primitive;
+// the valid translation combines it with the grade insertion — exactly
+// Keller's case-3 behaviour that the Insert translator implements.
+func TestEnumerateInsertionWithConflict(t *testing.T) {
+	db, _ := university.MustNewSeeded()
+	v := courseGradesView(t, db)
+	tr := PermissiveTranslator(v)
+	viewTuple := reldb.Tuple{s("CS445"), s("Renamed Systems"), s("graduate"), iv(2), s("B")}
+	cands, err := tr.EnumerateInsertionTranslations(viewTuple)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var valid []Candidate
+	for _, c := range cands {
+		if c.Valid {
+			valid = append(valid, c)
+		}
+	}
+	// Replacing the title changes the OTHER CS445 view rows too (student
+	// 1's and 5's rows carry the title) — C2 forbids the replace, so no
+	// candidate is valid: the request is untranslatable without touching
+	// sibling view rows, which is precisely why Keller's translator makes
+	// the replace-vs-reject choice a definition-time policy.
+	if len(valid) != 0 {
+		t.Fatalf("valid = %d, want 0:\n%s", len(valid), renderCands(cands))
+	}
+	foundC2, foundC1 := false, false
+	for _, c := range cands {
+		if strings.Contains(c.Reason, "C2") {
+			foundC2 = true
+		}
+		if strings.Contains(c.Reason, "C1") {
+			foundC1 = true
+		}
+	}
+	if !foundC2 || !foundC1 {
+		t.Fatalf("want both C1 and C2 rejections:\n%s", renderCands(cands))
+	}
+}

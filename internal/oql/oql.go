@@ -1,0 +1,210 @@
+// Package oql implements the object query language of the view-object
+// model's query interface (§3): declarative, ad-hoc queries over view
+// objects. A query is a conjunction of three clause kinds:
+//
+//	<expr>                 — predicate on the pivot relation's attributes
+//	count(NODE) <op> <n>   — cardinality condition on a component node
+//	exists(NODE: <expr>)   — existential predicate on a component node
+//
+// Figure 4's request — graduate courses with less than 5 students having
+// enrolled — reads:
+//
+//	Level = 'graduate' and count(STUDENT) < 5
+//
+// Scalar sub-expressions use the RQL expression grammar.
+package oql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"penguin/internal/reldb"
+	"penguin/internal/rql"
+	"penguin/internal/viewobject"
+)
+
+// Parse parses an object query against the given definition. Node names
+// in count() and exists() clauses are validated against the definition's
+// node IDs.
+func Parse(def *viewobject.Definition, src string) (viewobject.Query, error) {
+	var q viewobject.Query
+	conjuncts, err := splitTopLevelAnd(src)
+	if err != nil {
+		return q, err
+	}
+	var pivotTerms []reldb.Expr
+	for _, c := range conjuncts {
+		c = strings.TrimSpace(c)
+		if c == "" {
+			continue
+		}
+		switch {
+		case hasPrefixFold(c, "count"):
+			cc, err := parseCount(def, c)
+			if err != nil {
+				return q, err
+			}
+			q.CountConds = append(q.CountConds, cc)
+		case hasPrefixFold(c, "exists"):
+			np, err := parseExists(def, c)
+			if err != nil {
+				return q, err
+			}
+			q.NodePreds = append(q.NodePreds, np)
+		default:
+			e, err := rql.ParseExpr(c)
+			if err != nil {
+				return q, fmt.Errorf("oql: in clause %q: %w", c, err)
+			}
+			pivotTerms = append(pivotTerms, e)
+		}
+	}
+	if len(pivotTerms) > 0 {
+		q.PivotPred = reldb.AndAll(pivotTerms...)
+	}
+	return q, nil
+}
+
+// hasPrefixFold reports whether s starts with the keyword followed by an
+// opening parenthesis (ignoring case and space).
+func hasPrefixFold(s, kw string) bool {
+	if len(s) < len(kw) {
+		return false
+	}
+	if !strings.EqualFold(s[:len(kw)], kw) {
+		return false
+	}
+	rest := strings.TrimSpace(s[len(kw):])
+	return strings.HasPrefix(rest, "(")
+}
+
+// splitTopLevelAnd splits a query on AND tokens that sit outside
+// parentheses and string literals.
+func splitTopLevelAnd(src string) ([]string, error) {
+	var parts []string
+	depth := 0
+	var quote byte
+	start := 0
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case quote != 0:
+			if c == '\\' {
+				i++
+			} else if c == quote {
+				quote = 0
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == '(':
+			depth++
+		case c == ')':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("oql: unbalanced parentheses at offset %d", i)
+			}
+		case depth == 0 && (c == 'a' || c == 'A'):
+			if isWordBoundary(src, i) && i+3 <= len(src) && strings.EqualFold(src[i:i+3], "and") &&
+				(i+3 == len(src) || !isWordChar(src[i+3])) {
+				parts = append(parts, src[start:i])
+				i += 3
+				start = i
+				continue
+			}
+		}
+		i++
+	}
+	if quote != 0 {
+		return nil, fmt.Errorf("oql: unterminated string literal")
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("oql: unbalanced parentheses")
+	}
+	parts = append(parts, src[start:])
+	return parts, nil
+}
+
+func isWordChar(c byte) bool {
+	return c == '_' || c == '.' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+func isWordBoundary(src string, i int) bool {
+	return i == 0 || !isWordChar(src[i-1])
+}
+
+var cmpOps = []struct {
+	text string
+	op   reldb.CmpOp
+}{
+	{"<=", reldb.OpLe}, {">=", reldb.OpGe}, {"!=", reldb.OpNe},
+	{"<>", reldb.OpNe}, {"<", reldb.OpLt}, {">", reldb.OpGt}, {"=", reldb.OpEq},
+}
+
+// parseCount parses "count(NODE) <op> <n>".
+func parseCount(def *viewobject.Definition, src string) (viewobject.CountCond, error) {
+	var cc viewobject.CountCond
+	open := strings.IndexByte(src, '(')
+	close := strings.IndexByte(src, ')')
+	if open < 0 || close < open {
+		return cc, fmt.Errorf("oql: malformed count clause %q", src)
+	}
+	node := strings.TrimSpace(src[open+1 : close])
+	if _, ok := def.Node(node); !ok {
+		return cc, fmt.Errorf("oql: count over unknown node %q (object %s)", node, def.Name)
+	}
+	rest := strings.TrimSpace(src[close+1:])
+	for _, c := range cmpOps {
+		if strings.HasPrefix(rest, c.text) {
+			numText := strings.TrimSpace(rest[len(c.text):])
+			n, err := strconv.Atoi(numText)
+			if err != nil {
+				return cc, fmt.Errorf("oql: count clause needs an integer, got %q", numText)
+			}
+			return viewobject.CountCond{NodeID: node, Op: c.op, N: n}, nil
+		}
+	}
+	return cc, fmt.Errorf("oql: count clause %q needs a comparison", src)
+}
+
+// parseExists parses "exists(NODE: <expr>)".
+func parseExists(def *viewobject.Definition, src string) (viewobject.NodePred, error) {
+	var np viewobject.NodePred
+	open := strings.IndexByte(src, '(')
+	if open < 0 || !strings.HasSuffix(strings.TrimSpace(src), ")") {
+		return np, fmt.Errorf("oql: malformed exists clause %q", src)
+	}
+	inner := strings.TrimSpace(src)
+	inner = inner[open+1 : len(inner)-1]
+	colon := strings.IndexByte(inner, ':')
+	if colon < 0 {
+		return np, fmt.Errorf("oql: exists clause %q needs NODE: predicate", src)
+	}
+	node := strings.TrimSpace(inner[:colon])
+	if _, ok := def.Node(node); !ok {
+		return np, fmt.Errorf("oql: exists over unknown node %q (object %s)", node, def.Name)
+	}
+	pred, err := rql.ParseExpr(inner[colon+1:])
+	if err != nil {
+		return np, fmt.Errorf("oql: in exists clause %q: %w", src, err)
+	}
+	return viewobject.NodePred{NodeID: node, Pred: pred}, nil
+}
+
+// Query parses and immediately runs an object query, returning the
+// matching instances.
+func Query(res structuralResolver, def *viewobject.Definition, src string) ([]*viewobject.Instance, error) {
+	q, err := Parse(def, src)
+	if err != nil {
+		return nil, err
+	}
+	return viewobject.Instantiate(res, def, q)
+}
+
+// structuralResolver matches structural.Resolver without importing it
+// (avoids a needless dependency edge).
+type structuralResolver interface {
+	Relation(name string) (*reldb.Relation, error)
+}

@@ -1,0 +1,172 @@
+package oql
+
+import (
+	"strings"
+	"testing"
+
+	"penguin/internal/reldb"
+	"penguin/internal/university"
+	"penguin/internal/viewobject"
+)
+
+func omega(t *testing.T) (*reldb.Database, *viewobject.Definition) {
+	t.Helper()
+	db, g := university.MustNewSeeded()
+	return db, university.MustOmega(g)
+}
+
+// Figure 4's query, from text.
+func TestFigure4Query(t *testing.T) {
+	db, om := omega(t)
+	insts, err := Query(db, om, `Level = 'graduate' and count(STUDENT) < 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for _, i := range insts {
+		ids = append(ids, i.Key()[0].MustString())
+	}
+	if strings.Join(ids, ",") != "CS345,CS445" {
+		t.Fatalf("result = %v, want CS345,CS445", ids)
+	}
+}
+
+func TestExistsClause(t *testing.T) {
+	db, om := omega(t)
+	insts, err := Query(db, om, `exists(STUDENT: Degree = 'PhD')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := map[string]bool{}
+	for _, i := range insts {
+		ids[i.Key()[0].MustString()] = true
+	}
+	if !ids["CS345"] || ids["ME301"] {
+		t.Fatalf("result = %v", ids)
+	}
+}
+
+func TestCombinedClauses(t *testing.T) {
+	db, om := omega(t)
+	insts, err := Query(db, om,
+		`Level = 'graduate' and exists(GRADES: Grade = 'A') and count(GRADES) >= 2 and Units > 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != 3 { // CS345, CS445, EE380 all have an A and >= 2 grades
+		t.Fatalf("instances = %d", len(insts))
+	}
+}
+
+func TestEmptyQuerySelectsAll(t *testing.T) {
+	db, om := omega(t)
+	insts, err := Query(db, om, ``)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != 6 {
+		t.Fatalf("instances = %d", len(insts))
+	}
+}
+
+func TestCountOperators(t *testing.T) {
+	db, om := omega(t)
+	cases := []struct {
+		q    string
+		want int
+	}{
+		{`count(GRADES) = 5`, 2}, // CS101 and EE380
+		{`count(GRADES) != 5`, 4},
+		{`count(GRADES) <= 1`, 2}, // EE201, ME301
+		{`count(GRADES) > 2`, 3},
+		{`count(GRADES) >= 5`, 2},
+		{`count(GRADES) <> 5`, 4},
+	}
+	for _, c := range cases {
+		insts, err := Query(db, om, c.q)
+		if err != nil {
+			t.Fatalf("%s: %v", c.q, err)
+		}
+		if len(insts) != c.want {
+			t.Errorf("%s: %d instances, want %d", c.q, len(insts), c.want)
+		}
+	}
+}
+
+// AND inside strings and parentheses must not split clauses.
+func TestAndInsideStringsAndParens(t *testing.T) {
+	db, om := omega(t)
+	insts, err := Query(db, om, `Title = 'Dynamics' and (Units = 4 and Level = 'undergraduate')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != 1 || insts[0].Key()[0].MustString() != "ME301" {
+		t.Fatalf("result = %d", len(insts))
+	}
+	// A string containing " and " is not a separator.
+	if err := seedTitled(db, "X1", "salt and pepper"); err != nil {
+		t.Fatal(err)
+	}
+	insts, err = Query(db, om, `Title = 'salt and pepper'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != 1 {
+		t.Fatalf("string AND split: %d", len(insts))
+	}
+	// Identifier containing "and" as substring is untouched.
+	q, err := Parse(om, `Title = 'x' and Units = 1`)
+	if err != nil || q.PivotPred == nil {
+		t.Fatalf("parse: %v", err)
+	}
+}
+
+func seedTitled(db *reldb.Database, id, title string) error {
+	return db.RunInTx(func(tx *reldb.Tx) error {
+		return tx.Insert(university.Courses, reldb.Tuple{
+			reldb.String(id), reldb.String(title), reldb.String("Computer Science"),
+			reldb.Int(1), reldb.String("undergraduate"),
+		})
+	})
+}
+
+func TestParseErrors(t *testing.T) {
+	_, om := omega(t)
+	bad := []string{
+		`count(NOPE) < 5`,
+		`count(STUDENT < 5`,
+		`count(STUDENT) < many`,
+		`count(STUDENT) 5`,
+		`exists(NOPE: Degree = 'PhD')`,
+		`exists(STUDENT)`,
+		`exists STUDENT: x`,
+		`exists(STUDENT: = 3)`,
+		`Level = `,
+		`(Level = 'x'`,
+		`Level = 'x')`,
+		`Title = 'unterminated`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(om, src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestCaseInsensitiveKeywords(t *testing.T) {
+	db, om := omega(t)
+	insts, err := Query(db, om, `Level = 'graduate' AND COUNT(STUDENT) < 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != 2 {
+		t.Fatalf("instances = %d", len(insts))
+	}
+	insts, err = Query(db, om, `EXISTS(STUDENT: Degree = 'PhD') and Level = 'graduate'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != 3 {
+		t.Fatalf("instances = %d", len(insts))
+	}
+}

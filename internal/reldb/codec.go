@@ -1,0 +1,333 @@
+package reldb
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Snapshot persistence: a compact binary format holding every schema and
+// every tuple. The format is versioned and self-describing enough to detect
+// truncation and corruption. Secondary indexes are re-declared in the
+// snapshot (names and attribute lists) and rebuilt on load.
+//
+// Layout:
+//
+//	magic "PNGW" | u16 version | u32 nRelations
+//	per relation:
+//	  string name | u32 nAttrs | per attr: string name, u8 kind, u8 nullable
+//	  u32 nKey | per key: u32 attrIndex
+//	  u32 nIndexes | per index: string name, u32 nAttrs, per attr: u32 idx
+//	  u32 nRows | per row: per attr: value
+//	value: u8 kind | payload (varint int, 8-byte float, string, u8 bool)
+
+const (
+	snapshotMagic   = "PNGW"
+	snapshotVersion = 1
+)
+
+// WriteSnapshot serializes the whole database to w.
+func (db *Database) WriteSnapshot(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return err
+	}
+	writeU16(bw, snapshotVersion)
+	names := make([]string, 0, len(db.relations))
+	for n := range db.relations {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	writeU32(bw, uint32(len(names)))
+	for _, n := range names {
+		if err := writeRelation(bw, db.relations[n]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSnapshot deserializes a database previously written by WriteSnapshot.
+func ReadSnapshot(r io.Reader) (*Database, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("reldb: reading snapshot magic: %w", err)
+	}
+	if string(magic) != snapshotMagic {
+		return nil, fmt.Errorf("reldb: bad snapshot magic %q", magic)
+	}
+	version, err := readU16(br)
+	if err != nil {
+		return nil, err
+	}
+	if version != snapshotVersion {
+		return nil, fmt.Errorf("reldb: unsupported snapshot version %d", version)
+	}
+	n, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	db := NewDatabase()
+	for i := uint32(0); i < n; i++ {
+		if err := readRelation(br, db); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+func writeRelation(w *bufio.Writer, rel *Relation) error {
+	s := rel.Schema()
+	writeString(w, s.Name())
+	writeU32(w, uint32(s.Arity()))
+	for i := 0; i < s.Arity(); i++ {
+		a := s.Attr(i)
+		writeString(w, a.Name)
+		w.WriteByte(byte(a.Type))
+		if a.Nullable {
+			w.WriteByte(1)
+		} else {
+			w.WriteByte(0)
+		}
+	}
+	key := s.Key()
+	writeU32(w, uint32(len(key)))
+	for _, k := range key {
+		writeU32(w, uint32(k))
+	}
+	ixNames := rel.IndexNames()
+	writeU32(w, uint32(len(ixNames)))
+	for _, name := range ixNames {
+		ix := rel.indexes[name]
+		writeString(w, name)
+		writeU32(w, uint32(len(ix.attrs)))
+		for _, a := range ix.attrs {
+			writeU32(w, uint32(a))
+		}
+	}
+	writeU32(w, uint32(rel.Count()))
+	var scanErr error
+	rel.Scan(func(t Tuple) bool {
+		for _, v := range t {
+			if err := writeValue(w, v); err != nil {
+				scanErr = err
+				return false
+			}
+		}
+		return true
+	})
+	return scanErr
+}
+
+func readRelation(r *bufio.Reader, db *Database) error {
+	name, err := readString(r)
+	if err != nil {
+		return err
+	}
+	nAttrs, err := readU32(r)
+	if err != nil {
+		return err
+	}
+	attrs := make([]Attribute, nAttrs)
+	for i := range attrs {
+		an, err := readString(r)
+		if err != nil {
+			return err
+		}
+		kb, err := r.ReadByte()
+		if err != nil {
+			return err
+		}
+		nb, err := r.ReadByte()
+		if err != nil {
+			return err
+		}
+		attrs[i] = Attribute{Name: an, Type: Kind(kb), Nullable: nb == 1}
+	}
+	nKey, err := readU32(r)
+	if err != nil {
+		return err
+	}
+	keyNames := make([]string, nKey)
+	for i := range keyNames {
+		ki, err := readU32(r)
+		if err != nil {
+			return err
+		}
+		if int(ki) >= len(attrs) {
+			return fmt.Errorf("reldb: snapshot %s: key index %d out of range", name, ki)
+		}
+		keyNames[i] = attrs[ki].Name
+	}
+	schema, err := NewSchema(name, attrs, keyNames)
+	if err != nil {
+		return fmt.Errorf("reldb: snapshot: %w", err)
+	}
+	rel, err := db.CreateRelation(schema)
+	if err != nil {
+		return err
+	}
+	nIx, err := readU32(r)
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < nIx; i++ {
+		ixName, err := readString(r)
+		if err != nil {
+			return err
+		}
+		nIA, err := readU32(r)
+		if err != nil {
+			return err
+		}
+		ixAttrNames := make([]string, nIA)
+		for j := range ixAttrNames {
+			ai, err := readU32(r)
+			if err != nil {
+				return err
+			}
+			if int(ai) >= len(attrs) {
+				return fmt.Errorf("reldb: snapshot %s: index attr %d out of range", name, ai)
+			}
+			ixAttrNames[j] = attrs[ai].Name
+		}
+		if err := rel.CreateIndex(ixName, ixAttrNames); err != nil {
+			return err
+		}
+	}
+	nRows, err := readU32(r)
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < nRows; i++ {
+		t := make(Tuple, nAttrs)
+		for j := range t {
+			v, err := readValue(r)
+			if err != nil {
+				return fmt.Errorf("reldb: snapshot %s row %d: %w", name, i, err)
+			}
+			t[j] = v
+		}
+		if err := rel.Insert(t); err != nil {
+			return fmt.Errorf("reldb: snapshot %s row %d: %w", name, i, err)
+		}
+	}
+	return nil
+}
+
+func writeValue(w *bufio.Writer, v Value) error {
+	w.WriteByte(byte(v.kind))
+	switch v.kind {
+	case KindNull:
+	case KindInt:
+		var buf [binary.MaxVarintLen64]byte
+		n := binary.PutVarint(buf[:], v.i)
+		w.Write(buf[:n])
+	case KindFloat:
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], math.Float64bits(v.f))
+		w.Write(buf[:])
+	case KindString:
+		writeString(w, v.s)
+	case KindBool:
+		if v.b {
+			w.WriteByte(1)
+		} else {
+			w.WriteByte(0)
+		}
+	default:
+		return fmt.Errorf("reldb: cannot serialize kind %s", v.kind)
+	}
+	return nil
+}
+
+func readValue(r *bufio.Reader) (Value, error) {
+	kb, err := r.ReadByte()
+	if err != nil {
+		return Null(), err
+	}
+	switch Kind(kb) {
+	case KindNull:
+		return Null(), nil
+	case KindInt:
+		n, err := binary.ReadVarint(r)
+		if err != nil {
+			return Null(), err
+		}
+		return Int(n), nil
+	case KindFloat:
+		var buf [8]byte
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return Null(), err
+		}
+		return Float(math.Float64frombits(binary.BigEndian.Uint64(buf[:]))), nil
+	case KindString:
+		s, err := readString(r)
+		if err != nil {
+			return Null(), err
+		}
+		return String(s), nil
+	case KindBool:
+		b, err := r.ReadByte()
+		if err != nil {
+			return Null(), err
+		}
+		return Bool(b == 1), nil
+	default:
+		return Null(), fmt.Errorf("reldb: snapshot has unknown value kind %d", kb)
+	}
+}
+
+func writeString(w *bufio.Writer, s string) {
+	writeU32(w, uint32(len(s)))
+	w.WriteString(s)
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	n, err := readU32(r)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<24 {
+		return "", fmt.Errorf("reldb: snapshot string length %d too large", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func writeU16(w *bufio.Writer, v uint16) {
+	var buf [2]byte
+	binary.BigEndian.PutUint16(buf[:], v)
+	w.Write(buf[:])
+}
+
+func readU16(r *bufio.Reader) (uint16, error) {
+	var buf [2]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint16(buf[:]), nil
+}
+
+func writeU32(w *bufio.Writer, v uint32) {
+	var buf [4]byte
+	binary.BigEndian.PutUint32(buf[:], v)
+	w.Write(buf[:])
+}
+
+func readU32(r *bufio.Reader) (uint32, error) {
+	var buf [4]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(buf[:]), nil
+}

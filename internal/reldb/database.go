@@ -1,0 +1,116 @@
+package reldb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Database is a catalog of named relations. All access is serialized by a
+// readers-writer lock; transactions hold the write lock for their entire
+// lifetime, which matches the single-writer discipline the update
+// translation algorithms assume.
+type Database struct {
+	mu        sync.RWMutex
+	relations map[string]*Relation
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase() *Database {
+	return &Database{relations: make(map[string]*Relation)}
+}
+
+// CreateRelation defines a new relation from the schema.
+func (db *Database) CreateRelation(schema *Schema) (*Relation, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.relations[schema.Name()]; dup {
+		return nil, fmt.Errorf("reldb: create %s: %w", schema.Name(), ErrRelationExists)
+	}
+	r := NewRelation(schema)
+	db.relations[schema.Name()] = r
+	return r, nil
+}
+
+// MustCreateRelation is CreateRelation that panics on error (fixtures).
+func (db *Database) MustCreateRelation(schema *Schema) *Relation {
+	r, err := db.CreateRelation(schema)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// DropRelation removes a relation and its data.
+func (db *Database) DropRelation(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.relations[name]; !ok {
+		return fmt.Errorf("reldb: drop %s: %w", name, ErrNoSuchRelation)
+	}
+	delete(db.relations, name)
+	return nil
+}
+
+// Relation returns the named relation.
+func (db *Database) Relation(name string) (*Relation, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	r, ok := db.relations[name]
+	if !ok {
+		return nil, fmt.Errorf("reldb: relation %s: %w", name, ErrNoSuchRelation)
+	}
+	return r, nil
+}
+
+// MustRelation returns the named relation, panicking if absent (fixtures).
+func (db *Database) MustRelation(name string) *Relation {
+	r, err := db.Relation(name)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// HasRelation reports whether the named relation exists.
+func (db *Database) HasRelation(name string) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	_, ok := db.relations[name]
+	return ok
+}
+
+// Names returns the defined relation names, sorted.
+func (db *Database) Names() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.relations))
+	for n := range db.relations {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Clone deep-copies the database: schemas are shared (immutable), rows and
+// indexes are copied. Used for what-if planning and failure-injection tests.
+func (db *Database) Clone() *Database {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	c := NewDatabase()
+	for n, r := range db.relations {
+		c.relations[n] = r.clone()
+	}
+	return c
+}
+
+// TotalRows returns the number of tuples across all relations.
+func (db *Database) TotalRows() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	total := 0
+	for _, r := range db.relations {
+		total += r.Count()
+	}
+	return total
+}

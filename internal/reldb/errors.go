@@ -1,0 +1,20 @@
+package reldb
+
+import "errors"
+
+// Sentinel errors returned by the storage layer. Callers use errors.Is to
+// branch on them; messages wrap them with relation and key context.
+var (
+	// ErrDuplicateKey reports an insert whose primary key already exists.
+	ErrDuplicateKey = errors.New("duplicate primary key")
+	// ErrNoSuchTuple reports a delete/replace of a missing tuple.
+	ErrNoSuchTuple = errors.New("no tuple with this key")
+	// ErrNoSuchRelation reports access to an undefined relation.
+	ErrNoSuchRelation = errors.New("no such relation")
+	// ErrRelationExists reports creation of an already-defined relation.
+	ErrRelationExists = errors.New("relation already exists")
+	// ErrNoSuchIndex reports access to an undefined secondary index.
+	ErrNoSuchIndex = errors.New("no such index")
+	// ErrTxDone reports use of a committed or rolled-back transaction.
+	ErrTxDone = errors.New("transaction already finished")
+)

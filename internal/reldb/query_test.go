@@ -1,0 +1,465 @@
+package reldb
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// testDB builds a two-relation database:
+//
+//	COURSES(CourseID, Title, Dept, Units)
+//	GRADES(CourseID, PID, Grade)
+func testDB(t *testing.T) *Database {
+	t.Helper()
+	db := NewDatabase()
+	courses := db.MustCreateRelation(MustSchema("COURSES", []Attribute{
+		{Name: "CourseID", Type: KindString},
+		{Name: "Title", Type: KindString, Nullable: true},
+		{Name: "Dept", Type: KindString, Nullable: true},
+		{Name: "Units", Type: KindInt, Nullable: true},
+	}, []string{"CourseID"}))
+	grades := db.MustCreateRelation(MustSchema("GRADES", []Attribute{
+		{Name: "CourseID", Type: KindString},
+		{Name: "PID", Type: KindInt},
+		{Name: "Grade", Type: KindString, Nullable: true},
+	}, []string{"CourseID", "PID"}))
+	for _, c := range []struct {
+		id, title, dept string
+		units           int64
+	}{
+		{"CS101", "Intro CS", "CS", 3},
+		{"CS345", "Databases", "CS", 4},
+		{"EE201", "Circuits", "EE", 3},
+		{"ME301", "Dynamics", "ME", 4},
+	} {
+		if err := courses.Insert(Tuple{String(c.id), String(c.title), String(c.dept), Int(c.units)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, g := range []struct {
+		id    string
+		pid   int64
+		grade string
+	}{
+		{"CS101", 1, "A"}, {"CS101", 2, "B"}, {"CS101", 3, "A"},
+		{"CS345", 1, "B"}, {"CS345", 4, "C"},
+		{"EE201", 2, "A"},
+	} {
+		if err := grades.Insert(Tuple{String(g.id), Int(g.pid), String(g.grade)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func run(t *testing.T, p Plan) *ResultSet {
+	t.Helper()
+	rs, err := p.Run()
+	if err != nil {
+		t.Fatalf("plan failed: %v", err)
+	}
+	return rs
+}
+
+func TestScanAndSelect(t *testing.T) {
+	db := testDB(t)
+	courses := db.MustRelation("COURSES")
+	rs := run(t, ScanPlan{courses})
+	if rs.Len() != 4 {
+		t.Fatalf("scan = %d rows", rs.Len())
+	}
+	rs = run(t, SelectPlan{ScanPlan{courses}, Eq("Dept", String("CS"))})
+	if rs.Len() != 2 {
+		t.Fatalf("select = %d rows", rs.Len())
+	}
+	rs = run(t, SelectPlan{ScanPlan{courses}, nil})
+	if rs.Len() != 4 {
+		t.Fatalf("select nil pred = %d rows", rs.Len())
+	}
+	if _, err := (SelectPlan{ScanPlan{courses}, Eq("Nope", Int(1))}).Run(); err == nil {
+		t.Fatal("select with bad predicate should fail")
+	}
+}
+
+func TestProject(t *testing.T) {
+	db := testDB(t)
+	courses := db.MustRelation("COURSES")
+	rs := run(t, ProjectPlan{ScanPlan{courses}, []string{"Dept", "CourseID"}})
+	if rs.Schema.Arity() != 2 {
+		t.Fatalf("projected arity = %d", rs.Schema.Arity())
+	}
+	if rs.Row(0).MustGet("Dept").IsNull() {
+		t.Fatal("projection lost values")
+	}
+	if _, err := (ProjectPlan{ScanPlan{courses}, []string{"Nope"}}).Run(); err == nil {
+		t.Fatal("projecting unknown attr should fail")
+	}
+}
+
+func TestJoin(t *testing.T) {
+	db := testDB(t)
+	p := JoinPlan{
+		Left:       ScanPlan{db.MustRelation("COURSES")},
+		Right:      ScanPlan{db.MustRelation("GRADES")},
+		LeftAttrs:  []string{"CourseID"},
+		RightAttrs: []string{"CourseID"},
+	}
+	rs := run(t, p)
+	if rs.Len() != 6 {
+		t.Fatalf("join = %d rows, want 6", rs.Len())
+	}
+	// Qualified attribute names.
+	if _, ok := rs.Schema.AttrIndex("COURSES.CourseID"); !ok {
+		t.Fatalf("joined schema missing COURSES.CourseID: %v", rs.Schema.AttrNames())
+	}
+	if _, ok := rs.Schema.AttrIndex("GRADES.Grade"); !ok {
+		t.Fatal("joined schema missing GRADES.Grade")
+	}
+	// Every row has matching course ids on both sides.
+	for i := 0; i < rs.Len(); i++ {
+		row := rs.Row(i)
+		if !row.MustGet("COURSES.CourseID").Equal(row.MustGet("GRADES.CourseID")) {
+			t.Fatal("join produced non-matching row")
+		}
+	}
+}
+
+func TestOuterJoin(t *testing.T) {
+	db := testDB(t)
+	p := JoinPlan{
+		Left:       ScanPlan{db.MustRelation("COURSES")},
+		Right:      ScanPlan{db.MustRelation("GRADES")},
+		LeftAttrs:  []string{"CourseID"},
+		RightAttrs: []string{"CourseID"},
+		Outer:      true,
+	}
+	rs := run(t, p)
+	// ME301 has no grades: 6 matched + 1 null-padded.
+	if rs.Len() != 7 {
+		t.Fatalf("outer join = %d rows, want 7", rs.Len())
+	}
+	nullPadded := 0
+	for i := 0; i < rs.Len(); i++ {
+		if rs.Row(i).MustGet("GRADES.CourseID").IsNull() {
+			nullPadded++
+			if got := rs.Row(i).MustGet("COURSES.CourseID").MustString(); got != "ME301" {
+				t.Fatalf("null-padded row for %s", got)
+			}
+		}
+	}
+	if nullPadded != 1 {
+		t.Fatalf("null-padded rows = %d", nullPadded)
+	}
+}
+
+func TestJoinNullKeysDoNotMatch(t *testing.T) {
+	db := NewDatabase()
+	l := db.MustCreateRelation(MustSchema("L", []Attribute{
+		{Name: "ID", Type: KindInt},
+		{Name: "FK", Type: KindInt, Nullable: true},
+	}, []string{"ID"}))
+	r := db.MustCreateRelation(MustSchema("R", []Attribute{
+		{Name: "K", Type: KindInt},
+	}, []string{"K"}))
+	_ = l.Insert(Tuple{Int(1), Int(7)})
+	_ = l.Insert(Tuple{Int(2), Null()})
+	_ = r.Insert(Tuple{Int(7)})
+	inner := run(t, JoinPlan{Left: ScanPlan{l}, Right: ScanPlan{r},
+		LeftAttrs: []string{"FK"}, RightAttrs: []string{"K"}})
+	if inner.Len() != 1 {
+		t.Fatalf("inner join with null key = %d rows, want 1", inner.Len())
+	}
+	outer := run(t, JoinPlan{Left: ScanPlan{l}, Right: ScanPlan{r},
+		LeftAttrs: []string{"FK"}, RightAttrs: []string{"K"}, Outer: true})
+	if outer.Len() != 2 {
+		t.Fatalf("outer join with null key = %d rows, want 2", outer.Len())
+	}
+}
+
+func TestJoinArityMismatch(t *testing.T) {
+	db := testDB(t)
+	p := JoinPlan{
+		Left:       ScanPlan{db.MustRelation("COURSES")},
+		Right:      ScanPlan{db.MustRelation("GRADES")},
+		LeftAttrs:  []string{"CourseID"},
+		RightAttrs: []string{"CourseID", "PID"},
+	}
+	if _, err := p.Run(); err == nil {
+		t.Fatal("mismatched join attrs should fail")
+	}
+}
+
+func TestSort(t *testing.T) {
+	db := testDB(t)
+	courses := db.MustRelation("COURSES")
+	rs := run(t, SortPlan{Input: ScanPlan{courses}, By: []string{"Units", "CourseID"}})
+	var got []string
+	for i := 0; i < rs.Len(); i++ {
+		got = append(got, rs.Row(i).MustGet("CourseID").MustString())
+	}
+	want := "CS101,EE201,CS345,ME301"
+	if strings.Join(got, ",") != want {
+		t.Fatalf("sort order = %v, want %s", got, want)
+	}
+	rs = run(t, SortPlan{Input: ScanPlan{courses}, By: []string{"Units", "CourseID"}, Desc: true})
+	if first := rs.Row(0).MustGet("CourseID").MustString(); first != "ME301" {
+		t.Fatalf("desc first = %s", first)
+	}
+	if _, err := (SortPlan{Input: ScanPlan{courses}, By: []string{"Nope"}}).Run(); err == nil {
+		t.Fatal("sort by unknown attr should fail")
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	db := testDB(t)
+	p := DistinctPlan{ProjectPlan{ScanPlan{db.MustRelation("COURSES")}, []string{"Dept"}}}
+	rs := run(t, p)
+	if rs.Len() != 3 {
+		t.Fatalf("distinct depts = %d, want 3", rs.Len())
+	}
+}
+
+func TestLimit(t *testing.T) {
+	db := testDB(t)
+	rs := run(t, LimitPlan{ScanPlan{db.MustRelation("COURSES")}, 2})
+	if rs.Len() != 2 {
+		t.Fatalf("limit = %d", rs.Len())
+	}
+	rs = run(t, LimitPlan{ScanPlan{db.MustRelation("COURSES")}, 100})
+	if rs.Len() != 4 {
+		t.Fatalf("limit beyond size = %d", rs.Len())
+	}
+}
+
+func TestAggregateGrouped(t *testing.T) {
+	db := testDB(t)
+	p := AggregatePlan{
+		Input:   ScanPlan{db.MustRelation("GRADES")},
+		GroupBy: []string{"CourseID"},
+		Aggs:    []AggSpec{{Func: AggCount, As: "n"}},
+	}
+	rs := run(t, p)
+	counts := map[string]int64{}
+	for i := 0; i < rs.Len(); i++ {
+		row := rs.Row(i)
+		counts[row.MustGet("CourseID").MustString()] = row.MustGet("n").MustInt()
+	}
+	want := map[string]int64{"CS101": 3, "CS345": 2, "EE201": 1}
+	for k, v := range want {
+		if counts[k] != v {
+			t.Fatalf("count[%s] = %d, want %d (all: %v)", k, counts[k], v, counts)
+		}
+	}
+}
+
+func TestAggregateGlobal(t *testing.T) {
+	db := testDB(t)
+	p := AggregatePlan{
+		Input: ScanPlan{db.MustRelation("COURSES")},
+		Aggs: []AggSpec{
+			{Func: AggCount, As: "n"},
+			{Func: AggSum, Attr: "Units", As: "total"},
+			{Func: AggMin, Attr: "Units", As: "lo"},
+			{Func: AggMax, Attr: "Units", As: "hi"},
+			{Func: AggAvg, Attr: "Units", As: "mean"},
+		},
+	}
+	rs := run(t, p)
+	if rs.Len() != 1 {
+		t.Fatalf("global aggregate rows = %d", rs.Len())
+	}
+	row := rs.Row(0)
+	if n := row.MustGet("n").MustInt(); n != 4 {
+		t.Fatalf("count = %d", n)
+	}
+	if tot, _ := row.MustGet("total").AsInt(); tot != 14 {
+		t.Fatalf("sum = %v", row.MustGet("total"))
+	}
+	if lo, _ := row.MustGet("lo").AsInt(); lo != 3 {
+		t.Fatalf("min = %v", row.MustGet("lo"))
+	}
+	if hi, _ := row.MustGet("hi").AsInt(); hi != 4 {
+		t.Fatalf("max = %v", row.MustGet("hi"))
+	}
+	if mean, _ := row.MustGet("mean").AsFloat(); mean != 3.5 {
+		t.Fatalf("avg = %v", row.MustGet("mean"))
+	}
+}
+
+func TestAggregateEmptyInput(t *testing.T) {
+	db := NewDatabase()
+	r := db.MustCreateRelation(MustSchema("E", []Attribute{
+		{Name: "A", Type: KindInt},
+	}, []string{"A"}))
+	p := AggregatePlan{
+		Input: ScanPlan{r},
+		Aggs: []AggSpec{
+			{Func: AggCount, As: "n"},
+			{Func: AggSum, Attr: "A", As: "s"},
+			{Func: AggAvg, Attr: "A", As: "m"},
+		},
+	}
+	rs := run(t, p)
+	if rs.Len() != 1 {
+		t.Fatalf("empty aggregate rows = %d, want 1", rs.Len())
+	}
+	row := rs.Row(0)
+	if n := row.MustGet("n").MustInt(); n != 0 {
+		t.Fatalf("count over empty = %d", n)
+	}
+	if !row.MustGet("s").IsNull() {
+		t.Fatal("sum over empty should be null")
+	}
+	if !row.MustGet("m").IsNull() {
+		t.Fatal("avg over empty should be null")
+	}
+	// Grouped aggregate over empty input yields zero rows.
+	p2 := AggregatePlan{Input: ScanPlan{r}, GroupBy: []string{"A"},
+		Aggs: []AggSpec{{Func: AggCount, As: "n"}}}
+	if rs := run(t, p2); rs.Len() != 0 {
+		t.Fatalf("grouped empty = %d rows", rs.Len())
+	}
+}
+
+func TestAggregateNullsIgnored(t *testing.T) {
+	db := NewDatabase()
+	r := db.MustCreateRelation(MustSchema("N", []Attribute{
+		{Name: "ID", Type: KindInt},
+		{Name: "V", Type: KindInt, Nullable: true},
+	}, []string{"ID"}))
+	_ = r.Insert(Tuple{Int(1), Int(10)})
+	_ = r.Insert(Tuple{Int(2), Null()})
+	_ = r.Insert(Tuple{Int(3), Int(20)})
+	p := AggregatePlan{Input: ScanPlan{r}, Aggs: []AggSpec{
+		{Func: AggCount, Attr: "V", As: "nv"},
+		{Func: AggCount, As: "n"},
+		{Func: AggAvg, Attr: "V", As: "m"},
+	}}
+	rs := run(t, p)
+	row := rs.Row(0)
+	if nv := row.MustGet("nv").MustInt(); nv != 2 {
+		t.Fatalf("count(V) = %d, want 2", nv)
+	}
+	if n := row.MustGet("n").MustInt(); n != 3 {
+		t.Fatalf("count(*) = %d, want 3", n)
+	}
+	if m, _ := row.MustGet("m").AsFloat(); m != 15 {
+		t.Fatalf("avg(V) = %v, want 15", m)
+	}
+}
+
+func TestAggregateDefaultNamesAndErrors(t *testing.T) {
+	db := testDB(t)
+	p := AggregatePlan{
+		Input: ScanPlan{db.MustRelation("COURSES")},
+		Aggs:  []AggSpec{{Func: AggCount}, {Func: AggMax, Attr: "Units"}},
+	}
+	rs := run(t, p)
+	if _, ok := rs.Schema.AttrIndex("count"); !ok {
+		t.Fatalf("default count name missing: %v", rs.Schema.AttrNames())
+	}
+	if _, ok := rs.Schema.AttrIndex("max_Units"); !ok {
+		t.Fatalf("default max name missing: %v", rs.Schema.AttrNames())
+	}
+	bad := AggregatePlan{
+		Input: ScanPlan{db.MustRelation("COURSES")},
+		Aggs:  []AggSpec{{Func: AggSum, Attr: "Nope"}},
+	}
+	if _, err := bad.Run(); err == nil {
+		t.Fatal("aggregate over unknown attr should fail")
+	}
+}
+
+func TestComposedPipeline(t *testing.T) {
+	// Figure-4-shaped query: courses with fewer than 3 grades.
+	db := testDB(t)
+	agg := AggregatePlan{
+		Input:   ScanPlan{db.MustRelation("GRADES")},
+		GroupBy: []string{"CourseID"},
+		Aggs:    []AggSpec{{Func: AggCount, As: "n"}},
+	}
+	few := SelectPlan{agg, Cmp{OpLt, Attr{Name: "n"}, Const{Int(3)}}}
+	rs := run(t, few)
+	ids := map[string]bool{}
+	for i := 0; i < rs.Len(); i++ {
+		ids[rs.Row(i).MustGet("CourseID").MustString()] = true
+	}
+	if !ids["CS345"] || !ids["EE201"] || ids["CS101"] {
+		t.Fatalf("pipeline result = %v", ids)
+	}
+}
+
+func TestLargeJoinStress(t *testing.T) {
+	db := NewDatabase()
+	l := db.MustCreateRelation(MustSchema("BIGL", []Attribute{
+		{Name: "ID", Type: KindInt},
+	}, []string{"ID"}))
+	r := db.MustCreateRelation(MustSchema("BIGR", []Attribute{
+		{Name: "ID", Type: KindInt},
+		{Name: "FK", Type: KindInt},
+	}, []string{"ID"}))
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := l.Insert(Tuple{Int(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4*n; i++ {
+		if err := r.Insert(Tuple{Int(int64(i)), Int(int64(i % n))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rs := run(t, JoinPlan{Left: ScanPlan{l}, Right: ScanPlan{r},
+		LeftAttrs: []string{"ID"}, RightAttrs: []string{"FK"}})
+	if rs.Len() != 4*n {
+		t.Fatalf("join = %d rows, want %d", rs.Len(), 4*n)
+	}
+}
+
+func TestAggFuncString(t *testing.T) {
+	want := map[AggFunc]string{AggCount: "count", AggSum: "sum", AggMin: "min", AggMax: "max", AggAvg: "avg"}
+	for f, s := range want {
+		if f.String() != s {
+			t.Errorf("%v.String() = %q", f, f.String())
+		}
+	}
+}
+
+func TestResultSetRowAccess(t *testing.T) {
+	db := testDB(t)
+	rs := run(t, ScanPlan{db.MustRelation("COURSES")})
+	row := rs.Row(0)
+	if _, ok := row.Get("Nope"); ok {
+		t.Fatal("Get unknown attr should be !ok")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGet unknown attr should panic")
+		}
+	}()
+	row.MustGet("Nope")
+}
+
+func ExampleAggregatePlan() {
+	db := NewDatabase()
+	r := db.MustCreateRelation(MustSchema("T", []Attribute{
+		{Name: "G", Type: KindString},
+		{Name: "V", Type: KindInt},
+	}, []string{"G", "V"}))
+	_ = r.Insert(Tuple{String("a"), Int(1)})
+	_ = r.Insert(Tuple{String("a"), Int(2)})
+	_ = r.Insert(Tuple{String("b"), Int(5)})
+	rs, _ := (AggregatePlan{
+		Input:   ScanPlan{r},
+		GroupBy: []string{"G"},
+		Aggs:    []AggSpec{{Func: AggSum, Attr: "V", As: "s"}},
+	}).Run()
+	for i := 0; i < rs.Len(); i++ {
+		row := rs.Row(i)
+		fmt.Printf("%s=%s\n", row.MustGet("G"), row.MustGet("s"))
+	}
+	// Output:
+	// a=3
+	// b=5
+}

@@ -1,0 +1,386 @@
+package reldb
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Relation is an in-memory keyed table. Rows live in a map keyed by the
+// order-preserving encoding of the primary key; scans sort the encoded
+// keys to yield a deterministic, key-ordered iteration. Optional secondary
+// hash indexes accelerate equality lookups on non-key attribute sets
+// (the connection attributes of the structural model).
+//
+// Relation is not internally synchronized; the owning Database serializes
+// access.
+type Relation struct {
+	schema  *Schema
+	rows    map[string]Tuple
+	indexes map[string]*secondaryIndex
+}
+
+type secondaryIndex struct {
+	name  string
+	attrs []int // attribute indices, in the order given at creation
+	// buckets maps encoded attr values to the set of encoded primary keys.
+	buckets map[string]map[string]struct{}
+}
+
+// NewRelation creates an empty relation with the given schema.
+func NewRelation(schema *Schema) *Relation {
+	return &Relation{
+		schema:  schema,
+		rows:    make(map[string]Tuple),
+		indexes: make(map[string]*secondaryIndex),
+	}
+}
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() *Schema { return r.schema }
+
+// Name returns the relation's name.
+func (r *Relation) Name() string { return r.schema.Name() }
+
+// Count returns the number of tuples in the relation.
+func (r *Relation) Count() int { return len(r.rows) }
+
+// Insert adds a tuple. It fails with ErrDuplicateKey if a tuple with the
+// same primary key exists, and with a validation error if the tuple does
+// not satisfy the schema.
+func (r *Relation) Insert(t Tuple) error {
+	if err := r.schema.CheckTuple(t); err != nil {
+		return err
+	}
+	ek := r.schema.EncodeKeyOf(t)
+	if _, exists := r.rows[ek]; exists {
+		return fmt.Errorf("reldb: %s: insert %s: %w", r.Name(), r.schema.KeyOf(t), ErrDuplicateKey)
+	}
+	t = t.Clone()
+	r.rows[ek] = t
+	for _, ix := range r.indexes {
+		ix.add(t, ek)
+	}
+	return nil
+}
+
+// Get fetches the tuple with the given key values (canonical key order).
+func (r *Relation) Get(key Tuple) (Tuple, bool) {
+	ek, err := r.schema.EncodeKey(key)
+	if err != nil {
+		return nil, false
+	}
+	t, ok := r.rows[ek]
+	if !ok {
+		return nil, false
+	}
+	return t.Clone(), true
+}
+
+// GetEncoded fetches the tuple with the given encoded primary key.
+func (r *Relation) GetEncoded(ek string) (Tuple, bool) {
+	t, ok := r.rows[ek]
+	if !ok {
+		return nil, false
+	}
+	return t.Clone(), true
+}
+
+// Has reports whether a tuple with the given key values exists.
+func (r *Relation) Has(key Tuple) bool {
+	_, ok := r.Get(key)
+	return ok
+}
+
+// Delete removes the tuple with the given key values and returns it.
+// It fails with ErrNoSuchTuple if absent.
+func (r *Relation) Delete(key Tuple) (Tuple, error) {
+	ek, err := r.schema.EncodeKey(key)
+	if err != nil {
+		return nil, err
+	}
+	t, ok := r.rows[ek]
+	if !ok {
+		return nil, fmt.Errorf("reldb: %s: delete %s: %w", r.Name(), key, ErrNoSuchTuple)
+	}
+	delete(r.rows, ek)
+	for _, ix := range r.indexes {
+		ix.remove(t, ek)
+	}
+	return t, nil
+}
+
+// Replace substitutes the tuple identified by oldKey with newTuple, which
+// may carry a different primary key (a key replacement). It fails with
+// ErrNoSuchTuple if oldKey is absent and with ErrDuplicateKey if the new
+// key collides with a different existing tuple.
+func (r *Relation) Replace(oldKey Tuple, newTuple Tuple) error {
+	if err := r.schema.CheckTuple(newTuple); err != nil {
+		return err
+	}
+	oldEK, err := r.schema.EncodeKey(oldKey)
+	if err != nil {
+		return err
+	}
+	old, ok := r.rows[oldEK]
+	if !ok {
+		return fmt.Errorf("reldb: %s: replace %s: %w", r.Name(), oldKey, ErrNoSuchTuple)
+	}
+	newEK := r.schema.EncodeKeyOf(newTuple)
+	if newEK != oldEK {
+		if _, clash := r.rows[newEK]; clash {
+			return fmt.Errorf("reldb: %s: replace %s -> %s: %w",
+				r.Name(), oldKey, r.schema.KeyOf(newTuple), ErrDuplicateKey)
+		}
+	}
+	delete(r.rows, oldEK)
+	nt := newTuple.Clone()
+	r.rows[newEK] = nt
+	for _, ix := range r.indexes {
+		ix.remove(old, oldEK)
+		ix.add(nt, newEK)
+	}
+	return nil
+}
+
+// Scan calls fn for every tuple in primary-key order. If fn returns false
+// the scan stops early. The tuple passed to fn must not be mutated.
+func (r *Relation) Scan(fn func(Tuple) bool) {
+	eks := make([]string, 0, len(r.rows))
+	for ek := range r.rows {
+		eks = append(eks, ek)
+	}
+	sort.Strings(eks)
+	for _, ek := range eks {
+		if !fn(r.rows[ek]) {
+			return
+		}
+	}
+}
+
+// All returns every tuple in primary-key order, as copies.
+func (r *Relation) All() []Tuple {
+	out := make([]Tuple, 0, len(r.rows))
+	r.Scan(func(t Tuple) bool {
+		out = append(out, t.Clone())
+		return true
+	})
+	return out
+}
+
+// Select returns all tuples satisfying the predicate, in key order.
+// A nil predicate selects everything.
+func (r *Relation) Select(pred Expr) ([]Tuple, error) {
+	var out []Tuple
+	var evalErr error
+	r.Scan(func(t Tuple) bool {
+		if pred != nil {
+			ok, err := EvalBool(pred, Row{Schema: r.schema, Tuple: t})
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if !ok {
+				return true
+			}
+		}
+		out = append(out, t.Clone())
+		return true
+	})
+	return out, evalErr
+}
+
+// CreateIndex registers a secondary hash index over the named attributes
+// and backfills it. Index names are unique per relation.
+func (r *Relation) CreateIndex(name string, attrNames []string) error {
+	if _, dup := r.indexes[name]; dup {
+		return fmt.Errorf("reldb: %s: index %s already exists", r.Name(), name)
+	}
+	idx, err := r.schema.Indices(attrNames)
+	if err != nil {
+		return err
+	}
+	ix := &secondaryIndex{
+		name:    name,
+		attrs:   idx,
+		buckets: make(map[string]map[string]struct{}),
+	}
+	for ek, t := range r.rows {
+		ix.add(t, ek)
+	}
+	r.indexes[name] = ix
+	return nil
+}
+
+// DropIndex removes a secondary index.
+func (r *Relation) DropIndex(name string) error {
+	if _, ok := r.indexes[name]; !ok {
+		return fmt.Errorf("reldb: %s: index %s: %w", r.Name(), name, ErrNoSuchIndex)
+	}
+	delete(r.indexes, name)
+	return nil
+}
+
+// IndexNames returns the names of the relation's secondary indexes, sorted.
+func (r *Relation) IndexNames() []string {
+	names := make([]string, 0, len(r.indexes))
+	for n := range r.indexes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LookupIndex returns the tuples whose indexed attributes equal vals, in
+// primary-key order. It fails with ErrNoSuchIndex for unknown indexes.
+func (r *Relation) LookupIndex(name string, vals Tuple) ([]Tuple, error) {
+	ix, ok := r.indexes[name]
+	if !ok {
+		return nil, fmt.Errorf("reldb: %s: index %s: %w", r.Name(), name, ErrNoSuchIndex)
+	}
+	if len(vals) != len(ix.attrs) {
+		return nil, fmt.Errorf("reldb: %s: index %s wants %d values, got %d",
+			r.Name(), name, len(ix.attrs), len(vals))
+	}
+	bucket := ix.buckets[EncodeValues(vals...)]
+	eks := make([]string, 0, len(bucket))
+	for ek := range bucket {
+		eks = append(eks, ek)
+	}
+	sort.Strings(eks)
+	out := make([]Tuple, len(eks))
+	for i, ek := range eks {
+		out[i] = r.rows[ek].Clone()
+	}
+	return out, nil
+}
+
+// MatchEqual returns the tuples whose attributes attrNames equal vals,
+// using a secondary index over exactly those attributes if one exists and
+// falling back to a scan otherwise. Results are in primary-key order.
+func (r *Relation) MatchEqual(attrNames []string, vals Tuple) ([]Tuple, error) {
+	idx, err := r.schema.Indices(attrNames)
+	if err != nil {
+		return nil, err
+	}
+	if len(vals) != len(idx) {
+		return nil, fmt.Errorf("reldb: %s: MatchEqual wants %d values, got %d",
+			r.Name(), len(idx), len(vals))
+	}
+	// Equality on exactly the primary-key attributes is a point lookup.
+	if sameIntSet(idx, r.schema.key) {
+		key := make(Tuple, len(r.schema.key))
+		for i, k := range r.schema.key {
+			for j, a := range idx {
+				if a == k {
+					key[i] = vals[j]
+					break
+				}
+			}
+		}
+		if t, ok := r.Get(key); ok {
+			return []Tuple{t}, nil
+		}
+		return nil, nil
+	}
+	for name, ix := range r.indexes {
+		if equalIntSlices(ix.attrs, idx) {
+			return r.LookupIndex(name, vals)
+		}
+	}
+	var out []Tuple
+	r.Scan(func(t Tuple) bool {
+		for i, j := range idx {
+			if !t[j].Equal(vals[i]) {
+				return true
+			}
+		}
+		out = append(out, t.Clone())
+		return true
+	})
+	return out, nil
+}
+
+// sameIntSet reports whether a and b hold the same elements (both are
+// duplicate-free attribute index lists).
+func sameIntSet(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for _, x := range a {
+		found := false
+		for _, y := range b {
+			if x == y {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func equalIntSlices(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (ix *secondaryIndex) keyFor(t Tuple) string {
+	vals := make(Tuple, len(ix.attrs))
+	for i, j := range ix.attrs {
+		vals[i] = t[j]
+	}
+	return EncodeValues(vals...)
+}
+
+func (ix *secondaryIndex) add(t Tuple, ek string) {
+	k := ix.keyFor(t)
+	b, ok := ix.buckets[k]
+	if !ok {
+		b = make(map[string]struct{})
+		ix.buckets[k] = b
+	}
+	b[ek] = struct{}{}
+}
+
+func (ix *secondaryIndex) remove(t Tuple, ek string) {
+	k := ix.keyFor(t)
+	if b, ok := ix.buckets[k]; ok {
+		delete(b, ek)
+		if len(b) == 0 {
+			delete(ix.buckets, k)
+		}
+	}
+}
+
+// clone deep-copies the relation (used by Database.Clone for what-if
+// translation planning and tests).
+func (r *Relation) clone() *Relation {
+	c := NewRelation(r.schema)
+	for ek, t := range r.rows {
+		c.rows[ek] = t.Clone()
+	}
+	for name, ix := range r.indexes {
+		c.indexes[name] = &secondaryIndex{
+			name:    ix.name,
+			attrs:   append([]int(nil), ix.attrs...),
+			buckets: make(map[string]map[string]struct{}, len(ix.buckets)),
+		}
+		for k, b := range ix.buckets {
+			nb := make(map[string]struct{}, len(b))
+			for ek := range b {
+				nb[ek] = struct{}{}
+			}
+			c.indexes[name].buckets[k] = nb
+		}
+	}
+	return c
+}

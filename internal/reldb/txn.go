@@ -1,0 +1,159 @@
+package reldb
+
+import (
+	"fmt"
+)
+
+// Tx is a write transaction over a Database. It holds the database's write
+// lock from Begin until Commit or Rollback and records an undo log so that
+// Rollback restores the exact pre-transaction state. The update-translation
+// algorithms execute each view-object update inside one transaction: if any
+// step of a translation is rejected, the whole view-object update rolls
+// back, as §5.1 of the paper requires ("the transaction cannot be completed
+// and has to be rolled back").
+type Tx struct {
+	db   *Database
+	undo []undoEntry
+	done bool
+}
+
+type undoOp uint8
+
+const (
+	undoInsert  undoOp = iota // compensates an insert: delete newKey
+	undoDelete                // compensates a delete: re-insert before
+	undoReplace               // compensates a replace: replace back
+)
+
+type undoEntry struct {
+	op     undoOp
+	rel    *Relation
+	before Tuple // deleted or replaced tuple (pre-image)
+	after  Tuple // inserted or replacing tuple (post-image)
+}
+
+// Begin starts a transaction, acquiring the database write lock.
+func (db *Database) Begin() *Tx {
+	db.mu.Lock()
+	return &Tx{db: db}
+}
+
+// Relation returns the named relation for use inside the transaction.
+func (tx *Tx) Relation(name string) (*Relation, error) {
+	r, ok := tx.db.relations[name]
+	if !ok {
+		return nil, fmt.Errorf("reldb: relation %s: %w", name, ErrNoSuchRelation)
+	}
+	return r, nil
+}
+
+// Insert adds a tuple to the named relation, logging the undo action.
+func (tx *Tx) Insert(relName string, t Tuple) error {
+	if tx.done {
+		return ErrTxDone
+	}
+	r, err := tx.Relation(relName)
+	if err != nil {
+		return err
+	}
+	if err := r.Insert(t); err != nil {
+		return err
+	}
+	tx.undo = append(tx.undo, undoEntry{op: undoInsert, rel: r, after: t.Clone()})
+	return nil
+}
+
+// Delete removes the tuple with the given key from the named relation,
+// logging the undo action, and returns the deleted tuple.
+func (tx *Tx) Delete(relName string, key Tuple) (Tuple, error) {
+	if tx.done {
+		return nil, ErrTxDone
+	}
+	r, err := tx.Relation(relName)
+	if err != nil {
+		return nil, err
+	}
+	old, err := r.Delete(key)
+	if err != nil {
+		return nil, err
+	}
+	tx.undo = append(tx.undo, undoEntry{op: undoDelete, rel: r, before: old})
+	return old, nil
+}
+
+// Replace substitutes the tuple at oldKey with newTuple (possibly changing
+// the key), logging the undo action, and returns the replaced tuple.
+func (tx *Tx) Replace(relName string, oldKey Tuple, newTuple Tuple) (Tuple, error) {
+	if tx.done {
+		return nil, ErrTxDone
+	}
+	r, err := tx.Relation(relName)
+	if err != nil {
+		return nil, err
+	}
+	old, ok := r.Get(oldKey)
+	if !ok {
+		return nil, fmt.Errorf("reldb: %s: replace %s: %w", relName, oldKey, ErrNoSuchTuple)
+	}
+	if err := r.Replace(oldKey, newTuple); err != nil {
+		return nil, err
+	}
+	tx.undo = append(tx.undo, undoEntry{
+		op: undoReplace, rel: r, before: old, after: newTuple.Clone(),
+	})
+	return old, nil
+}
+
+// OpCount returns the number of logged operations so far.
+func (tx *Tx) OpCount() int { return len(tx.undo) }
+
+// Commit makes the transaction's effects permanent and releases the lock.
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	tx.done = true
+	tx.undo = nil
+	tx.db.mu.Unlock()
+	return nil
+}
+
+// Rollback undoes every logged operation in reverse order and releases the
+// lock. Rolling back a finished transaction is a no-op returning ErrTxDone.
+func (tx *Tx) Rollback() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		e := tx.undo[i]
+		switch e.op {
+		case undoInsert:
+			if _, err := e.rel.Delete(e.rel.schema.KeyOf(e.after)); err != nil {
+				panic(fmt.Sprintf("reldb: rollback failed undoing insert: %v", err))
+			}
+		case undoDelete:
+			if err := e.rel.Insert(e.before); err != nil {
+				panic(fmt.Sprintf("reldb: rollback failed undoing delete: %v", err))
+			}
+		case undoReplace:
+			if err := e.rel.Replace(e.rel.schema.KeyOf(e.after), e.before); err != nil {
+				panic(fmt.Sprintf("reldb: rollback failed undoing replace: %v", err))
+			}
+		}
+	}
+	tx.done = true
+	tx.undo = nil
+	tx.db.mu.Unlock()
+	return nil
+}
+
+// RunInTx executes fn inside a transaction, committing if fn returns nil
+// and rolling back otherwise. It returns fn's error.
+func (db *Database) RunInTx(fn func(*Tx) error) error {
+	tx := db.Begin()
+	if err := fn(tx); err != nil {
+		_ = tx.Rollback()
+		return err
+	}
+	return tx.Commit()
+}

@@ -1,0 +1,397 @@
+package rql
+
+import (
+	"fmt"
+	"strings"
+
+	"penguin/internal/reldb"
+)
+
+// Outcome is the result of executing one statement: a result set for
+// queries, an affected-row count for mutations and DDL.
+type Outcome struct {
+	// Rows is non-nil for SELECT statements.
+	Rows *reldb.ResultSet
+	// Affected counts tuples inserted, updated, or deleted.
+	Affected int
+	// Message describes DDL effects.
+	Message string
+}
+
+// Exec parses and executes one RQL statement against db.
+func Exec(db *reldb.Database, src string) (*Outcome, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Run(db, stmt)
+}
+
+// Run executes a parsed statement against db.
+func Run(db *reldb.Database, stmt Stmt) (*Outcome, error) {
+	switch st := stmt.(type) {
+	case *CreateTableStmt:
+		return runCreate(db, st)
+	case *DropTableStmt:
+		if err := db.DropRelation(st.Name); err != nil {
+			return nil, err
+		}
+		return &Outcome{Message: "dropped " + st.Name}, nil
+	case *InsertStmt:
+		return runInsert(db, st)
+	case *SelectStmt:
+		return runSelect(db, st)
+	case *UpdateStmt:
+		return runUpdate(db, st)
+	case *DeleteStmt:
+		return runDelete(db, st)
+	default:
+		return nil, fmt.Errorf("rql: unknown statement type %T", stmt)
+	}
+}
+
+func runCreate(db *reldb.Database, st *CreateTableStmt) (*Outcome, error) {
+	attrs := make([]reldb.Attribute, len(st.Cols))
+	for i, c := range st.Cols {
+		attrs[i] = reldb.Attribute{Name: c.Name, Type: c.Type, Nullable: c.Nullable}
+	}
+	schema, err := reldb.NewSchema(st.Name, attrs, st.Key)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := db.CreateRelation(schema); err != nil {
+		return nil, err
+	}
+	return &Outcome{Message: "created " + st.Name}, nil
+}
+
+func runInsert(db *reldb.Database, st *InsertStmt) (*Outcome, error) {
+	rel, err := db.Relation(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := rel.Schema()
+	var colIdx []int
+	if len(st.Cols) > 0 {
+		colIdx, err = schema.Indices(st.Cols)
+		if err != nil {
+			return nil, err
+		}
+	}
+	n := 0
+	err = db.RunInTx(func(tx *reldb.Tx) error {
+		for _, row := range st.Rows {
+			var tuple reldb.Tuple
+			if colIdx == nil {
+				if len(row) != schema.Arity() {
+					return fmt.Errorf("rql: insert into %s: %d values, want %d",
+						st.Table, len(row), schema.Arity())
+				}
+				tuple = make(reldb.Tuple, len(row))
+				for i, e := range row {
+					v, err := constEval(e)
+					if err != nil {
+						return err
+					}
+					tuple[i] = v
+				}
+			} else {
+				if len(row) != len(colIdx) {
+					return fmt.Errorf("rql: insert into %s: %d values, want %d",
+						st.Table, len(row), len(colIdx))
+				}
+				tuple = make(reldb.Tuple, schema.Arity())
+				for i, e := range row {
+					v, err := constEval(e)
+					if err != nil {
+						return err
+					}
+					tuple[colIdx[i]] = v
+				}
+			}
+			if err := tx.Insert(st.Table, tuple); err != nil {
+				return err
+			}
+			n++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{Affected: n}, nil
+}
+
+// constEval evaluates an expression with no row context (literals and
+// arithmetic over them).
+func constEval(e reldb.Expr) (reldb.Value, error) {
+	return e.Eval(reldb.Row{Schema: emptySchema, Tuple: nil})
+}
+
+var emptySchema = reldb.MustSchema("~empty", []reldb.Attribute{
+	{Name: "~", Type: reldb.KindBool, Nullable: true},
+}, []string{"~"})
+
+func runSelect(db *reldb.Database, st *SelectStmt) (*Outcome, error) {
+	from, err := db.Relation(st.From)
+	if err != nil {
+		return nil, err
+	}
+	var p reldb.Plan = reldb.ScanPlan{Rel: from}
+	if len(st.Joins) > 0 {
+		p = reldb.QualifyPlan{Input: p, Prefix: st.From}
+		for _, j := range st.Joins {
+			rel, err := db.Relation(j.Table)
+			if err != nil {
+				return nil, err
+			}
+			right := make([]string, len(j.OnRight))
+			for i, a := range j.OnRight {
+				if strings.Contains(a, ".") {
+					right[i] = a
+				} else {
+					right[i] = j.Table + "." + a
+				}
+			}
+			left := make([]string, len(j.OnLeft))
+			for i, a := range j.OnLeft {
+				if strings.Contains(a, ".") {
+					left[i] = a
+				} else {
+					left[i] = st.From + "." + a
+				}
+			}
+			p = reldb.JoinPlan{
+				Left:       p,
+				Right:      reldb.QualifyPlan{Input: reldb.ScanPlan{Rel: rel}, Prefix: j.Table},
+				LeftAttrs:  left,
+				RightAttrs: right,
+				Outer:      j.Outer,
+			}
+		}
+	}
+	if st.Where != nil {
+		p = reldb.SelectPlan{Input: p, Pred: st.Where}
+	}
+
+	// Aggregates and grouping.
+	hasAgg := false
+	for _, item := range st.Items {
+		if item.Agg != "" {
+			hasAgg = true
+			break
+		}
+	}
+	if hasAgg || len(st.GroupBy) > 0 {
+		var aggs []reldb.AggSpec
+		var outNames []string
+		for _, item := range st.Items {
+			if item.Star {
+				return nil, fmt.Errorf("rql: * cannot be combined with aggregates")
+			}
+			if item.Agg == "" {
+				// Must be a group-by column.
+				name := item.Expr.String()
+				found := false
+				for _, g := range st.GroupBy {
+					if g == name {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return nil, fmt.Errorf("rql: column %s must appear in GROUP BY", name)
+				}
+				outNames = append(outNames, name)
+				continue
+			}
+			spec := reldb.AggSpec{As: item.As}
+			switch item.Agg {
+			case "COUNT":
+				spec.Func = reldb.AggCount
+			case "SUM":
+				spec.Func = reldb.AggSum
+			case "MIN":
+				spec.Func = reldb.AggMin
+			case "MAX":
+				spec.Func = reldb.AggMax
+			case "AVG":
+				spec.Func = reldb.AggAvg
+			}
+			if item.Expr != nil {
+				spec.Attr = item.Expr.String()
+			}
+			aggs = append(aggs, spec)
+		}
+		_ = outNames
+		p = reldb.AggregatePlan{Input: p, GroupBy: st.GroupBy, Aggs: aggs}
+	} else if !st.Items[0].Star {
+		names := make([]string, len(st.Items))
+		for i, item := range st.Items {
+			names[i] = item.Expr.String()
+		}
+		p = reldb.ProjectPlan{Input: p, Names: names}
+	}
+	if st.Distinct {
+		p = reldb.DistinctPlan{Input: p}
+	}
+	if len(st.OrderBy) > 0 {
+		p = reldb.SortPlan{Input: p, By: st.OrderBy, Desc: st.Desc}
+	}
+	if st.Limit >= 0 {
+		p = reldb.LimitPlan{Input: p, N: st.Limit}
+	}
+	rs, err := p.Run()
+	if err != nil {
+		return nil, err
+	}
+	// Column aliases for plain projections.
+	if !hasAgg && len(st.GroupBy) == 0 {
+		rs = applyAliases(rs, st.Items)
+	}
+	return &Outcome{Rows: rs}, nil
+}
+
+// applyAliases renames projected columns per AS clauses.
+func applyAliases(rs *reldb.ResultSet, items []SelectItem) *reldb.ResultSet {
+	renames := make(map[string]string)
+	for _, item := range items {
+		if item.As != "" && item.Expr != nil {
+			renames[item.Expr.String()] = item.As
+		}
+	}
+	if len(renames) == 0 {
+		return rs
+	}
+	attrs := rs.Schema.Attrs()
+	changed := false
+	for i := range attrs {
+		if as, ok := renames[attrs[i].Name]; ok {
+			attrs[i].Name = as
+			changed = true
+		}
+	}
+	if !changed {
+		return rs
+	}
+	keyNames := make([]string, 0)
+	for _, k := range rs.Schema.Key() {
+		keyNames = append(keyNames, attrs[k].Name)
+	}
+	schema, err := reldb.NewSchema(rs.Schema.Name(), attrs, keyNames)
+	if err != nil {
+		return rs
+	}
+	return &reldb.ResultSet{Schema: schema, Rows: rs.Rows}
+}
+
+func runUpdate(db *reldb.Database, st *UpdateStmt) (*Outcome, error) {
+	rel, err := db.Relation(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := rel.Schema()
+	setIdx := make(map[int]reldb.Expr, len(st.Set))
+	for col, e := range st.Set {
+		i, ok := schema.AttrIndex(col)
+		if !ok {
+			return nil, fmt.Errorf("rql: %s has no column %s", st.Table, col)
+		}
+		setIdx[i] = e
+	}
+	matches, err := rel.Select(st.Where)
+	if err != nil {
+		return nil, err
+	}
+	n := 0
+	err = db.RunInTx(func(tx *reldb.Tx) error {
+		for _, t := range matches {
+			nt := t.Clone()
+			row := reldb.Row{Schema: schema, Tuple: t}
+			for i, e := range setIdx {
+				v, err := e.Eval(row)
+				if err != nil {
+					return err
+				}
+				nt[i] = v
+			}
+			if _, err := tx.Replace(st.Table, schema.KeyOf(t), nt); err != nil {
+				return err
+			}
+			n++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{Affected: n}, nil
+}
+
+func runDelete(db *reldb.Database, st *DeleteStmt) (*Outcome, error) {
+	rel, err := db.Relation(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := rel.Schema()
+	matches, err := rel.Select(st.Where)
+	if err != nil {
+		return nil, err
+	}
+	n := 0
+	err = db.RunInTx(func(tx *reldb.Tx) error {
+		for _, t := range matches {
+			if _, err := tx.Delete(st.Table, schema.KeyOf(t)); err != nil {
+				return err
+			}
+			n++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{Affected: n}, nil
+}
+
+// FormatResult renders a result set as an aligned text table for the REPL.
+func FormatResult(rs *reldb.ResultSet) string {
+	names := rs.Schema.AttrNames()
+	widths := make([]int, len(names))
+	for i, n := range names {
+		widths[i] = len(n)
+	}
+	cells := make([][]string, rs.Len())
+	for r := 0; r < rs.Len(); r++ {
+		row := make([]string, len(names))
+		for c := range names {
+			row[c] = rs.Rows[r][c].String()
+			if len(row[c]) > widths[c] {
+				widths[c] = len(row[c])
+			}
+		}
+		cells[r] = row
+	}
+	var b strings.Builder
+	writeRow := func(vals []string) {
+		for c, v := range vals {
+			if c > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(v)
+			b.WriteString(strings.Repeat(" ", widths[c]-len(v)))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(names)
+	sep := make([]string, len(names))
+	for c := range sep {
+		sep[c] = strings.Repeat("-", widths[c])
+	}
+	writeRow(sep)
+	for _, row := range cells {
+		writeRow(row)
+	}
+	fmt.Fprintf(&b, "(%d rows)\n", rs.Len())
+	return b.String()
+}

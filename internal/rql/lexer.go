@@ -1,0 +1,207 @@
+// Package rql implements RQL, a small SQL-like relational query language
+// over the reldb engine: CREATE TABLE / DROP TABLE / INSERT / SELECT
+// (with joins, grouping, and aggregates) / UPDATE / DELETE. The PENGUIN
+// REPL uses it for direct relational access alongside the object-level
+// operations, and the object query language reuses its expression
+// grammar.
+package rql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords are upper-cased, symbols verbatim
+	pos  int    // byte offset in the input
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return fmt.Sprintf("string %q", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// keywords recognized by the grammar (case-insensitive in input).
+var keywords = map[string]bool{
+	"CREATE": true, "TABLE": true, "DROP": true, "KEY": true,
+	"INSERT": true, "INTO": true, "VALUES": true,
+	"SELECT": true, "FROM": true, "WHERE": true, "JOIN": true, "ON": true,
+	"LEFT": true, "OUTER": true, "ORDER": true, "BY": true, "DESC": true,
+	"ASC": true, "LIMIT": true, "DISTINCT": true, "GROUP": true,
+	"UPDATE": true, "SET": true, "DELETE": true,
+	"AND": true, "OR": true, "NOT": true, "IN": true, "IS": true,
+	"NULL": true, "LIKE": true, "TRUE": true, "FALSE": true, "AS": true,
+	"COUNT": true, "SUM": true, "MIN": true, "MAX": true, "AVG": true,
+}
+
+// lexer scans an RQL statement into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes src, returning a parse error with position on bad input.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			l.lexWord(start)
+		case c >= '0' && c <= '9':
+			l.lexNumber(start)
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+			l.pos++
+			l.lexNumber(start)
+		case c == '\'' || c == '"':
+			if err := l.lexString(start, c); err != nil {
+				return nil, err
+			}
+		default:
+			if err := l.lexSymbol(start); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		// Line comments: -- to end of line.
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (l *lexer) lexWord(start int) {
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	word := l.src[start:l.pos]
+	upper := strings.ToUpper(word)
+	if keywords[upper] {
+		l.toks = append(l.toks, token{kind: tokKeyword, text: upper, pos: start})
+		return
+	}
+	l.toks = append(l.toks, token{kind: tokIdent, text: word, pos: start})
+}
+
+func (l *lexer) lexNumber(start int) {
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c >= '0' && c <= '9' {
+			l.pos++
+			continue
+		}
+		if c == '.' && !seenDot {
+			seenDot = true
+			l.pos++
+			continue
+		}
+		break
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexString(start int, quote byte) error {
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\\' && l.pos+1 < len(l.src) {
+			next := l.src[l.pos+1]
+			switch next {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '\\', '\'', '"':
+				b.WriteByte(next)
+			default:
+				b.WriteByte(next)
+			}
+			l.pos += 2
+			continue
+		}
+		if c == quote {
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: b.String(), pos: start})
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("rql: unterminated string at offset %d", start)
+}
+
+func (l *lexer) lexSymbol(start int) error {
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "!=", "<>", "<=", ">=":
+		text := two
+		if text == "<>" {
+			text = "!="
+		}
+		l.toks = append(l.toks, token{kind: tokSymbol, text: text, pos: start})
+		l.pos += 2
+		return nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(', ')', ',', ';', '*', '=', '<', '>', '+', '-', '/':
+		l.toks = append(l.toks, token{kind: tokSymbol, text: string(c), pos: start})
+		l.pos++
+		return nil
+	default:
+		return fmt.Errorf("rql: unexpected character %q at offset %d", c, start)
+	}
+}

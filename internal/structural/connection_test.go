@@ -1,0 +1,184 @@
+package structural
+
+import (
+	"strings"
+	"testing"
+
+	"penguin/internal/reldb"
+)
+
+// miniDB builds a compact schema exercising all three connection types:
+//
+//	OWNER(ID*) —* OWNED(ID*, Seq*, V)
+//	REFER(ID*, FK→TARGET) , TARGET(K*)
+//	GENERAL(K*) —⊃ SPECIAL(K*, Extra)
+func miniDB(t *testing.T) *reldb.Database {
+	t.Helper()
+	db := reldb.NewDatabase()
+	db.MustCreateRelation(reldb.MustSchema("OWNER", []reldb.Attribute{
+		{Name: "ID", Type: reldb.KindInt},
+		{Name: "Note", Type: reldb.KindString, Nullable: true},
+	}, []string{"ID"}))
+	db.MustCreateRelation(reldb.MustSchema("OWNED", []reldb.Attribute{
+		{Name: "ID", Type: reldb.KindInt},
+		{Name: "Seq", Type: reldb.KindInt},
+		{Name: "V", Type: reldb.KindString, Nullable: true},
+	}, []string{"ID", "Seq"}))
+	db.MustCreateRelation(reldb.MustSchema("TARGET", []reldb.Attribute{
+		{Name: "K", Type: reldb.KindString},
+		{Name: "Info", Type: reldb.KindString, Nullable: true},
+	}, []string{"K"}))
+	db.MustCreateRelation(reldb.MustSchema("REFER", []reldb.Attribute{
+		{Name: "ID", Type: reldb.KindInt},
+		{Name: "FK", Type: reldb.KindString, Nullable: true},
+	}, []string{"ID"}))
+	db.MustCreateRelation(reldb.MustSchema("GENERAL", []reldb.Attribute{
+		{Name: "K", Type: reldb.KindString},
+		{Name: "Common", Type: reldb.KindString, Nullable: true},
+	}, []string{"K"}))
+	db.MustCreateRelation(reldb.MustSchema("SPECIAL", []reldb.Attribute{
+		{Name: "K", Type: reldb.KindString},
+		{Name: "Extra", Type: reldb.KindString, Nullable: true},
+	}, []string{"K"}))
+	return db
+}
+
+func ownershipConn() *Connection {
+	return &Connection{
+		Name: "own", Type: Ownership,
+		From: "OWNER", To: "OWNED",
+		FromAttrs: []string{"ID"}, ToAttrs: []string{"ID"},
+	}
+}
+
+func referenceConn() *Connection {
+	return &Connection{
+		Name: "ref", Type: Reference,
+		From: "REFER", To: "TARGET",
+		FromAttrs: []string{"FK"}, ToAttrs: []string{"K"},
+	}
+}
+
+func subsetConn() *Connection {
+	return &Connection{
+		Name: "sub", Type: Subset,
+		From: "GENERAL", To: "SPECIAL",
+		FromAttrs: []string{"K"}, ToAttrs: []string{"K"},
+	}
+}
+
+func TestValidConnections(t *testing.T) {
+	db := miniDB(t)
+	for _, c := range []*Connection{ownershipConn(), referenceConn(), subsetConn()} {
+		if err := c.Validate(db); err != nil {
+			t.Errorf("valid connection %s rejected: %v", c, err)
+		}
+	}
+}
+
+func TestConnectionValidationErrors(t *testing.T) {
+	db := miniDB(t)
+	cases := []struct {
+		name string
+		c    *Connection
+		want string
+	}{
+		{"missing from", &Connection{Type: Reference, From: "NOPE", To: "TARGET",
+			FromAttrs: []string{"X"}, ToAttrs: []string{"K"}}, "no such relation"},
+		{"missing to", &Connection{Type: Reference, From: "REFER", To: "NOPE",
+			FromAttrs: []string{"FK"}, ToAttrs: []string{"K"}}, "no such relation"},
+		{"empty attrs", &Connection{Type: Reference, From: "REFER", To: "TARGET"}, "empty attribute"},
+		{"arity mismatch", &Connection{Type: Reference, From: "REFER", To: "TARGET",
+			FromAttrs: []string{"FK"}, ToAttrs: []string{"K", "Info"}}, "attributes"},
+		{"unknown from attr", &Connection{Type: Reference, From: "REFER", To: "TARGET",
+			FromAttrs: []string{"ZZ"}, ToAttrs: []string{"K"}}, "no attribute"},
+		{"unknown to attr", &Connection{Type: Reference, From: "REFER", To: "TARGET",
+			FromAttrs: []string{"FK"}, ToAttrs: []string{"ZZ"}}, "no attribute"},
+		{"domain mismatch", &Connection{Type: Reference, From: "REFER", To: "TARGET",
+			FromAttrs: []string{"ID"}, ToAttrs: []string{"K"}}, "domains"},
+		// Ownership: X1 must be the whole key of From.
+		{"ownership X1 not key", &Connection{Type: Ownership, From: "OWNER", To: "OWNED",
+			FromAttrs: []string{"Note"}, ToAttrs: []string{"V"}}, "X1 must equal"},
+		// Ownership: X2 must be a proper subset of K(To).
+		{"ownership X2 whole key", &Connection{Type: Ownership, From: "TARGET", To: "SPECIAL",
+			FromAttrs: []string{"K"}, ToAttrs: []string{"K"}}, "proper subset"},
+		{"ownership X2 nonkey", &Connection{Type: Ownership, From: "TARGET", To: "SPECIAL",
+			FromAttrs: []string{"K"}, ToAttrs: []string{"Extra"}}, "proper subset"},
+		// Reference: X2 must be the whole key of To.
+		{"reference X2 not key", &Connection{Type: Reference, From: "REFER", To: "OWNED",
+			FromAttrs: []string{"ID"}, ToAttrs: []string{"ID"}}, "X2 must equal"},
+		// Subset: both sides must be whole keys.
+		{"subset X2 partial", &Connection{Type: Subset, From: "OWNER", To: "OWNED",
+			FromAttrs: []string{"ID"}, ToAttrs: []string{"ID"}}, "X2 must equal"},
+		{"subset X1 nonkey", &Connection{Type: Subset, From: "GENERAL", To: "SPECIAL",
+			FromAttrs: []string{"Common"}, ToAttrs: []string{"K"}}, "X1 must equal"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.c.Validate(db)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err = %v, want containing %q", err, c.want)
+			}
+		})
+	}
+}
+
+// A reference whose X1 spans key and non-key attributes is invalid
+// (Definition 2.3: X1 ⊆ K(R1) or X1 ⊆ NK(R1), not both).
+func TestReferenceMixedX1Rejected(t *testing.T) {
+	db := reldb.NewDatabase()
+	db.MustCreateRelation(reldb.MustSchema("T2", []reldb.Attribute{
+		{Name: "A", Type: reldb.KindInt},
+		{Name: "B", Type: reldb.KindInt},
+	}, []string{"A", "B"}))
+	db.MustCreateRelation(reldb.MustSchema("F2", []reldb.Attribute{
+		{Name: "A", Type: reldb.KindInt},
+		{Name: "B", Type: reldb.KindInt, Nullable: true},
+	}, []string{"A"}))
+	c := &Connection{Type: Reference, From: "F2", To: "T2",
+		FromAttrs: []string{"A", "B"}, ToAttrs: []string{"A", "B"}}
+	err := c.Validate(db)
+	if err == nil || !strings.Contains(err.Error(), "entirely within") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// A reference from within the key (X1 ⊆ K(R1)) is valid — CURRICULUM→COURSES
+// is exactly this shape.
+func TestReferenceFromKeyAttrsValid(t *testing.T) {
+	db := reldb.NewDatabase()
+	db.MustCreateRelation(reldb.MustSchema("C", []reldb.Attribute{
+		{Name: "ID", Type: reldb.KindString},
+	}, []string{"ID"}))
+	db.MustCreateRelation(reldb.MustSchema("CU", []reldb.Attribute{
+		{Name: "Deg", Type: reldb.KindString},
+		{Name: "ID", Type: reldb.KindString},
+	}, []string{"Deg", "ID"}))
+	c := &Connection{Type: Reference, From: "CU", To: "C",
+		FromAttrs: []string{"ID"}, ToAttrs: []string{"ID"}}
+	if err := c.Validate(db); err != nil {
+		t.Fatalf("key-subset reference rejected: %v", err)
+	}
+}
+
+func TestConnTypeStrings(t *testing.T) {
+	if Ownership.String() != "ownership" || Reference.String() != "reference" || Subset.String() != "subset" {
+		t.Fatal("ConnType.String wrong")
+	}
+	if Ownership.Symbol() != "--*" || Reference.Symbol() != "-->" || Subset.Symbol() != "--)" {
+		t.Fatal("ConnType.Symbol wrong")
+	}
+	if Ownership.Cardinality() != "1:n" || Reference.Cardinality() != "n:1" || Subset.Cardinality() != "1:[0,1]" {
+		t.Fatal("ConnType.Cardinality wrong")
+	}
+	if !strings.Contains(ConnType(9).String(), "conntype") {
+		t.Fatal("unknown ConnType.String")
+	}
+}
+
+func TestConnectionString(t *testing.T) {
+	got := ownershipConn().String()
+	if got != "OWNER(ID) --* OWNED(ID)" {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,49 @@
+package university
+
+import (
+	"fmt"
+
+	"penguin/internal/reldb"
+	"penguin/internal/viewobject"
+	"penguin/internal/vupdate"
+)
+
+// UpdateCycle generates a repeatable view-object update workload for the
+// amortization experiment: each Run inserts a fresh course instance with
+// one grade and immediately deletes it, leaving the database unchanged.
+type UpdateCycle struct {
+	def *viewobject.Definition
+}
+
+// NewUpdateCycle creates a cycle over ω (or any COURSES-pivot object).
+func NewUpdateCycle(def *viewobject.Definition) *UpdateCycle {
+	return &UpdateCycle{def: def}
+}
+
+// Run executes one insert+delete round with identifiers derived from i.
+func (c *UpdateCycle) Run(u *vupdate.Updater, i int) error {
+	id := fmt.Sprintf("CYCLE%07d", i)
+	inst, err := viewobject.NewInstance(c.def, reldb.Tuple{
+		reldb.String(id), reldb.String("Cycle"), reldb.String("Dept000"),
+		reldb.Int(3), reldb.String("graduate"),
+	})
+	if err != nil {
+		return err
+	}
+	gr, err := inst.Root().AddChild(c.def, Grades, reldb.Tuple{
+		reldb.String(id), reldb.Int(1), reldb.String("Aut90"), reldb.String("A"),
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := gr.AddChild(c.def, Student, reldb.Tuple{
+		reldb.Int(1), reldb.String("BS"), reldb.Int(1),
+	}); err != nil {
+		return err
+	}
+	if _, err := u.InsertInstance(inst); err != nil {
+		return err
+	}
+	_, err = u.DeleteByKey(reldb.Tuple{reldb.String(id)})
+	return err
+}

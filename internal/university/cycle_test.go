@@ -1,0 +1,49 @@
+package university
+
+import (
+	"testing"
+
+	"penguin/internal/reldb"
+	"penguin/internal/vupdate"
+)
+
+func TestUpdateCycleLeavesDatabaseUnchanged(t *testing.T) {
+	db, g := New()
+	if err := SeedScaled(db, ScaleSpec{
+		Departments: 1, StudentsPerDept: 4, CoursesPerDept: 1, GradesPerCourse: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	om := MustOmega(g)
+	u := vupdate.NewUpdater(vupdate.PermissiveTranslator(om))
+	cycle := NewUpdateCycle(om)
+
+	before := db.TotalRows()
+	for i := 0; i < 5; i++ {
+		if err := cycle.Run(u, i); err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+	}
+	if db.TotalRows() != before {
+		t.Fatalf("rows %d -> %d; the cycle must be neutral", before, db.TotalRows())
+	}
+}
+
+func TestUpdateCyclePropagatesRejections(t *testing.T) {
+	db, g := New()
+	if err := SeedScaled(db, ScaleSpec{
+		Departments: 1, StudentsPerDept: 4, CoursesPerDept: 1, GradesPerCourse: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	om := MustOmega(g)
+	tr := vupdate.PermissiveTranslator(om)
+	tr.AllowInsertion = false
+	u := vupdate.NewUpdater(tr)
+	if err := NewUpdateCycle(om).Run(u, 0); err == nil {
+		t.Fatal("cycle should surface the rejection")
+	}
+	if db.MustRelation(Courses).Has(reldb.Tuple{reldb.String("CYCLE0000000")}) {
+		t.Fatal("rejected insert leaked")
+	}
+}

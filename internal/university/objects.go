@@ -1,0 +1,63 @@
+package university
+
+import (
+	"penguin/internal/structural"
+	"penguin/internal/viewobject"
+)
+
+// Omega builds the paper's course-information object ω (Figure 2(c)):
+// pivot COURSES with components DEPARTMENT, CURRICULUM, GRADES, and
+// STUDENT (under GRADES), complexity 5. Projections follow the figure:
+// every node keeps the attributes the running example uses.
+func Omega(g *structural.Graph) (*viewobject.Definition, error) {
+	return viewobject.Define(g, "omega", Courses, viewobject.DefaultMetric(),
+		map[string][]string{
+			Courses:    {"CourseID", "Title", "DeptName", "Units", "Level"},
+			Department: {"DeptName", "Building"},
+			Curriculum: {"DeptName", "Degree", "CourseID"},
+			Grades:     {"CourseID", "PID", "Quarter", "Grade"},
+			Student:    {"PID", "Degree", "Year"},
+		})
+}
+
+// MustOmega is Omega that panics on error (fixtures and benches).
+func MustOmega(g *structural.Graph) *viewobject.Definition {
+	d, err := Omega(g)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// OmegaPrime builds the alternate object ω′ of Figure 3: still anchored
+// on COURSES but including only FACULTY and STUDENT. Both components
+// attach through multi-connection paths, because the intermediate
+// relations are excluded from the configuration: STUDENT through GRADES
+// (COURSES --* GRADES inv(--*) STUDENT, the two-connection path the
+// figure's caption calls out) and FACULTY through DEPARTMENT and PEOPLE.
+func OmegaPrime(g *structural.Graph) (*viewobject.Definition, error) {
+	sub, err := viewobject.ExtractSubgraph(g, Courses, viewobject.DefaultMetric())
+	if err != nil {
+		return nil, err
+	}
+	tree := viewobject.BuildTree(sub)
+	// "FACULTY" addresses the shallowest occurrence, the one under
+	// DEPARTMENT-PEOPLE, giving the three-connection path
+	// COURSES --> DEPARTMENT inv(-->) PEOPLE --) FACULTY; "STUDENT"
+	// addresses the occurrence under GRADES, giving the figure's
+	// two-connection path COURSES --* GRADES inv(--*) STUDENT.
+	return tree.Configure("omega-prime", map[string][]string{
+		Courses: {"CourseID", "Title", "DeptName", "Units", "Level"},
+		Faculty: {"PID", "Rank", "Tenured"},
+		Student: {"PID", "Degree", "Year"},
+	})
+}
+
+// MustOmegaPrime is OmegaPrime that panics on error.
+func MustOmegaPrime(g *structural.Graph) *viewobject.Definition {
+	d, err := OmegaPrime(g)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

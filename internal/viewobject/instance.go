@@ -1,0 +1,268 @@
+package viewobject
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"penguin/internal/reldb"
+)
+
+// Instance is one hierarchical instance of a view object: the pivot tuple
+// plus, per child node, the set of connected sub-instances. Instances are
+// fully unnormalized entities with atomic-, tuple-, and set-valued
+// attributes (§3).
+//
+// Internally every InstNode carries the full-width tuple of its base
+// relation (connecting attributes are needed to assemble and to translate
+// updates even when projected out); Projected exposes only the node's
+// projection. Hand-built instances (update requests) may leave
+// non-projected attributes null — the translation algorithms treat that as
+// the paper's "extension with values for the attributes projected out".
+type Instance struct {
+	def  *Definition
+	root *InstNode
+}
+
+// InstNode is one component tuple of an instance.
+type InstNode struct {
+	node     *Node
+	tuple    reldb.Tuple
+	children map[string][]*InstNode
+}
+
+// NewInstance creates an instance of def with the given pivot tuple
+// (full-width, matching the pivot relation's schema).
+func NewInstance(def *Definition, pivotTuple reldb.Tuple) (*Instance, error) {
+	root, err := newInstNode(def, def.root, pivotTuple)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{def: def, root: root}, nil
+}
+
+// MustNewInstance is NewInstance that panics on error (fixtures).
+func MustNewInstance(def *Definition, pivotTuple reldb.Tuple) *Instance {
+	i, err := NewInstance(def, pivotTuple)
+	if err != nil {
+		panic(err)
+	}
+	return i
+}
+
+func newInstNode(def *Definition, n *Node, tuple reldb.Tuple) (*InstNode, error) {
+	schema := def.schemaOf(n)
+	if err := schema.CheckTuple(tuple); err != nil {
+		return nil, fmt.Errorf("viewobject: instance node %s: %w", n.ID, err)
+	}
+	return &InstNode{node: n, tuple: tuple.Clone(), children: make(map[string][]*InstNode)}, nil
+}
+
+// Definition returns the object this instance belongs to.
+func (i *Instance) Definition() *Definition { return i.def }
+
+// Root returns the pivot component.
+func (i *Instance) Root() *InstNode { return i.root }
+
+// Key returns the object key of the instance: the pivot tuple's key
+// values (Definition 3.2).
+func (i *Instance) Key() reldb.Tuple {
+	return i.def.schemaOf(i.def.root).KeyOf(i.root.tuple)
+}
+
+// Node returns the definition node this component instantiates.
+func (n *InstNode) Node() *Node { return n.node }
+
+// Tuple returns a copy of the component's full-width tuple.
+func (n *InstNode) Tuple() reldb.Tuple { return n.tuple.Clone() }
+
+// Children returns the sub-instances under the given child node ID, in
+// insertion order.
+func (n *InstNode) Children(childID string) []*InstNode {
+	return append([]*InstNode(nil), n.children[childID]...)
+}
+
+// AddChild attaches a sub-instance for the named child node and returns
+// it. The child ID must be one of the node's children in the definition;
+// the tuple must be full-width for the child's relation.
+func (n *InstNode) AddChild(def *Definition, childID string, tuple reldb.Tuple) (*InstNode, error) {
+	var childNode *Node
+	for _, c := range n.node.Children {
+		if c.ID == childID {
+			childNode = c
+			break
+		}
+	}
+	if childNode == nil {
+		var have []string
+		for _, c := range n.node.Children {
+			have = append(have, c.ID)
+		}
+		return nil, fmt.Errorf("viewobject: node %s has no child %s (have %s)",
+			n.node.ID, childID, strings.Join(have, ", "))
+	}
+	cn, err := newInstNode(def, childNode, tuple)
+	if err != nil {
+		return nil, err
+	}
+	n.children[childID] = append(n.children[childID], cn)
+	return cn, nil
+}
+
+// MustAddChild is AddChild that panics on error (fixtures).
+func (n *InstNode) MustAddChild(def *Definition, childID string, tuple reldb.Tuple) *InstNode {
+	cn, err := n.AddChild(def, childID, tuple)
+	if err != nil {
+		panic(err)
+	}
+	return cn
+}
+
+// Projected returns the component tuple restricted to the node's
+// projection, in the projection's attribute order.
+func (n *InstNode) Projected(def *Definition) reldb.Tuple {
+	schema := def.schemaOf(n.node)
+	idx, err := schema.Indices(n.node.Attrs)
+	if err != nil {
+		panic(err) // definition validated at construction
+	}
+	return n.tuple.Project(idx)
+}
+
+// NodesAt returns every component instance at the given definition node
+// ID, across the whole instance, in document order.
+func (i *Instance) NodesAt(nodeID string) []*InstNode {
+	var out []*InstNode
+	var walk func(n *InstNode)
+	walk = func(n *InstNode) {
+		if n.node.ID == nodeID {
+			out = append(out, n)
+		}
+		for _, cid := range n.childIDs() {
+			for _, c := range n.children[cid] {
+				walk(c)
+			}
+		}
+	}
+	walk(i.root)
+	return out
+}
+
+// Count returns the number of component instances at the given node ID.
+func (i *Instance) Count(nodeID string) int { return len(i.NodesAt(nodeID)) }
+
+// childIDs returns the node's child IDs in definition order.
+func (n *InstNode) childIDs() []string {
+	ids := make([]string, 0, len(n.node.Children))
+	for _, c := range n.node.Children {
+		ids = append(ids, c.ID)
+	}
+	return ids
+}
+
+// Clone deep-copies the instance; mutating the copy leaves the original
+// untouched. Update requests typically clone the current instance and
+// edit the copy.
+func (i *Instance) Clone() *Instance {
+	return &Instance{def: i.def, root: i.root.clone()}
+}
+
+func (n *InstNode) clone() *InstNode {
+	c := &InstNode{node: n.node, tuple: n.tuple.Clone(), children: make(map[string][]*InstNode, len(n.children))}
+	for id, kids := range n.children {
+		ck := make([]*InstNode, len(kids))
+		for j, k := range kids {
+			ck[j] = k.clone()
+		}
+		c.children[id] = ck
+	}
+	return c
+}
+
+// SetTuple replaces the component's tuple (validated against the base
+// schema). Used to build replacement requests.
+func (n *InstNode) SetTuple(def *Definition, tuple reldb.Tuple) error {
+	schema := def.schemaOf(n.node)
+	if err := schema.CheckTuple(tuple); err != nil {
+		return fmt.Errorf("viewobject: node %s: %w", n.node.ID, err)
+	}
+	n.tuple = tuple.Clone()
+	return nil
+}
+
+// SetAttr overwrites one attribute of the component's tuple by name.
+func (n *InstNode) SetAttr(def *Definition, attr string, v reldb.Value) error {
+	schema := def.schemaOf(n.node)
+	idx, ok := schema.AttrIndex(attr)
+	if !ok {
+		return fmt.Errorf("viewobject: node %s: relation %s has no attribute %s",
+			n.node.ID, n.node.Relation, attr)
+	}
+	nt := n.tuple.With(idx, v)
+	return n.SetTuple(def, nt)
+}
+
+// Get returns an attribute of the component tuple by name.
+func (n *InstNode) Get(def *Definition, attr string) (reldb.Value, bool) {
+	schema := def.schemaOf(n.node)
+	idx, ok := schema.AttrIndex(attr)
+	if !ok {
+		return reldb.Null(), false
+	}
+	return n.tuple[idx], true
+}
+
+// Render produces the deterministic text form of the instance used to
+// regenerate Figure 4: the pivot tuple followed by nested components,
+// projected per the definition.
+func (i *Instance) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "instance of %s, key %s\n", i.def.Name, i.Key())
+	var walk func(n *InstNode, prefix string, last bool, isRoot bool)
+	walk = func(n *InstNode, prefix string, last bool, isRoot bool) {
+		line := fmt.Sprintf("%s: %s", n.node.ID, n.Projected(i.def))
+		if isRoot {
+			b.WriteString(line + "\n")
+		} else {
+			branch := "├─ "
+			if last {
+				branch = "└─ "
+			}
+			b.WriteString(prefix + branch + line + "\n")
+		}
+		childPrefix := prefix
+		if !isRoot {
+			if last {
+				childPrefix += "   "
+			} else {
+				childPrefix += "│  "
+			}
+		}
+		// Flatten children in definition order, with a stable sort of
+		// instances by tuple encoding for determinism.
+		for _, cid := range n.childIDs() {
+			kids := append([]*InstNode(nil), n.children[cid]...)
+			sort.SliceStable(kids, func(a, b int) bool {
+				return kids[a].tuple.Encode() < kids[b].tuple.Encode()
+			})
+			for j, c := range kids {
+				lastChild := j == len(kids)-1 && cid == lastChildID(n)
+				walk(c, childPrefix, lastChild, false)
+			}
+		}
+	}
+	walk(i.root, "", true, true)
+	return b.String()
+}
+
+// lastChildID returns the ID of the last child node that actually has
+// instances, so tree glyphs close correctly.
+func lastChildID(n *InstNode) string {
+	last := ""
+	for _, cid := range n.childIDs() {
+		if len(n.children[cid]) > 0 {
+			last = cid
+		}
+	}
+	return last
+}

@@ -1,0 +1,201 @@
+package viewobject
+
+import (
+	"fmt"
+
+	"penguin/internal/reldb"
+	"penguin/internal/structural"
+)
+
+// Query is a declarative request over a view object (the paper's query
+// model, §3). It combines a selection on the pivot relation, existential
+// predicates on component nodes, and cardinality conditions on component
+// sets — enough to express Figure 4's "graduate courses with less than 5
+// students having enrolled":
+//
+//	Query{
+//	    PivotPred:  reldb.Eq("Level", reldb.String("graduate")),
+//	    CountConds: []CountCond{{NodeID: "STUDENT", Op: reldb.OpLt, N: 5}},
+//	}
+type Query struct {
+	// PivotPred filters pivot tuples; nil selects all. It is evaluated
+	// against the pivot relation's full schema.
+	PivotPred reldb.Expr
+	// NodePreds keep an instance only if, for each entry, at least one
+	// component at the node satisfies the predicate.
+	NodePreds []NodePred
+	// CountConds keep an instance only if, for each entry, the number of
+	// components at the node compares as requested.
+	CountConds []CountCond
+}
+
+// NodePred is an existential predicate on a component node.
+type NodePred struct {
+	NodeID string
+	Pred   reldb.Expr
+}
+
+// CountCond compares the number of components at a node with a constant.
+type CountCond struct {
+	NodeID string
+	Op     reldb.CmpOp
+	N      int
+}
+
+// Instantiate composes the query with the object's structure, executes it
+// against the database reachable through res, and assembles the matching
+// hierarchical instances (Figure 4). Results are in pivot-key order.
+func Instantiate(res structural.Resolver, def *Definition, q Query) ([]*Instance, error) {
+	pivotRel, err := res.Relation(def.Pivot())
+	if err != nil {
+		return nil, err
+	}
+	var pivotPred reldb.Expr
+	if q.PivotPred != nil {
+		pivotPred = q.PivotPred
+	}
+	pivots, err := pivotRel.Select(pivotPred)
+	if err != nil {
+		return nil, fmt.Errorf("viewobject: %s: pivot selection: %w", def.Name, err)
+	}
+	var out []*Instance
+	for _, pt := range pivots {
+		inst, err := assembleInstance(res, def, pt)
+		if err != nil {
+			return nil, err
+		}
+		keep, err := inst.matches(q)
+		if err != nil {
+			return nil, err
+		}
+		if keep {
+			out = append(out, inst)
+		}
+	}
+	return out, nil
+}
+
+// InstantiateByKey assembles the single instance whose object key equals
+// key, or reports ok=false if the pivot tuple does not exist.
+func InstantiateByKey(res structural.Resolver, def *Definition, key reldb.Tuple) (*Instance, bool, error) {
+	pivotRel, err := res.Relation(def.Pivot())
+	if err != nil {
+		return nil, false, err
+	}
+	pt, ok := pivotRel.Get(key)
+	if !ok {
+		return nil, false, nil
+	}
+	inst, err := assembleInstance(res, def, pt)
+	if err != nil {
+		return nil, false, err
+	}
+	return inst, true, nil
+}
+
+func assembleInstance(res structural.Resolver, def *Definition, pivotTuple reldb.Tuple) (*Instance, error) {
+	inst, err := NewInstance(def, pivotTuple)
+	if err != nil {
+		return nil, err
+	}
+	if err := fillChildren(res, def, inst.root); err != nil {
+		return nil, err
+	}
+	return inst, nil
+}
+
+func fillChildren(res structural.Resolver, def *Definition, in *InstNode) error {
+	for _, child := range in.node.Children {
+		targets, err := TraversePath(res, in.tuple, child.Path)
+		if err != nil {
+			return fmt.Errorf("viewobject: %s: node %s: %w", def.Name, child.ID, err)
+		}
+		for _, tt := range targets {
+			cn, err := in.AddChild(def, child.ID, tt)
+			if err != nil {
+				return err
+			}
+			if err := fillChildren(res, def, cn); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// TraversePath follows a connection path starting from one source tuple
+// and returns the distinct tuples reached at the far end, in key order at
+// each step. Intermediate relations contribute join steps only; their
+// tuples are not returned.
+func TraversePath(res structural.Resolver, start reldb.Tuple, path []structural.Edge) ([]reldb.Tuple, error) {
+	frontier := []reldb.Tuple{start}
+	for _, e := range path {
+		tgtRel, err := res.Relation(e.Target())
+		if err != nil {
+			return nil, err
+		}
+		tgtSchema := tgtRel.Schema()
+		seen := make(map[string]bool)
+		var next []reldb.Tuple
+		for _, ft := range frontier {
+			matches, err := structural.ConnectedVia(res, e, ft)
+			if err != nil {
+				return nil, err
+			}
+			for _, mt := range matches {
+				ek := tgtSchema.EncodeKeyOf(mt)
+				if seen[ek] {
+					continue
+				}
+				seen[ek] = true
+				next = append(next, mt)
+			}
+		}
+		frontier = next
+		if len(frontier) == 0 {
+			return nil, nil
+		}
+	}
+	return frontier, nil
+}
+
+// matches evaluates the query's node predicates and count conditions
+// against an assembled instance.
+func (i *Instance) matches(q Query) (bool, error) {
+	for _, np := range q.NodePreds {
+		node, ok := i.def.Node(np.NodeID)
+		if !ok {
+			return false, fmt.Errorf("viewobject: %s: query references unknown node %s", i.def.Name, np.NodeID)
+		}
+		schema := i.def.schemaOf(node)
+		sat := false
+		for _, in := range i.NodesAt(np.NodeID) {
+			ok, err := reldb.EvalBool(np.Pred, reldb.Row{Schema: schema, Tuple: in.tuple})
+			if err != nil {
+				return false, fmt.Errorf("viewobject: %s: node predicate on %s: %w", i.def.Name, np.NodeID, err)
+			}
+			if ok {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false, nil
+		}
+	}
+	for _, cc := range q.CountConds {
+		if _, ok := i.def.Node(cc.NodeID); !ok {
+			return false, fmt.Errorf("viewobject: %s: query counts unknown node %s", i.def.Name, cc.NodeID)
+		}
+		n := i.Count(cc.NodeID)
+		cmp := reldb.Cmp{Op: cc.Op, L: reldb.Const{V: reldb.Int(int64(n))}, R: reldb.Const{V: reldb.Int(int64(cc.N))}}
+		ok, err := reldb.EvalBool(cmp, reldb.Row{})
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}

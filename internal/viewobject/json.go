@@ -1,0 +1,190 @@
+package viewobject
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"penguin/internal/reldb"
+)
+
+// JSON export. A view-object instance is a natural nested document: the
+// pivot's projected attributes as fields, each child node as an array of
+// nested documents keyed by the child's node ID. This is the shape an
+// object-oriented application (the paper's motivation) consumes.
+
+// ToMap converts the instance to nested maps: projected attribute name →
+// value (Go scalars; null → nil), child node ID → []map.
+func (i *Instance) ToMap() map[string]any {
+	return i.root.toMap(i.def)
+}
+
+func (n *InstNode) toMap(def *Definition) map[string]any {
+	schema := def.schemaOf(n.node)
+	out := make(map[string]any, len(n.node.Attrs)+len(n.node.Children))
+	for _, attr := range n.node.Attrs {
+		idx, ok := schema.AttrIndex(attr)
+		if !ok {
+			continue
+		}
+		out[attr] = valueToAny(n.tuple[idx])
+	}
+	for _, child := range n.node.Children {
+		kids := n.children[child.ID]
+		docs := make([]any, len(kids))
+		for j, k := range kids {
+			docs[j] = k.toMap(def)
+		}
+		out[child.ID] = docs
+	}
+	return out
+}
+
+func valueToAny(v reldb.Value) any {
+	switch v.Kind() {
+	case reldb.KindNull:
+		return nil
+	case reldb.KindInt:
+		n, _ := v.AsInt()
+		return n
+	case reldb.KindFloat:
+		f, _ := v.AsFloat()
+		return f
+	case reldb.KindString:
+		s, _ := v.AsString()
+		return s
+	case reldb.KindBool:
+		b, _ := v.AsBool()
+		return b
+	default:
+		return v.String()
+	}
+}
+
+// MarshalJSON implements json.Marshaler: the instance serializes as its
+// nested-document form.
+func (i *Instance) MarshalJSON() ([]byte, error) {
+	return json.Marshal(i.ToMap())
+}
+
+// InstanceFromMap builds an instance of def from a nested document of the
+// shape ToMap produces. Attributes absent from a document become null;
+// unknown field names that are not child node IDs are rejected. Values
+// must be JSON scalars assignable to the attribute types (JSON numbers
+// arrive as float64 and are narrowed to int attributes when integral).
+func InstanceFromMap(def *Definition, doc map[string]any) (*Instance, error) {
+	tuple, err := tupleFromDoc(def, def.root, doc)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := NewInstance(def, tuple)
+	if err != nil {
+		return nil, err
+	}
+	if err := fillFromDoc(def, inst.root, doc); err != nil {
+		return nil, err
+	}
+	return inst, nil
+}
+
+func tupleFromDoc(def *Definition, n *Node, doc map[string]any) (reldb.Tuple, error) {
+	schema := def.schemaOf(n)
+	childIDs := make(map[string]bool, len(n.Children))
+	for _, c := range n.Children {
+		childIDs[c.ID] = true
+	}
+	tuple := make(reldb.Tuple, schema.Arity())
+	for field, raw := range doc {
+		if childIDs[field] {
+			continue
+		}
+		idx, ok := schema.AttrIndex(field)
+		if !ok {
+			return nil, fmt.Errorf("viewobject: node %s: document field %q is neither an attribute of %s nor a child node",
+				n.ID, field, n.Relation)
+		}
+		v, err := anyToValue(schema.Attr(idx).Type, raw)
+		if err != nil {
+			return nil, fmt.Errorf("viewobject: node %s: field %q: %w", n.ID, field, err)
+		}
+		tuple[idx] = v
+	}
+	return tuple, nil
+}
+
+func fillFromDoc(def *Definition, in *InstNode, doc map[string]any) error {
+	for _, child := range in.node.Children {
+		raw, ok := doc[child.ID]
+		if !ok || raw == nil {
+			continue
+		}
+		list, ok := raw.([]any)
+		if !ok {
+			return fmt.Errorf("viewobject: node %s: child %s must be an array", in.node.ID, child.ID)
+		}
+		for _, item := range list {
+			childDoc, ok := item.(map[string]any)
+			if !ok {
+				return fmt.Errorf("viewobject: node %s: child %s holds a non-object element", in.node.ID, child.ID)
+			}
+			tuple, err := tupleFromDoc(def, child, childDoc)
+			if err != nil {
+				return err
+			}
+			cn, err := in.AddChild(def, child.ID, tuple)
+			if err != nil {
+				return err
+			}
+			if err := fillFromDoc(def, cn, childDoc); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func anyToValue(kind reldb.Kind, raw any) (reldb.Value, error) {
+	if raw == nil {
+		return reldb.Null(), nil
+	}
+	switch kind {
+	case reldb.KindInt:
+		switch x := raw.(type) {
+		case int:
+			return reldb.Int(int64(x)), nil
+		case int64:
+			return reldb.Int(x), nil
+		case float64:
+			if x != float64(int64(x)) {
+				return reldb.Null(), fmt.Errorf("value %v is not an integer", x)
+			}
+			return reldb.Int(int64(x)), nil
+		}
+	case reldb.KindFloat:
+		switch x := raw.(type) {
+		case float64:
+			return reldb.Float(x), nil
+		case int:
+			return reldb.Float(float64(x)), nil
+		case int64:
+			return reldb.Float(float64(x)), nil
+		}
+	case reldb.KindString:
+		if x, ok := raw.(string); ok {
+			return reldb.String(x), nil
+		}
+	case reldb.KindBool:
+		if x, ok := raw.(bool); ok {
+			return reldb.Bool(x), nil
+		}
+	}
+	return reldb.Null(), fmt.Errorf("value %v (%T) is not assignable to %s", raw, raw, kind)
+}
+
+// UnmarshalInstance parses JSON into an instance of def.
+func UnmarshalInstance(def *Definition, data []byte) (*Instance, error) {
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("viewobject: %w", err)
+	}
+	return InstanceFromMap(def, doc)
+}

@@ -1,0 +1,196 @@
+package viewobject_test
+
+import (
+	"strings"
+	"testing"
+
+	"penguin/internal/structural"
+	"penguin/internal/university"
+	. "penguin/internal/viewobject"
+)
+
+func TestDefaultMetricWeights(t *testing.T) {
+	m := DefaultMetric()
+	if m.Threshold <= 0 || m.Threshold >= 1 {
+		t.Fatalf("threshold = %v", m.Threshold)
+	}
+	for kind, w := range m.Weights {
+		if w <= 0 || w > 1 {
+			t.Errorf("weight %s = %v out of (0,1]", kind, w)
+		}
+	}
+	// Inverse reference must decay fastest: referencing entities are the
+	// least relevant to an abstraction's object.
+	invRef := m.Weights[StepKind{structural.Reference, false}]
+	for kind, w := range m.Weights {
+		if kind == (StepKind{structural.Reference, false}) {
+			continue
+		}
+		if w < invRef {
+			t.Errorf("weight %s = %v below inverse-reference %v", kind, w, invRef)
+		}
+	}
+}
+
+func TestMetricWeightUnknownEdge(t *testing.T) {
+	m := Metric{Weights: map[StepKind]float64{}}
+	_, g := university.New()
+	conn, _ := g.Connection(university.ConnCourseGrades)
+	if w := m.Weight(structural.Edge{Conn: conn, Forward: true}); w != 0 {
+		t.Fatalf("unknown step weight = %v, want 0", w)
+	}
+}
+
+func TestStepKindString(t *testing.T) {
+	k := StepKind{structural.Ownership, true}
+	if k.String() != "ownership/forward" {
+		t.Fatalf("String = %q", k.String())
+	}
+	k = StepKind{structural.Reference, false}
+	if k.String() != "reference/inverse" {
+		t.Fatalf("String = %q", k.String())
+	}
+}
+
+// Figure 2(a): the relevance computation over the university schema.
+func TestRelevanceUniversity(t *testing.T) {
+	_, g := university.New()
+	m := DefaultMetric()
+	rel := m.Relevance(g, university.Courses)
+	want := map[string]float64{
+		university.Courses:    1.0,
+		university.Department: 0.8,   // one reference hop
+		university.Grades:     0.9,   // one ownership hop
+		university.Curriculum: 0.72,  // DEPARTMENT --* CURRICULUM beats inv-ref 0.5
+		university.Student:    0.72,  // via GRADES inverse ownership
+		university.People:     0.576, // via GRADES-STUDENT (beats DEPARTMENT path 0.4)
+	}
+	for relName, w := range want {
+		got := rel[relName]
+		if got < w-1e-9 || got > w+1e-9 {
+			t.Errorf("relevance[%s] = %v, want %v", relName, got, w)
+		}
+	}
+	// FACULTY and STAFF reachable above threshold.
+	if rel[university.Faculty] < m.Threshold || rel[university.Staff] < m.Threshold {
+		t.Errorf("FACULTY/STAFF relevance below threshold: %v / %v",
+			rel[university.Faculty], rel[university.Staff])
+	}
+}
+
+func TestExtractSubgraphFigure2a(t *testing.T) {
+	_, g := university.New()
+	sub, err := ExtractSubgraph(g, university.Courses, DefaultMetric())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All eight relations are relevant in Figure 2(a).
+	if got := len(sub.Relations()); got != 8 {
+		t.Fatalf("relevant relations = %d (%v), want 8", got, sub.Relations())
+	}
+	// All nine connections survive (both endpoints relevant).
+	if got := len(sub.Conns); got != 9 {
+		t.Fatalf("connections = %d, want 9", got)
+	}
+	if !sub.Contains(university.Courses) || sub.Contains("NOPE") {
+		t.Fatal("Contains wrong")
+	}
+	if sub.Pivot != university.Courses {
+		t.Fatalf("pivot = %s", sub.Pivot)
+	}
+}
+
+func TestExtractSubgraphThresholdCuts(t *testing.T) {
+	_, g := university.New()
+	m := DefaultMetric()
+	m.Threshold = 0.75 // keep only one-hop-strong neighbours
+	sub, err := ExtractSubgraph(g, university.Courses, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rels := sub.Relations()
+	want := "COURSES,DEPARTMENT,GRADES"
+	if strings.Join(rels, ",") != want {
+		t.Fatalf("relations = %v, want %s", rels, want)
+	}
+	// Connections with an endpoint outside the subgraph are dropped.
+	for _, c := range sub.Conns {
+		if !sub.Contains(c.From) || !sub.Contains(c.To) {
+			t.Fatalf("connection %s has endpoint outside subgraph", c)
+		}
+	}
+}
+
+func TestExtractSubgraphUnknownPivot(t *testing.T) {
+	_, g := university.New()
+	if _, err := ExtractSubgraph(g, "NOPE", DefaultMetric()); err == nil {
+		t.Fatal("unknown pivot accepted")
+	}
+}
+
+func TestSubgraphEdges(t *testing.T) {
+	_, g := university.New()
+	sub, err := ExtractSubgraph(g, university.Courses, DefaultMetric())
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := sub.Edges(university.Courses)
+	// COURSES: forward course-dept + course-grades, inverse curriculum-course.
+	if len(edges) != 3 {
+		t.Fatalf("edges from COURSES = %d, want 3", len(edges))
+	}
+	fwd := 0
+	for _, e := range edges {
+		if e.Source() != university.Courses {
+			t.Fatalf("edge %s does not leave COURSES", e)
+		}
+		if e.Forward {
+			fwd++
+		}
+	}
+	if fwd != 2 {
+		t.Fatalf("forward edges = %d, want 2", fwd)
+	}
+}
+
+func TestSubgraphRender(t *testing.T) {
+	_, g := university.New()
+	sub, err := ExtractSubgraph(g, university.Courses, DefaultMetric())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sub.Render()
+	for _, want := range []string{
+		"relevant subgraph for pivot COURSES",
+		"COURSES      relevance 1.000",
+		"GRADES       relevance 0.900",
+		"PEOPLE       relevance 0.576",
+		"COURSES(CourseID) --* GRADES(CourseID)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Pivoting on a different relation gives a different subgraph — the model's
+// multiple-perspective property.
+func TestSubgraphDependsOnPivot(t *testing.T) {
+	_, g := university.New()
+	m := DefaultMetric()
+	m.Threshold = 0.5
+	subCourses, err := ExtractSubgraph(g, university.Courses, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subPeople, err := ExtractSubgraph(g, university.People, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(subCourses.Relations(), ",") == strings.Join(subPeople.Relations(), ",") {
+		t.Fatal("different pivots should give different subgraphs at threshold 0.5")
+	}
+	if !subPeople.Contains(university.Student) || !subPeople.Contains(university.Faculty) {
+		t.Fatalf("PEOPLE subgraph missing subsets: %v", subPeople.Relations())
+	}
+}

@@ -1,0 +1,261 @@
+package viewobject
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"penguin/internal/structural"
+)
+
+// TreeNode is one vertex of the expanded tree of Figure 2(b). A base
+// relation can occur several times (one TreeNode per distinct path from
+// the pivot), which is how the expansion breaks circuits in the subgraph.
+type TreeNode struct {
+	// ID names the occurrence: the relation name for the first copy,
+	// "REL#2", "REL#3", ... for further copies in preorder.
+	ID string
+	// Relation is the base relation this occurrence projects.
+	Relation string
+	// Edge links the parent occurrence's relation to this one. It is the
+	// zero Edge at the root.
+	Edge structural.Edge
+	// Relevance is the path relevance from the pivot to this occurrence.
+	Relevance float64
+	// Children in deterministic expansion order.
+	Children []*TreeNode
+
+	parent *TreeNode
+}
+
+// Parent returns the parent occurrence (nil at the root).
+func (n *TreeNode) Parent() *TreeNode { return n.parent }
+
+// PathFromRoot returns the edges from the pivot down to this node.
+func (n *TreeNode) PathFromRoot() []structural.Edge {
+	if n.parent == nil {
+		return nil
+	}
+	return append(n.parent.PathFromRoot(), n.Edge)
+}
+
+// Tree is the fully expanded tree of projections of Figure 2(b): it
+// "specifies all possible configurations for view objects anchored on"
+// the pivot — every subset of its nodes containing the root is a valid
+// configuration.
+type Tree struct {
+	Sub  *Subgraph
+	Root *TreeNode
+	byID map[string]*TreeNode
+}
+
+// BuildTree runs the second stage of the Figure 2 pipeline: it expands
+// all paths in the subgraph emanating from the pivot until either a path
+// would revisit a relation already on it (a circuit, so the expansion
+// stops) or the path relevance falls below the metric threshold (the
+// relation is "no longer relevant" at that depth).
+func BuildTree(sub *Subgraph) *Tree {
+	t := &Tree{Sub: sub, byID: make(map[string]*TreeNode)}
+	t.Root = &TreeNode{Relation: sub.Pivot, Relevance: 1.0}
+
+	var expand func(n *TreeNode, onPath map[string]bool)
+	expand = func(n *TreeNode, onPath map[string]bool) {
+		for _, e := range sub.Edges(n.Relation) {
+			target := e.Target()
+			if onPath[target] {
+				continue // would create a cycle; go no further
+			}
+			r := n.Relevance * sub.metric.Weight(e)
+			if r < sub.metric.Threshold {
+				continue // no longer relevant at this depth
+			}
+			child := &TreeNode{Relation: target, Edge: e, Relevance: r, parent: n}
+			n.Children = append(n.Children, child)
+			onPath[target] = true
+			expand(child, onPath)
+			delete(onPath, target)
+		}
+	}
+	expand(t.Root, map[string]bool{sub.Pivot: true})
+	t.assignIDs()
+	return t
+}
+
+// assignIDs names each occurrence. The shallowest occurrence of a relation
+// gets the plain relation name (ties broken by preorder), further copies
+// get "REL#2", "REL#3", ... — so the most natural occurrence is always
+// addressable without a copy suffix (ω's STUDENT is the one under GRADES,
+// which is shallower than the one under DEPARTMENT-PEOPLE).
+func (t *Tree) assignIDs() {
+	type occ struct {
+		n        *TreeNode
+		depth    int
+		preorder int
+	}
+	byRel := make(map[string][]occ)
+	i := 0
+	var walk func(n *TreeNode, depth int)
+	walk = func(n *TreeNode, depth int) {
+		byRel[n.Relation] = append(byRel[n.Relation], occ{n, depth, i})
+		i++
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(t.Root, 0)
+	for rel, occs := range byRel {
+		sort.Slice(occs, func(a, b int) bool {
+			if occs[a].depth != occs[b].depth {
+				return occs[a].depth < occs[b].depth
+			}
+			return occs[a].preorder < occs[b].preorder
+		})
+		for k, o := range occs {
+			if k == 0 {
+				o.n.ID = rel
+			} else {
+				o.n.ID = fmt.Sprintf("%s#%d", rel, k+1)
+			}
+			t.byID[o.n.ID] = o.n
+		}
+	}
+}
+
+// Node returns the occurrence with the given ID.
+func (t *Tree) Node(id string) (*TreeNode, bool) {
+	n, ok := t.byID[id]
+	return n, ok
+}
+
+// NodeIDs returns all occurrence IDs, sorted.
+func (t *Tree) NodeIDs() []string {
+	ids := make([]string, 0, len(t.byID))
+	for id := range t.byID {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Size returns the number of occurrences in the tree.
+func (t *Tree) Size() int { return len(t.byID) }
+
+// Occurrences returns the occurrence IDs of a relation, sorted; the
+// length is the number of copies (Figure 2(b) has two PEOPLE copies).
+func (t *Tree) Occurrences(rel string) []string {
+	var ids []string
+	for id, n := range t.byID {
+		if n.Relation == rel {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Render produces the deterministic text form used to regenerate
+// Figure 2(b).
+func (t *Tree) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "expanded tree for pivot %s\n", t.Sub.Pivot)
+	var walk func(n *TreeNode, prefix string, last bool)
+	walk = func(n *TreeNode, prefix string, last bool) {
+		if n.parent == nil {
+			fmt.Fprintf(&b, "%s\n", n.ID)
+		} else {
+			branch := "├─ "
+			if last {
+				branch = "└─ "
+			}
+			sym := n.Edge.Conn.Type.Symbol()
+			if !n.Edge.Forward {
+				sym = "inv(" + sym + ")"
+			}
+			fmt.Fprintf(&b, "%s%s%s %s (relevance %.3f)\n", prefix, branch, sym, n.ID, n.Relevance)
+		}
+		childPrefix := prefix
+		if n.parent != nil {
+			if last {
+				childPrefix += "   "
+			} else {
+				childPrefix += "│  "
+			}
+		}
+		for i, c := range n.Children {
+			walk(c, childPrefix, i == len(n.Children)-1)
+		}
+	}
+	walk(t.Root, "", true)
+	return b.String()
+}
+
+// Configure runs the third stage of the Figure 2 pipeline: pruning the
+// tree into a concrete view object. include maps the IDs of the kept
+// occurrences to their projected attributes (nil keeps every attribute).
+// The root is always kept: an entry for it is optional and only needed to
+// narrow its projection. When an intermediate occurrence is excluded, the
+// kept descendant's connection path is the concatenation of the skipped
+// tree edges — exactly how Figure 3's ω′ attaches STUDENT to COURSES
+// through the excluded GRADES.
+func (t *Tree) Configure(name string, include map[string][]string) (*Definition, error) {
+	for id := range include {
+		if _, ok := t.byID[id]; !ok {
+			return nil, fmt.Errorf("viewobject: configure %s: no tree occurrence %s (have %s)",
+				name, id, strings.Join(t.NodeIDs(), ", "))
+		}
+	}
+	kept := func(n *TreeNode) bool {
+		if n == t.Root {
+			return true
+		}
+		_, ok := include[n.ID]
+		return ok
+	}
+	// Build definition nodes for kept occurrences, wiring each to its
+	// nearest kept ancestor and concatenating the skipped edges.
+	defNodes := map[string]*Node{}
+	rootAttrs := include[t.Root.ID]
+	defRoot := &Node{ID: t.Root.ID, Relation: t.Root.Relation, Attrs: rootAttrs}
+	defNodes[t.Root.ID] = defRoot
+
+	var walk func(n *TreeNode, nearestKept *TreeNode, pathFromKept []structural.Edge)
+	walk = func(n *TreeNode, nearestKept *TreeNode, pathFromKept []structural.Edge) {
+		for _, c := range n.Children {
+			childPath := append(append([]structural.Edge(nil), pathFromKept...), c.Edge)
+			if kept(c) {
+				dn := &Node{
+					ID:       c.ID,
+					Relation: c.Relation,
+					Attrs:    include[c.ID],
+					Path:     childPath,
+				}
+				defNodes[c.ID] = dn
+				parent := defNodes[nearestKept.ID]
+				dn.parent = parent
+				parent.Children = append(parent.Children, dn)
+				walk(c, c, nil)
+			} else {
+				walk(c, nearestKept, childPath)
+			}
+		}
+	}
+	walk(t.Root, t.Root, nil)
+
+	// Every requested occurrence must have been attached.
+	for id := range include {
+		if _, ok := defNodes[id]; !ok {
+			return nil, fmt.Errorf("viewobject: configure %s: occurrence %s was not reachable", name, id)
+		}
+	}
+	return NewDefinition(name, t.Sub.graph, defRoot)
+}
+
+// Define runs the whole Figure 2 pipeline in one call: subgraph
+// extraction, tree expansion, and pruning.
+func Define(g *structural.Graph, name, pivot string, m Metric, include map[string][]string) (*Definition, error) {
+	sub, err := ExtractSubgraph(g, pivot, m)
+	if err != nil {
+		return nil, err
+	}
+	return BuildTree(sub).Configure(name, include)
+}

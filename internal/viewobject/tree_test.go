@@ -1,0 +1,278 @@
+package viewobject_test
+
+import (
+	"strings"
+	"testing"
+
+	"penguin/internal/structural"
+	"penguin/internal/university"
+	. "penguin/internal/viewobject"
+)
+
+func courseTree(t *testing.T) (*structural.Graph, *Tree) {
+	t.Helper()
+	_, g := university.New()
+	sub, err := ExtractSubgraph(g, university.Courses, DefaultMetric())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, BuildTree(sub)
+}
+
+// Figure 2(b): the expanded tree contains exactly two copies of PEOPLE,
+// one per path from COURSES.
+func TestBuildTreeTwoPeopleCopies(t *testing.T) {
+	_, tree := courseTree(t)
+	occ := tree.Occurrences(university.People)
+	if len(occ) != 2 {
+		t.Fatalf("PEOPLE occurrences = %v, want exactly 2 (Figure 2b)", occ)
+	}
+	// The plain "PEOPLE" is the shallower copy (under DEPARTMENT);
+	// "PEOPLE#2" sits under GRADES-STUDENT.
+	p1, ok := tree.Node("PEOPLE")
+	if !ok {
+		t.Fatal("PEOPLE node missing")
+	}
+	if p1.Parent().Relation != university.Department {
+		t.Fatalf("PEOPLE parent = %s, want DEPARTMENT", p1.Parent().Relation)
+	}
+	p2, ok := tree.Node("PEOPLE#2")
+	if !ok {
+		t.Fatal("PEOPLE#2 node missing")
+	}
+	if p2.Parent().Relation != university.Student {
+		t.Fatalf("PEOPLE#2 parent = %s, want STUDENT", p2.Parent().Relation)
+	}
+}
+
+// The pivot occurs exactly once: expansion never revisits a relation on
+// the current path, and every path starts at the pivot.
+func TestBuildTreePivotUnique(t *testing.T) {
+	_, tree := courseTree(t)
+	if occ := tree.Occurrences(university.Courses); len(occ) != 1 {
+		t.Fatalf("COURSES occurrences = %v, want 1", occ)
+	}
+	if tree.Root.Relation != university.Courses || tree.Root.ID != university.Courses {
+		t.Fatalf("root = %s/%s", tree.Root.ID, tree.Root.Relation)
+	}
+	if tree.Root.Parent() != nil {
+		t.Fatal("root has a parent")
+	}
+}
+
+// No root-to-leaf path repeats a relation (circuits are broken).
+func TestBuildTreeNoRelationRepeatsOnPath(t *testing.T) {
+	_, tree := courseTree(t)
+	var walk func(n *TreeNode, onPath map[string]bool)
+	walk = func(n *TreeNode, onPath map[string]bool) {
+		if onPath[n.Relation] {
+			t.Fatalf("relation %s repeats on a root path (node %s)", n.Relation, n.ID)
+		}
+		onPath[n.Relation] = true
+		for _, c := range n.Children {
+			walk(c, onPath)
+		}
+		delete(onPath, n.Relation)
+	}
+	walk(tree.Root, map[string]bool{})
+}
+
+// Relevance decreases monotonically along every path and never falls
+// below the threshold.
+func TestBuildTreeRelevanceMonotone(t *testing.T) {
+	_, tree := courseTree(t)
+	m := DefaultMetric()
+	var walk func(n *TreeNode)
+	walk = func(n *TreeNode) {
+		if n.Relevance < m.Threshold {
+			t.Fatalf("node %s has relevance %v below threshold", n.ID, n.Relevance)
+		}
+		for _, c := range n.Children {
+			if c.Relevance > n.Relevance {
+				t.Fatalf("child %s more relevant than parent %s", c.ID, n.ID)
+			}
+			walk(c)
+		}
+	}
+	walk(tree.Root)
+}
+
+// The shallowest occurrence of every relation carries the plain name.
+func TestTreeIDAssignment(t *testing.T) {
+	_, tree := courseTree(t)
+	// STUDENT (plain) must be the copy under GRADES (depth 2), not the
+	// one under DEPARTMENT-PEOPLE (depth 3).
+	s, ok := tree.Node(university.Student)
+	if !ok {
+		t.Fatal("STUDENT missing")
+	}
+	if s.Parent().Relation != university.Grades {
+		t.Fatalf("STUDENT parent = %s, want GRADES", s.Parent().Relation)
+	}
+	// CURRICULUM (plain) must be the direct inverse-reference child of
+	// COURSES (depth 1) — the referencing-peninsula occurrence.
+	c, ok := tree.Node(university.Curriculum)
+	if !ok {
+		t.Fatal("CURRICULUM missing")
+	}
+	if c.Parent().Relation != university.Courses {
+		t.Fatalf("CURRICULUM parent = %s, want COURSES", c.Parent().Relation)
+	}
+	if c.Edge.Forward || c.Edge.Conn.Name != university.ConnCurriculumCourse {
+		t.Fatalf("CURRICULUM edge = %v, want inverse curriculum-course", c.Edge)
+	}
+	// Every ID resolves back to its node.
+	for _, id := range tree.NodeIDs() {
+		n, ok := tree.Node(id)
+		if !ok || n.ID != id {
+			t.Fatalf("ID %s does not round-trip", id)
+		}
+	}
+	if tree.Size() != len(tree.NodeIDs()) {
+		t.Fatal("Size disagrees with NodeIDs")
+	}
+}
+
+func TestTreePathFromRoot(t *testing.T) {
+	_, tree := courseTree(t)
+	p2, _ := tree.Node("PEOPLE#2")
+	path := p2.PathFromRoot()
+	// COURSES --* GRADES inv(--*) STUDENT inv(--)) PEOPLE.
+	if len(path) != 3 {
+		t.Fatalf("path length = %d, want 3", len(path))
+	}
+	if path[0].Conn.Name != university.ConnCourseGrades || !path[0].Forward {
+		t.Fatalf("step 0 = %v", path[0])
+	}
+	if path[1].Conn.Name != university.ConnStudentGrades || path[1].Forward {
+		t.Fatalf("step 1 = %v", path[1])
+	}
+	if path[2].Conn.Name != university.ConnPersonStudent || path[2].Forward {
+		t.Fatalf("step 2 = %v", path[2])
+	}
+	if tree.Root.PathFromRoot() != nil {
+		t.Fatal("root path should be nil")
+	}
+}
+
+func TestTreeRender(t *testing.T) {
+	_, tree := courseTree(t)
+	out := tree.Render()
+	for _, want := range []string{
+		"expanded tree for pivot COURSES",
+		"--> DEPARTMENT",
+		"--* GRADES",
+		"inv(--*) STUDENT",
+		"inv(--)) PEOPLE#2",
+		"inv(-->) CURRICULUM",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Figure 2(c): pruning to ω.
+func TestConfigureOmega(t *testing.T) {
+	_, g := university.New()
+	om := university.MustOmega(g)
+	if om.Complexity() != 5 {
+		t.Fatalf("ω complexity = %d, want 5", om.Complexity())
+	}
+	if om.Pivot() != university.Courses {
+		t.Fatalf("ω pivot = %s", om.Pivot())
+	}
+	if got := strings.Join(om.Key(), ","); got != "CourseID" {
+		t.Fatalf("ω key = %s", got)
+	}
+	// Direct children of the pivot: DEPARTMENT, GRADES, CURRICULUM.
+	var childIDs []string
+	for _, c := range om.Root().Children {
+		childIDs = append(childIDs, c.ID)
+	}
+	if strings.Join(childIDs, ",") != "DEPARTMENT,GRADES,CURRICULUM" {
+		t.Fatalf("ω children = %v", childIDs)
+	}
+	// STUDENT hangs under GRADES via a single inverse-ownership edge.
+	st, ok := om.Node(university.Student)
+	if !ok {
+		t.Fatal("ω misses STUDENT")
+	}
+	if st.Parent().ID != university.Grades {
+		t.Fatalf("STUDENT parent = %s", st.Parent().ID)
+	}
+	if len(st.Path) != 1 || st.Path[0].Forward {
+		t.Fatalf("STUDENT path = %v", st.Path)
+	}
+}
+
+// Figure 3: ω′ attaches STUDENT through a two-connection path (GRADES
+// excluded) and FACULTY through a three-connection path.
+func TestConfigureOmegaPrime(t *testing.T) {
+	_, g := university.New()
+	op := university.MustOmegaPrime(g)
+	if op.Complexity() != 3 {
+		t.Fatalf("ω′ complexity = %d, want 3", op.Complexity())
+	}
+	st, ok := op.Node(university.Student)
+	if !ok {
+		t.Fatal("ω′ misses STUDENT")
+	}
+	if len(st.Path) != 2 {
+		t.Fatalf("ω′ STUDENT path length = %d, want 2 (via GRADES)", len(st.Path))
+	}
+	if st.Path[0].Conn.Name != university.ConnCourseGrades ||
+		st.Path[1].Conn.Name != university.ConnStudentGrades {
+		t.Fatalf("ω′ STUDENT path = %v", st.Path)
+	}
+	fa, ok := op.Node(university.Faculty)
+	if !ok {
+		t.Fatal("ω′ misses FACULTY")
+	}
+	if len(fa.Path) != 3 {
+		t.Fatalf("ω′ FACULTY path length = %d, want 3 (via DEPARTMENT, PEOPLE)", len(fa.Path))
+	}
+}
+
+func TestConfigureErrors(t *testing.T) {
+	_, tree := courseTree(t)
+	if _, err := tree.Configure("bad", map[string][]string{"NOPE": nil}); err == nil {
+		t.Fatal("unknown occurrence accepted")
+	}
+	if _, err := tree.Configure("bad", map[string][]string{
+		university.Grades: {"NoSuchAttr"},
+	}); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+}
+
+func TestConfigureRootOnly(t *testing.T) {
+	_, tree := courseTree(t)
+	d, err := tree.Configure("just-courses", map[string][]string{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Complexity() != 1 {
+		t.Fatalf("complexity = %d", d.Complexity())
+	}
+	// Default projection keeps every attribute.
+	if len(d.Root().Attrs) != 5 {
+		t.Fatalf("root attrs = %v", d.Root().Attrs)
+	}
+}
+
+func TestDefineOneCall(t *testing.T) {
+	_, g := university.New()
+	d, err := Define(g, "quick", university.Courses, DefaultMetric(), map[string][]string{
+		university.Grades: nil,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Complexity() != 2 {
+		t.Fatalf("complexity = %d", d.Complexity())
+	}
+	if _, err := Define(g, "quick", "NOPE", DefaultMetric(), nil); err == nil {
+		t.Fatal("Define with bad pivot accepted")
+	}
+}

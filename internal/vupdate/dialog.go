@@ -1,0 +1,316 @@
+package vupdate
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"penguin/internal/viewobject"
+)
+
+// The translator-selection dialog (§6). The DBA enters a dialog with the
+// object-definition facility; the sequence of answers to the system's
+// questions defines the translator for the object at hand. Questions
+// follow the object's update topology: island nodes get the key-
+// replacement questions, non-island nodes the modification questions, and
+// a NO on a gating question skips its sub-questions (footnote 5).
+
+// Question is one yes/no question of the dialog.
+type Question struct {
+	// ID is a stable identifier, e.g. "replace.allow" or
+	// "island.COURSES.keymod". Scripted answerers key on it.
+	ID string
+	// Text is the paper-style wording shown to the DBA.
+	Text string
+	// Indent nests sub-questions in rendered transcripts.
+	Indent int
+}
+
+// QA records one asked question with its answer.
+type QA struct {
+	Question Question
+	Answer   bool
+}
+
+// Transcript is the asked/answered sequence of one dialog run.
+type Transcript []QA
+
+// Render reproduces the paper's typography: the system's questions in
+// plain text, the DBA's answers as <YES>/<NO>.
+func (t Transcript) Render() string {
+	var b strings.Builder
+	for _, qa := range t {
+		ans := "<NO>"
+		if qa.Answer {
+			ans = "<YES>"
+		}
+		fmt.Fprintf(&b, "%s %s\n", qa.Question.Text, ans)
+	}
+	return b.String()
+}
+
+// Answerer supplies answers during a dialog run.
+type Answerer interface {
+	// Answer returns the DBA's answer to q.
+	Answer(q Question) (bool, error)
+}
+
+// ScriptedAnswerer answers from a map of question ID to answer; IDs
+// absent from the map get Default. It reproduces recorded dialogs and
+// powers tests and benchmarks.
+type ScriptedAnswerer struct {
+	Answers map[string]bool
+	Default bool
+}
+
+// Answer implements Answerer.
+func (s ScriptedAnswerer) Answer(q Question) (bool, error) {
+	if v, ok := s.Answers[q.ID]; ok {
+		return v, nil
+	}
+	return s.Default, nil
+}
+
+// AnswerFunc adapts a function to the Answerer interface.
+type AnswerFunc func(Question) (bool, error)
+
+// Answer implements Answerer.
+func (f AnswerFunc) Answer(q Question) (bool, error) { return f(q) }
+
+// InteractiveAnswerer conducts the dialog on a terminal: questions are
+// written to W (typewriter style, as in the paper) and y/n answers read
+// from R.
+type InteractiveAnswerer struct {
+	R io.Reader
+	W io.Writer
+
+	br *bufio.Reader
+}
+
+// Answer implements Answerer.
+func (ia *InteractiveAnswerer) Answer(q Question) (bool, error) {
+	if ia.br == nil {
+		// Reuse an existing buffered reader so a surrounding REPL and the
+		// dialog do not fight over buffered input.
+		if br, ok := ia.R.(*bufio.Reader); ok {
+			ia.br = br
+		} else {
+			ia.br = bufio.NewReader(ia.R)
+		}
+	}
+	for {
+		fmt.Fprintf(ia.W, "%s%s ", strings.Repeat("  ", q.Indent), q.Text)
+		line, err := ia.br.ReadString('\n')
+		if err != nil && line == "" {
+			return false, fmt.Errorf("vupdate: dialog aborted: %w", err)
+		}
+		switch strings.ToLower(strings.TrimSpace(line)) {
+		case "y", "yes":
+			return true, nil
+		case "n", "no":
+			return false, nil
+		default:
+			fmt.Fprintln(ia.W, "Please answer yes or no.")
+		}
+	}
+}
+
+// Question IDs are built from these templates.
+func qReplaceAllow() Question {
+	return Question{ID: "replace.allow",
+		Text: "Is replacement of tuples in an object instance allowed?"}
+}
+func qInsertAllow() Question {
+	return Question{ID: "insert.allow",
+		Text: "Is insertion of new object instances allowed?"}
+}
+func qDeleteAllow() Question {
+	return Question{ID: "delete.allow",
+		Text: "Is deletion of object instances allowed?"}
+}
+func qIslandKeyMod(rel string) Question {
+	return Question{ID: "island." + rel + ".keymod",
+		Text: fmt.Sprintf("The key of a tuple of relation %s could be modified during replacements. Do you allow this?", rel)}
+}
+func qIslandDBKey(rel string) Question {
+	return Question{ID: "island." + rel + ".dbkey", Indent: 1,
+		Text: "Can we replace the key of the corresponding database tuple?"}
+}
+func qIslandMerge(rel string) Question {
+	return Question{ID: "island." + rel + ".merge", Indent: 1,
+		Text: "The system might need to delete the old database tuple, and replace it with an existing tuple with matching key. Do you allow this?"}
+}
+func qOutsideModifiable(rel string) Question {
+	return Question{ID: "outside." + rel + ".modifiable",
+		Text: fmt.Sprintf("Can the relation %s be modified during insertions (or replacements)?", rel)}
+}
+func qOutsideInsert(rel string) Question {
+	return Question{ID: "outside." + rel + ".insert", Indent: 1,
+		Text: "Can a new tuple be inserted?"}
+}
+func qOutsideModify(rel string) Question {
+	return Question{ID: "outside." + rel + ".modify", Indent: 1,
+		Text: "Can an existing tuple be modified?"}
+}
+func qPeninsulaDelete(rel string) Question {
+	return Question{ID: "peninsula." + rel + ".ondelete",
+		Text: fmt.Sprintf("Deleting an object instance requires updating the tuples of relation %s that reference it. Do you allow this?", rel)}
+}
+
+// ChooseTranslator conducts the full translator-selection dialog for a
+// view object and returns the resulting translator together with the
+// transcript. The replacement portion reproduces §6's question sequence:
+// the gating question, then per relation — in the node-ID order the
+// paper uses (alphabetical) — either the island key questions or the
+// outside modification questions, with sub-questions skipped when their
+// gate is answered NO.
+func ChooseTranslator(def *viewobject.Definition, a Answerer) (*Translator, Transcript, error) {
+	tr := NewTranslator(def)
+	var tape Transcript
+	ask := func(q Question) (bool, error) {
+		ans, err := a.Answer(q)
+		if err != nil {
+			return false, err
+		}
+		tape = append(tape, QA{Question: q, Answer: ans})
+		return ans, nil
+	}
+	topo := tr.Topology()
+
+	// Insertion portion.
+	insOK, err := ask(qInsertAllow())
+	if err != nil {
+		return nil, tape, err
+	}
+	tr.AllowInsertion = insOK
+
+	// Deletion portion: the gate, then one question per referencing
+	// peninsula. The action (delete / set-null / replace-with-default)
+	// defaults by key shape and can be refined on the translator.
+	delOK, err := ask(qDeleteAllow())
+	if err != nil {
+		return nil, tape, err
+	}
+	tr.AllowDeletion = delOK
+	if delOK {
+		for _, id := range topo.Peninsulas() {
+			ok, err := ask(qPeninsulaDelete(id))
+			if err != nil {
+				return nil, tape, err
+			}
+			tr.Peninsula[id] = PeninsulaPolicy{
+				AllowUpdateOnDelete: ok,
+				OnDelete:            tr.defaultPeninsulaAction(id),
+			}
+			if !ok {
+				tr.Peninsula[id] = PeninsulaPolicy{AllowUpdateOnDelete: false, OnDelete: PeninsulaRestrict}
+			}
+		}
+	}
+
+	// Replacement portion (the part §6 prints).
+	replTape, err := chooseReplacementPortion(tr, ask)
+	if err != nil {
+		return nil, tape, err
+	}
+	_ = replTape
+	return tr, tape, nil
+}
+
+// ChooseReplacementTranslator runs only the replacement portion of the
+// dialog — exactly the part the paper prints in §6 — on an existing
+// translator, returning its transcript.
+func ChooseReplacementTranslator(def *viewobject.Definition, a Answerer) (*Translator, Transcript, error) {
+	tr := NewTranslator(def)
+	tr.AllowInsertion = true
+	tr.AllowDeletion = true
+	tr.RepairInserts = true
+	for _, id := range tr.Topology().Peninsulas() {
+		tr.Peninsula[id] = PeninsulaPolicy{
+			AllowUpdateOnDelete: true,
+			OnDelete:            tr.defaultPeninsulaAction(id),
+		}
+	}
+	var tape Transcript
+	ask := func(q Question) (bool, error) {
+		ans, err := a.Answer(q)
+		if err != nil {
+			return false, err
+		}
+		tape = append(tape, QA{Question: q, Answer: ans})
+		return ans, nil
+	}
+	if _, err := chooseReplacementPortion(tr, ask); err != nil {
+		return nil, tape, err
+	}
+	return tr, tape, nil
+}
+
+func chooseReplacementPortion(tr *Translator, ask func(Question) (bool, error)) (Transcript, error) {
+	topo := tr.Topology()
+	replOK, err := ask(qReplaceAllow())
+	if err != nil {
+		return nil, err
+	}
+	tr.AllowReplacement = replOK
+	if !replOK {
+		return nil, nil
+	}
+	// §6 walks the object's relations in alphabetical node-ID order:
+	// COURSES, CURRICULUM, DEPARTMENT, GRADES, STUDENT for ω.
+	ids := make([]string, 0, len(topo.Class))
+	for id := range topo.Class {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if topo.InIsland(id) {
+			keyMod, err := ask(qIslandKeyMod(id))
+			if err != nil {
+				return nil, err
+			}
+			p := IslandPolicy{AllowKeyModification: keyMod}
+			if keyMod {
+				// Footnote 5: sub-questions only when the gate is YES.
+				if p.AllowDBKeyReplace, err = ask(qIslandDBKey(id)); err != nil {
+					return nil, err
+				}
+				if p.AllowMergeWithExisting, err = ask(qIslandMerge(id)); err != nil {
+					return nil, err
+				}
+			}
+			tr.Island[id] = p
+			continue
+		}
+		modifiable, err := ask(qOutsideModifiable(id))
+		if err != nil {
+			return nil, err
+		}
+		p := OutsidePolicy{Modifiable: modifiable}
+		if modifiable {
+			if p.AllowInsert, err = ask(qOutsideInsert(id)); err != nil {
+				return nil, err
+			}
+			if p.AllowModifyExisting, err = ask(qOutsideModify(id)); err != nil {
+				return nil, err
+			}
+		}
+		tr.Outside[id] = p
+	}
+	return nil, nil
+}
+
+// PaperDialogAnswers reproduces the §6 transcript for ω: every question
+// answered YES except the two merge questions (COURSES and GRADES), which
+// the paper answers NO.
+func PaperDialogAnswers() ScriptedAnswerer {
+	return ScriptedAnswerer{
+		Answers: map[string]bool{
+			"island.COURSES.merge": false,
+			"island.GRADES.merge":  false,
+		},
+		Default: true,
+	}
+}

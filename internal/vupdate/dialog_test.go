@@ -1,0 +1,287 @@
+package vupdate_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"penguin/internal/reldb"
+	"penguin/internal/university"
+	"penguin/internal/viewobject"
+	. "penguin/internal/vupdate"
+)
+
+// The §6 dialog, reproduced verbatim: question sequence, order, skip
+// logic, and answers.
+func TestDialogSection6Transcript(t *testing.T) {
+	_, g := university.New()
+	om := university.MustOmega(g)
+	tr, tape, err := ChooseReplacementTranslator(om, PaperDialogAnswers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"Is replacement of tuples in an object instance allowed? <YES>",
+		"The key of a tuple of relation COURSES could be modified during replacements. Do you allow this? <YES>",
+		"Can we replace the key of the corresponding database tuple? <YES>",
+		"The system might need to delete the old database tuple, and replace it with an existing tuple with matching key. Do you allow this? <NO>",
+		"Can the relation CURRICULUM be modified during insertions (or replacements)? <YES>",
+		"Can a new tuple be inserted? <YES>",
+		"Can an existing tuple be modified? <YES>",
+		"Can the relation DEPARTMENT be modified during insertions (or replacements)? <YES>",
+		"Can a new tuple be inserted? <YES>",
+		"Can an existing tuple be modified? <YES>",
+		"The key of a tuple of relation GRADES could be modified during replacements. Do you allow this? <YES>",
+		"Can we replace the key of the corresponding database tuple? <YES>",
+		"The system might need to delete the old database tuple, and replace it with an existing tuple with matching key. Do you allow this? <NO>",
+		"Can the relation STUDENT be modified during insertions (or replacements)? <YES>",
+		"Can a new tuple be inserted? <YES>",
+		"Can an existing tuple be modified? <YES>",
+	}
+	got := strings.Split(strings.TrimRight(tape.Render(), "\n"), "\n")
+	if len(got) != len(want) {
+		t.Fatalf("transcript has %d lines, want %d:\n%s", len(got), len(want), tape.Render())
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("line %d:\n got %q\nwant %q", i+1, got[i], want[i])
+		}
+	}
+	// The resulting translator matches the paper's semantics.
+	if !tr.AllowReplacement {
+		t.Fatal("replacement should be allowed")
+	}
+	for _, rel := range []string{university.Courses, university.Grades} {
+		p := tr.Island[rel]
+		if !p.AllowKeyModification || !p.AllowDBKeyReplace || p.AllowMergeWithExisting {
+			t.Errorf("island policy for %s = %+v", rel, p)
+		}
+	}
+	for _, rel := range []string{university.Curriculum, university.Department, university.Student} {
+		p := tr.Outside[rel]
+		if !p.Modifiable || !p.AllowInsert || !p.AllowModifyExisting {
+			t.Errorf("outside policy for %s = %+v", rel, p)
+		}
+	}
+}
+
+// Footnote 5: answering NO to "Can the relation DEPARTMENT be modified..."
+// makes the two sub-questions irrelevant — they are not asked.
+func TestDialogSkipLogic(t *testing.T) {
+	_, g := university.New()
+	om := university.MustOmega(g)
+	a := ScriptedAnswerer{
+		Answers: map[string]bool{
+			"outside.DEPARTMENT.modifiable": false,
+			"island.COURSES.merge":          false,
+			"island.GRADES.merge":           false,
+		},
+		Default: true,
+	}
+	tr, tape, err := ChooseReplacementTranslator(om, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := tape.Render()
+	if !strings.Contains(text, "Can the relation DEPARTMENT be modified during insertions (or replacements)? <NO>") {
+		t.Fatalf("missing the NO gate:\n%s", text)
+	}
+	// 16 questions minus the two skipped DEPARTMENT sub-questions.
+	if len(tape) != 14 {
+		t.Fatalf("asked %d questions, want 14:\n%s", len(tape), text)
+	}
+	if p := tr.Outside[university.Department]; p.Modifiable || p.AllowInsert || p.AllowModifyExisting {
+		t.Fatalf("DEPARTMENT policy = %+v", p)
+	}
+}
+
+// Answering NO to the replacement gate skips the whole portion.
+func TestDialogReplacementGate(t *testing.T) {
+	_, g := university.New()
+	om := university.MustOmega(g)
+	a := ScriptedAnswerer{Answers: map[string]bool{"replace.allow": false}, Default: true}
+	tr, tape, err := ChooseReplacementTranslator(om, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tape) != 1 {
+		t.Fatalf("asked %d questions, want 1", len(tape))
+	}
+	if tr.AllowReplacement {
+		t.Fatal("replacement should be disallowed")
+	}
+}
+
+// The key-modification gate answered NO skips its two sub-questions.
+func TestDialogIslandSkip(t *testing.T) {
+	_, g := university.New()
+	om := university.MustOmega(g)
+	a := ScriptedAnswerer{
+		Answers: map[string]bool{
+			"island.COURSES.keymod": false,
+			"island.GRADES.merge":   false,
+		},
+		Default: true,
+	}
+	tr, tape, err := ChooseReplacementTranslator(om, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tape) != 14 { // 16 minus the two skipped COURSES sub-questions
+		t.Fatalf("asked %d questions, want 14", len(tape))
+	}
+	p := tr.Island[university.Courses]
+	if p.AllowKeyModification || p.AllowDBKeyReplace {
+		t.Fatalf("COURSES policy = %+v", p)
+	}
+}
+
+// The full dialog adds the insertion and deletion portions (with one
+// question per peninsula).
+func TestFullDialog(t *testing.T) {
+	_, g := university.New()
+	om := university.MustOmega(g)
+	tr, tape, err := ChooseTranslator(om, PaperDialogAnswers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := tape.Render()
+	for _, wantQ := range []string{
+		"Is insertion of new object instances allowed? <YES>",
+		"Is deletion of object instances allowed? <YES>",
+		"Deleting an object instance requires updating the tuples of relation CURRICULUM that reference it. Do you allow this? <YES>",
+		"Is replacement of tuples in an object instance allowed? <YES>",
+	} {
+		if !strings.Contains(text, wantQ) {
+			t.Errorf("transcript missing %q:\n%s", wantQ, text)
+		}
+	}
+	if !tr.AllowInsertion || !tr.AllowDeletion || !tr.AllowReplacement {
+		t.Fatal("gates wrong")
+	}
+	if !tr.Peninsula[university.Curriculum].AllowUpdateOnDelete {
+		t.Fatal("peninsula policy wrong")
+	}
+	if tr.Peninsula[university.Curriculum].OnDelete != PeninsulaDeleteTuple {
+		t.Fatalf("peninsula action = %v (FK inside key should delete)",
+			tr.Peninsula[university.Curriculum].OnDelete)
+	}
+	// Restrictive deletion gate: peninsula questions are skipped.
+	a2 := ScriptedAnswerer{Answers: map[string]bool{"delete.allow": false}, Default: true}
+	_, tape2, err := ChooseTranslator(om, a2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(tape2.Render(), "CURRICULUM that reference it") {
+		t.Fatal("peninsula question asked despite deletion NO")
+	}
+}
+
+// A dialog-built translator drives real updates end to end: the paper's
+// permissive translator accepts the EES345 replacement; the restrictive
+// variant (DEPARTMENT not modifiable) rejects it.
+func TestDialogTranslatorsEndToEnd(t *testing.T) {
+	db, g := university.MustNewSeeded()
+	om := university.MustOmega(g)
+
+	permissive, _, err := ChooseTranslator(om, PaperDialogAnswers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	permissive.RepairInserts = true
+
+	old, ok, err := viewobject.InstantiateByKey(db, om, reldb.Tuple{s("CS345")})
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	repl := old.Clone()
+	_ = repl.Root().SetAttr(om, "CourseID", s("EES345"))
+	_ = repl.Root().SetAttr(om, "DeptName", s("Engineering Economic Systems"))
+	dep := repl.Root().Children(university.Department)[0]
+	_ = dep.SetTuple(om, reldb.Tuple{s("Engineering Economic Systems"), reldb.Null(), reldb.Null()})
+
+	if _, err := NewUpdater(permissive).ReplaceInstance(old, repl); err != nil {
+		t.Fatalf("permissive translator rejected the §6 example: %v", err)
+	}
+	if !db.MustRelation(university.Department).Has(reldb.Tuple{s("Engineering Economic Systems")}) {
+		t.Fatal("EES not inserted")
+	}
+
+	// Fresh database for the restrictive run.
+	db2, g2 := university.MustNewSeeded()
+	om2 := university.MustOmega(g2)
+	restrictive, _, err := ChooseTranslator(om2, ScriptedAnswerer{
+		Answers: map[string]bool{
+			"outside.DEPARTMENT.modifiable": false,
+			"island.COURSES.merge":          false,
+			"island.GRADES.merge":           false,
+		},
+		Default: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	restrictive.RepairInserts = true
+	old2, ok, err := viewobject.InstantiateByKey(db2, om2, reldb.Tuple{s("CS345")})
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	repl2 := old2.Clone()
+	_ = repl2.Root().SetAttr(om2, "CourseID", s("EES345"))
+	_ = repl2.Root().SetAttr(om2, "DeptName", s("Engineering Economic Systems"))
+	dep2 := repl2.Root().Children(university.Department)[0]
+	_ = dep2.SetTuple(om2, reldb.Tuple{s("Engineering Economic Systems"), reldb.Null(), reldb.Null()})
+	if _, err := NewUpdater(restrictive).ReplaceInstance(old2, repl2); !errors.Is(err, ErrRejected) {
+		t.Fatalf("restrictive translator should reject: %v", err)
+	}
+}
+
+func TestInteractiveAnswerer(t *testing.T) {
+	_, g := university.New()
+	om := university.MustOmega(g)
+	// Answer the three gates and everything else with a mix of y/yes/n,
+	// including one garbage line that must be re-prompted.
+	input := strings.NewReader("y\nmaybe\nyes\ny\nn\n")
+	var out strings.Builder
+	ia := &InteractiveAnswerer{R: input, W: &out}
+	tr, tape, err := ChooseTranslator(om, ia)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// insertion YES; deletion (garbage, then yes); peninsula YES;
+	// replacement NO — 4 asked questions.
+	if len(tape) != 4 {
+		t.Fatalf("asked %d questions: %s", len(tape), tape.Render())
+	}
+	if !strings.Contains(out.String(), "Please answer yes or no.") {
+		t.Fatal("no re-prompt for garbage input")
+	}
+	if tr.AllowReplacement {
+		t.Fatal("replacement should be NO")
+	}
+	// EOF mid-dialog surfaces an error.
+	ia2 := &InteractiveAnswerer{R: strings.NewReader("y\n"), W: &out}
+	if _, _, err := ChooseTranslator(om, ia2); err == nil {
+		t.Fatal("EOF should abort the dialog")
+	}
+}
+
+func TestAnswerFunc(t *testing.T) {
+	_, g := university.New()
+	om := university.MustOmega(g)
+	count := 0
+	_, _, err := ChooseTranslator(om, AnswerFunc(func(Question) (bool, error) {
+		count++
+		return true, nil
+	}))
+	if err != nil || count == 0 {
+		t.Fatalf("AnswerFunc not used: %d, %v", count, err)
+	}
+	wantErr := errors.New("boom")
+	_, _, err = ChooseTranslator(om, AnswerFunc(func(Question) (bool, error) {
+		return false, wantErr
+	}))
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,145 @@
+package vupdate
+
+import (
+	"fmt"
+
+	"penguin/internal/reldb"
+	"penguin/internal/viewobject"
+)
+
+// InsertInstance translates and executes a complete insertion (algorithm
+// VO-CI, §5.2): adding a fully specified view-object instance to the
+// database. Per projection tuple, the three cases of VO-CI apply:
+//
+//	case 1 — an identical tuple exists: reject inside the dependency
+//	         island, do nothing outside;
+//	case 2 — the key is free: insert;
+//	case 3 — the key exists with differing non-key values: reject inside
+//	         the island, replace outside (when the translator allows it).
+//
+// Tuples are compared on the node's projected attributes; inserted tuples
+// are the instance's full-width tuples (hand-built instances carry null
+// for attributes projected out — the paper's "extension" point). After
+// translation, global consistency is restored by the recursive dependency
+// repair of §5.2.
+func (u *Updater) InsertInstance(inst *viewobject.Instance) (*Result, error) {
+	if err := u.checkInstance(inst); err != nil {
+		return nil, err
+	}
+	return u.run(func(s *session) error {
+		return s.insertInstance(inst)
+	})
+}
+
+func (s *session) insertInstance(inst *viewobject.Instance) error {
+	if !s.tr.AllowInsertion {
+		return reject("vupdate: %s: insertion of object instances is not allowed", s.def.Name)
+	}
+	if err := validateConnections(s.def, inst.Root()); err != nil {
+		return err
+	}
+	topo := s.tr.Topology()
+	var touched []relTuple
+	// Walk the definition preorder so owners precede owned tuples.
+	for _, node := range s.def.Nodes() {
+		for _, in := range inst.NodesAt(node.ID) {
+			t, err := s.insertComponent(topo, node, in.Tuple())
+			if err != nil {
+				return err
+			}
+			if t != nil {
+				touched = append(touched, relTuple{node.Relation, t})
+			}
+		}
+	}
+	// Global validation (§5.2): dependency repair for every inserted or
+	// replaced tuple, recursively.
+	seen := make(map[string]bool)
+	for _, rt := range touched {
+		if err := s.ensureDependencies(rt.rel, rt.tuple, seen); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type relTuple struct {
+	rel   string
+	tuple reldb.Tuple
+}
+
+// insertComponent applies the three VO-CI cases to one component tuple.
+// It returns the tuple now present in the database when the database was
+// modified, and nil when the case required no operation.
+func (s *session) insertComponent(topo *Topology, node *viewobject.Node, tuple reldb.Tuple) (reldb.Tuple, error) {
+	rel, err := s.relation(node.Relation)
+	if err != nil {
+		return nil, err
+	}
+	schema := rel.Schema()
+	if err := schema.CheckTuple(tuple); err != nil {
+		return nil, fmt.Errorf("vupdate: %s: component %s: %w", s.def.Name, node.ID, err)
+	}
+	inIsland := topo.InIsland(node.ID)
+	key := schema.KeyOf(tuple)
+	existing, exists := rel.Get(key)
+
+	projIdx, err := schema.Indices(node.Attrs)
+	if err != nil {
+		return nil, err
+	}
+
+	switch {
+	case exists && projectedEqual(tuple, existing, projIdx):
+		// CASE 1: an identical tuple exists.
+		if inIsland {
+			return nil, reject("vupdate: %s: identical %s tuple %s already exists in the dependency island",
+				s.def.Name, node.ID, key)
+		}
+		return nil, nil
+	case !exists:
+		// CASE 2: the key is free.
+		if !inIsland {
+			p := s.tr.outsidePolicy(node.ID)
+			if !p.Modifiable || !p.AllowInsert {
+				return nil, reject("vupdate: %s: the application is not allowed to insert tuples in %s",
+					s.def.Name, node.Relation)
+			}
+		}
+		if err := s.insert(node.Relation, tuple); err != nil {
+			return nil, err
+		}
+		return tuple, nil
+	default:
+		// CASE 3: the key exists with differing values.
+		if inIsland {
+			return nil, reject("vupdate: %s: %s tuple with key %s exists with conflicting values",
+				s.def.Name, node.ID, key)
+		}
+		p := s.tr.outsidePolicy(node.ID)
+		if !p.Modifiable || !p.AllowModifyExisting {
+			return nil, reject("vupdate: %s: the application is not allowed to modify tuples of %s",
+				s.def.Name, node.Relation)
+		}
+		// Merge the projected attributes into the existing tuple so
+		// attributes outside the projection keep their stored values.
+		merged := existing.Clone()
+		for _, j := range projIdx {
+			merged[j] = tuple[j]
+		}
+		if err := s.replace(node.Relation, key, merged); err != nil {
+			return nil, err
+		}
+		return merged, nil
+	}
+}
+
+// projectedEqual compares two full-width tuples on the projected indices.
+func projectedEqual(a, b reldb.Tuple, idx []int) bool {
+	for _, j := range idx {
+		if !a[j].Equal(b[j]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,188 @@
+// Package vupdate implements the paper's core contribution (§5): translating
+// update operations on view-object instances into valid operations on the
+// underlying relational database.
+//
+// A view-object update runs in four logical steps:
+//
+//  1. local validation against the view-object definition and the
+//     translator's authorizations;
+//  2. propagation within the view object (key-complement propagation down
+//     the dependency island);
+//  3. translation into a set of database update operations (algorithms
+//     VO-CD, VO-CI, and VO-R);
+//  4. global validation against the structural model (cascades outside the
+//     object, foreign-key maintenance, dependency repair).
+//
+// Every operation executes inside one transaction: if any step is rejected,
+// the whole view-object update rolls back (§5.1).
+//
+// The semantics that disambiguate translations are captured in a Translator
+// chosen once, at view-object definition time, through a DBA dialog
+// (§6; see dialog.go). Once chosen, the translator deterministically
+// handles every runtime update request.
+package vupdate
+
+import (
+	"sort"
+
+	"penguin/internal/structural"
+	"penguin/internal/viewobject"
+)
+
+// NodeClass classifies a view-object node for update translation.
+type NodeClass uint8
+
+// Node classes.
+const (
+	// ClassPivot is the pivot node (also part of the dependency island).
+	ClassPivot NodeClass = iota
+	// ClassIsland marks non-pivot members of the dependency island
+	// (Definition 5.1): reachable from the pivot through forward
+	// ownership and subset connections only.
+	ClassIsland
+	// ClassPeninsula marks referencing peninsulas (Definition 5.2):
+	// relations of the object directly connected to an island relation by
+	// a reference connection.
+	ClassPeninsula
+	// ClassReferenced marks relations that an island relation references
+	// (§5.3 rule 2: key replacements there become insertions).
+	ClassReferenced
+	// ClassOutside marks every other node.
+	ClassOutside
+)
+
+// String implements fmt.Stringer.
+func (c NodeClass) String() string {
+	switch c {
+	case ClassPivot:
+		return "pivot"
+	case ClassIsland:
+		return "island"
+	case ClassPeninsula:
+		return "peninsula"
+	case ClassReferenced:
+		return "referenced"
+	case ClassOutside:
+		return "outside"
+	default:
+		return "unknown"
+	}
+}
+
+// Topology is the update-relevant classification of a view object's nodes.
+type Topology struct {
+	Def *viewobject.Definition
+	// Class maps node ID to its class.
+	Class map[string]NodeClass
+}
+
+// Analyze computes the dependency island, the referencing peninsulas, and
+// the remaining node classes of a view object.
+func Analyze(def *viewobject.Definition) *Topology {
+	t := &Topology{Def: def, Class: make(map[string]NodeClass)}
+
+	// Dependency island (Definition 5.1): maximal subtree rooted at the
+	// pivot whose paths consist exclusively of forward ownership and
+	// subset connections.
+	var mark func(n *viewobject.Node, inIsland bool)
+	mark = func(n *viewobject.Node, inIsland bool) {
+		if n == def.Root() {
+			t.Class[n.ID] = ClassPivot
+		} else if inIsland {
+			t.Class[n.ID] = ClassIsland
+		}
+		for _, c := range n.Children {
+			childIn := inIsland && islandPath(c.Path)
+			if !childIn {
+				// Classified in the second pass.
+				mark(c, false)
+				continue
+			}
+			mark(c, true)
+		}
+	}
+	mark(def.Root(), true)
+
+	// Island relations (by base relation name) for peninsula detection.
+	islandRels := make(map[string]bool)
+	for id, cl := range t.Class {
+		if cl == ClassPivot || cl == ClassIsland {
+			n, _ := def.Node(id)
+			islandRels[n.Relation] = true
+		}
+	}
+
+	g := def.Graph()
+	for _, n := range def.Nodes() {
+		if _, done := t.Class[n.ID]; done {
+			continue
+		}
+		t.Class[n.ID] = classifyOutside(g, n.Relation, islandRels)
+	}
+	return t
+}
+
+// islandPath reports whether every step of a connection path is a forward
+// ownership or forward subset connection.
+func islandPath(path []structural.Edge) bool {
+	for _, e := range path {
+		if !e.Forward {
+			return false
+		}
+		if e.Conn.Type != structural.Ownership && e.Conn.Type != structural.Subset {
+			return false
+		}
+	}
+	return len(path) > 0
+}
+
+// classifyOutside decides between peninsula, referenced, and outside for a
+// non-island relation.
+func classifyOutside(g *structural.Graph, rel string, islandRels map[string]bool) NodeClass {
+	// Peninsula: rel --> islandRel (Definition 5.2).
+	for _, c := range g.Outgoing(rel) {
+		if c.Type == structural.Reference && islandRels[c.To] {
+			return ClassPeninsula
+		}
+	}
+	// Referenced: islandRel --> rel.
+	for _, c := range g.Incoming(rel) {
+		if c.Type == structural.Reference && islandRels[c.From] {
+			return ClassReferenced
+		}
+	}
+	return ClassOutside
+}
+
+// Island returns the node IDs of the dependency island (pivot included),
+// sorted.
+func (t *Topology) Island() []string {
+	return t.idsOf(func(c NodeClass) bool { return c == ClassPivot || c == ClassIsland })
+}
+
+// Peninsulas returns the node IDs of the referencing peninsulas, sorted.
+func (t *Topology) Peninsulas() []string {
+	return t.idsOf(func(c NodeClass) bool { return c == ClassPeninsula })
+}
+
+// NonIsland returns the node IDs outside the dependency island, sorted.
+func (t *Topology) NonIsland() []string {
+	return t.idsOf(func(c NodeClass) bool { return c != ClassPivot && c != ClassIsland })
+}
+
+// InIsland reports whether the node is part of the dependency island.
+func (t *Topology) InIsland(nodeID string) bool {
+	c, ok := t.Class[nodeID]
+	return ok && (c == ClassPivot || c == ClassIsland)
+}
+
+func (t *Topology) idsOf(keep func(NodeClass) bool) []string {
+	var ids []string
+	for id, c := range t.Class {
+		if keep(c) {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}

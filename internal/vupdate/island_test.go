@@ -1,0 +1,111 @@
+package vupdate_test
+
+import (
+	"strings"
+	"testing"
+
+	"penguin/internal/university"
+	"penguin/internal/viewobject"
+	. "penguin/internal/vupdate"
+)
+
+// §5's running example: for ω, the dependency island is {COURSES, GRADES}
+// and the only referencing peninsula is CURRICULUM.
+func TestAnalyzeOmega(t *testing.T) {
+	_, g := university.New()
+	om := university.MustOmega(g)
+	topo := Analyze(om)
+
+	if got := strings.Join(topo.Island(), ","); got != "COURSES,GRADES" {
+		t.Fatalf("island = %s, want COURSES,GRADES", got)
+	}
+	if got := strings.Join(topo.Peninsulas(), ","); got != "CURRICULUM" {
+		t.Fatalf("peninsulas = %s, want CURRICULUM", got)
+	}
+	wantClass := map[string]NodeClass{
+		university.Courses:    ClassPivot,
+		university.Grades:     ClassIsland,
+		university.Curriculum: ClassPeninsula,
+		university.Department: ClassReferenced, // COURSES --> DEPARTMENT
+		university.Student:    ClassOutside,    // via inverse ownership
+	}
+	for id, want := range wantClass {
+		if got := topo.Class[id]; got != want {
+			t.Errorf("class[%s] = %s, want %s", id, got, want)
+		}
+	}
+	if !topo.InIsland(university.Courses) || !topo.InIsland(university.Grades) {
+		t.Fatal("InIsland wrong for island members")
+	}
+	if topo.InIsland(university.Student) || topo.InIsland("NOPE") {
+		t.Fatal("InIsland wrong for outsiders")
+	}
+	if got := strings.Join(topo.NonIsland(), ","); got != "CURRICULUM,DEPARTMENT,STUDENT" {
+		t.Fatalf("NonIsland = %s", got)
+	}
+}
+
+// ω′ has no island beyond the pivot: both components attach through paths
+// involving inverse connections.
+func TestAnalyzeOmegaPrime(t *testing.T) {
+	_, g := university.New()
+	op := university.MustOmegaPrime(g)
+	topo := Analyze(op)
+	if got := strings.Join(topo.Island(), ","); got != "COURSES" {
+		t.Fatalf("ω′ island = %s, want COURSES only", got)
+	}
+	// STUDENT owns GRADES which is... STUDENT has no reference into the
+	// island; FACULTY neither. Both are plain outside relations.
+	if topo.Class[university.Student] != ClassOutside {
+		t.Fatalf("STUDENT class = %s", topo.Class[university.Student])
+	}
+	if topo.Class[university.Faculty] != ClassOutside {
+		t.Fatalf("FACULTY class = %s", topo.Class[university.Faculty])
+	}
+	if len(topo.Peninsulas()) != 0 {
+		t.Fatalf("ω′ peninsulas = %v", topo.Peninsulas())
+	}
+}
+
+// A deeper island: DEPARTMENT as pivot owns CURRICULUM, so the island
+// spans both. COURSES references DEPARTMENT directly, which makes it a
+// referencing peninsula (Definition 5.2) even though CURRICULUM also
+// references it.
+func TestAnalyzeDepartmentObject(t *testing.T) {
+	_, g := university.New()
+	m := viewobject.DefaultMetric()
+	def, err := viewobject.Define(g, "dept-object", university.Department, m, map[string][]string{
+		university.Curriculum: nil,
+		university.Courses:    nil,
+		university.People:     nil,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := Analyze(def)
+	if !topo.InIsland(university.Curriculum) {
+		t.Fatalf("CURRICULUM should be in DEPARTMENT's island; classes: %v", topo.Class)
+	}
+	if topo.Class[university.Courses] != ClassPeninsula {
+		t.Fatalf("COURSES class = %s, want peninsula (it references the pivot)", topo.Class[university.Courses])
+	}
+	// PEOPLE references DEPARTMENT (the pivot): a peninsula.
+	if topo.Class[university.People] != ClassPeninsula {
+		t.Fatalf("PEOPLE class = %s, want peninsula", topo.Class[university.People])
+	}
+}
+
+func TestNodeClassString(t *testing.T) {
+	want := map[NodeClass]string{
+		ClassPivot: "pivot", ClassIsland: "island", ClassPeninsula: "peninsula",
+		ClassReferenced: "referenced", ClassOutside: "outside",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q", c, c.String())
+		}
+	}
+	if NodeClass(99).String() != "unknown" {
+		t.Error("unknown class string")
+	}
+}

@@ -1,0 +1,230 @@
+package vupdate
+
+import (
+	"fmt"
+
+	"penguin/internal/reldb"
+	"penguin/internal/structural"
+	"penguin/internal/viewobject"
+)
+
+// Partial update operations manipulate a single component of a view
+// object (one node of the object's tree) rather than a complete instance.
+// The paper defines them in the companion thesis [4]; they reuse the
+// machinery of the complete operations:
+//
+//   - PartialInsert adds one component tuple under an existing instance,
+//     applying the VO-CI cases and the §5.2 dependency repair, and
+//     verifies the new tuple is actually connected to the instance;
+//   - PartialDelete removes one component tuple; only dependency-island
+//     components may be deleted (removing a non-island component from an
+//     instance does not delete shared base data — such requests are
+//     inherently ambiguous and rejected);
+//   - PartialUpdate replaces one component tuple, applying the R-case
+//     rules (key replacements only inside the island, with full
+//     propagation).
+
+// PartialInsert adds one component tuple at node nodeID of the instance
+// identified by pivotKey.
+func (u *Updater) PartialInsert(pivotKey reldb.Tuple, nodeID string, tuple reldb.Tuple) (*Result, error) {
+	return u.run(func(s *session) error {
+		node, err := s.partialNode(nodeID)
+		if err != nil {
+			return err
+		}
+		if !s.tr.AllowInsertion {
+			return reject("vupdate: %s: insertion is not allowed", s.def.Name)
+		}
+		pivotTuple, err := s.pivotTuple(pivotKey)
+		if err != nil {
+			return err
+		}
+		topo := s.tr.Topology()
+		t, err := s.insertComponent(topo, node, tuple)
+		if err != nil {
+			return err
+		}
+		if t == nil {
+			t = tuple
+		}
+		if err := s.ensureDependencies(node.Relation, t, map[string]bool{}); err != nil {
+			return err
+		}
+		// The component must now be connected to the instance.
+		ok, err := s.connectedToInstance(pivotTuple, node, t)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return reject("vupdate: %s: the new %s tuple %s is not connected to instance %s",
+				s.def.Name, nodeID, t, pivotKey)
+		}
+		return nil
+	})
+}
+
+// PartialDelete removes the component tuple with the given key at node
+// nodeID of the instance identified by pivotKey. Only dependency-island
+// components can be deleted.
+func (u *Updater) PartialDelete(pivotKey reldb.Tuple, nodeID string, key reldb.Tuple) (*Result, error) {
+	return u.run(func(s *session) error {
+		node, err := s.partialNode(nodeID)
+		if err != nil {
+			return err
+		}
+		if !s.tr.AllowDeletion {
+			return reject("vupdate: %s: deletion is not allowed", s.def.Name)
+		}
+		topo := s.tr.Topology()
+		if !topo.InIsland(nodeID) {
+			return reject("vupdate: %s: partial deletion of %s components is ambiguous (outside the dependency island)",
+				s.def.Name, nodeID)
+		}
+		pivotTuple, err := s.pivotTuple(pivotKey)
+		if err != nil {
+			return err
+		}
+		rel, err := s.relation(node.Relation)
+		if err != nil {
+			return err
+		}
+		tuple, ok := rel.Get(key)
+		if !ok {
+			return fmt.Errorf("vupdate: %s: no %s tuple with key %s: %w",
+				s.def.Name, nodeID, key, reldb.ErrNoSuchTuple)
+		}
+		// The tuple must belong to this instance.
+		connected, err := s.connectedToInstance(pivotTuple, node, tuple)
+		if err != nil {
+			return err
+		}
+		if !connected {
+			return reject("vupdate: %s: %s tuple %s does not belong to instance %s",
+				s.def.Name, nodeID, key, pivotKey)
+		}
+		if node == s.def.Root() {
+			return reject("vupdate: %s: deleting the pivot component is a complete deletion; use DeleteByKey",
+				s.def.Name)
+		}
+		return s.deleteCascade(node.Relation, tuple, map[string]bool{})
+	})
+}
+
+// PartialUpdate replaces one component tuple at node nodeID of the
+// instance identified by pivotKey.
+func (u *Updater) PartialUpdate(pivotKey reldb.Tuple, nodeID string, oldTuple, newTuple reldb.Tuple) (*Result, error) {
+	return u.run(func(s *session) error {
+		node, err := s.partialNode(nodeID)
+		if err != nil {
+			return err
+		}
+		if !s.tr.AllowReplacement {
+			return reject("vupdate: %s: replacement is not allowed", s.def.Name)
+		}
+		pivotTuple, err := s.pivotTuple(pivotKey)
+		if err != nil {
+			return err
+		}
+		schema := s.schemaOf(node)
+		if err := schema.CheckTuple(newTuple); err != nil {
+			return fmt.Errorf("vupdate: %s: component %s: %w", s.def.Name, nodeID, err)
+		}
+		connected, err := s.connectedToInstance(pivotTuple, node, oldTuple)
+		if err != nil {
+			return err
+		}
+		if !connected {
+			return reject("vupdate: %s: %s tuple %s does not belong to instance %s",
+				s.def.Name, nodeID, schema.KeyOf(oldTuple), pivotKey)
+		}
+		topo := s.tr.Topology()
+		rc := &replaceCtx{s: s, topo: topo, keyMap: make(map[string]map[string]keyChange)}
+		projIdx, err := schema.Indices(node.Attrs)
+		if err != nil {
+			return err
+		}
+		oldKey, newKey := schema.KeyOf(oldTuple), schema.KeyOf(newTuple)
+		switch {
+		case projectedEqual(oldTuple, newTuple, projIdx):
+			return nil
+		case oldKey.Equal(newKey):
+			if err := rc.replaceSameKey(node, schema, oldKey, newTuple, projIdx); err != nil {
+				return err
+			}
+		default:
+			switch topo.Class[node.ID] {
+			case ClassPivot, ClassIsland:
+				if err := rc.replaceIslandKey(node, schema, oldTuple, newTuple, projIdx); err != nil {
+					return err
+				}
+			case ClassReferenced:
+				if err := rc.insertOrMendOutside(node, schema, newTuple, projIdx); err != nil {
+					return err
+				}
+			default:
+				return reject("vupdate: %s: changes to the key of %s tuples are precluded",
+					s.def.Name, nodeID)
+			}
+		}
+		if err := rc.propagateKeyChanges(); err != nil {
+			return err
+		}
+		seen := make(map[string]bool)
+		for _, rt := range rc.touched {
+			if err := s.ensureDependencies(rt.rel, rt.tuple, seen); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// partialNode resolves a node ID for a partial operation.
+func (s *session) partialNode(nodeID string) (*viewobject.Node, error) {
+	node, ok := s.def.Node(nodeID)
+	if !ok {
+		return nil, fmt.Errorf("vupdate: %s has no node %s", s.def.Name, nodeID)
+	}
+	return node, nil
+}
+
+// pivotTuple fetches the pivot tuple of the addressed instance.
+func (s *session) pivotTuple(pivotKey reldb.Tuple) (reldb.Tuple, error) {
+	rel, err := s.relation(s.def.Pivot())
+	if err != nil {
+		return nil, err
+	}
+	t, ok := rel.Get(pivotKey)
+	if !ok {
+		return nil, fmt.Errorf("vupdate: %s: no instance with key %s: %w",
+			s.def.Name, pivotKey, reldb.ErrNoSuchTuple)
+	}
+	return t, nil
+}
+
+// connectedToInstance reports whether tuple appears at node when the
+// instance rooted at pivotTuple is assembled: it traverses the
+// concatenated connection path from the pivot to the node and looks for
+// the tuple's key.
+func (s *session) connectedToInstance(pivotTuple reldb.Tuple, node *viewobject.Node, tuple reldb.Tuple) (bool, error) {
+	if node == s.def.Root() {
+		rootSchema := s.schemaOf(s.def.Root())
+		return rootSchema.KeyOf(pivotTuple).Equal(rootSchema.KeyOf(tuple)), nil
+	}
+	var full []structural.Edge
+	for n := node; n != s.def.Root(); n = n.Parent() {
+		full = append(append([]structural.Edge(nil), n.Path...), full...)
+	}
+	reached, err := viewobject.TraversePath(s.tx, pivotTuple, full)
+	if err != nil {
+		return false, err
+	}
+	schema := s.schemaOf(node)
+	want := schema.EncodeKeyOf(tuple)
+	for _, rt := range reached {
+		if schema.EncodeKeyOf(rt) == want {
+			return true, nil
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,143 @@
+package vupdate
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"penguin/internal/reldb"
+	"penguin/internal/viewobject"
+)
+
+// Translator persistence. The whole point of definition-time translator
+// choice is that the dialog happens once; the chosen policies are a
+// durable artifact of the view-object definition. SavePolicies writes
+// them as JSON; LoadTranslator re-binds them to a definition (typically
+// after a restart, against the same structural schema).
+
+// policiesDoc is the serialized form.
+type policiesDoc struct {
+	Object           string                     `json:"object"`
+	Pivot            string                     `json:"pivot"`
+	AllowInsertion   bool                       `json:"allow_insertion"`
+	AllowDeletion    bool                       `json:"allow_deletion"`
+	AllowReplacement bool                       `json:"allow_replacement"`
+	RepairInserts    bool                       `json:"repair_inserts"`
+	Island           map[string]IslandPolicy    `json:"island,omitempty"`
+	Outside          map[string]OutsidePolicy   `json:"outside,omitempty"`
+	Peninsula        map[string]peninsulaPolicy `json:"peninsula,omitempty"`
+}
+
+// peninsulaPolicy serializes PeninsulaPolicy (the default tuple becomes a
+// list of literals).
+type peninsulaPolicy struct {
+	AllowUpdateOnDelete bool     `json:"allow_update_on_delete"`
+	OnDelete            string   `json:"on_delete"`
+	Default             []string `json:"default,omitempty"`
+	DefaultKinds        []string `json:"default_kinds,omitempty"`
+}
+
+var actionNames = map[PeninsulaAction]string{
+	PeninsulaDeleteTuple:    "delete-tuple",
+	PeninsulaSetNull:        "set-null",
+	PeninsulaReplaceDefault: "replace-default",
+	PeninsulaRestrict:       "restrict",
+}
+
+func actionFromName(name string) (PeninsulaAction, error) {
+	for a, n := range actionNames {
+		if n == name {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("vupdate: unknown peninsula action %q", name)
+}
+
+// SavePolicies serializes the translator's policies to w.
+func (tr *Translator) SavePolicies(w io.Writer) error {
+	doc := policiesDoc{
+		Object:           tr.topo.Def.Name,
+		Pivot:            tr.topo.Def.Pivot(),
+		AllowInsertion:   tr.AllowInsertion,
+		AllowDeletion:    tr.AllowDeletion,
+		AllowReplacement: tr.AllowReplacement,
+		RepairInserts:    tr.RepairInserts,
+		Island:           tr.Island,
+		Outside:          tr.Outside,
+		Peninsula:        make(map[string]peninsulaPolicy, len(tr.Peninsula)),
+	}
+	for id, p := range tr.Peninsula {
+		sp := peninsulaPolicy{
+			AllowUpdateOnDelete: p.AllowUpdateOnDelete,
+			OnDelete:            actionNames[p.OnDelete],
+		}
+		for _, v := range p.Default {
+			sp.Default = append(sp.Default, v.String())
+			sp.DefaultKinds = append(sp.DefaultKinds, v.Kind().String())
+		}
+		doc.Peninsula[id] = sp
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// LoadTranslator deserializes policies from r and binds them to def. The
+// document must have been saved for an object with the same name and
+// pivot; node IDs in the policies must exist in def.
+func LoadTranslator(def *viewobject.Definition, r io.Reader) (*Translator, error) {
+	var doc policiesDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("vupdate: loading translator: %w", err)
+	}
+	if doc.Object != def.Name {
+		return nil, fmt.Errorf("vupdate: translator was saved for object %q, not %q", doc.Object, def.Name)
+	}
+	if doc.Pivot != def.Pivot() {
+		return nil, fmt.Errorf("vupdate: translator was saved for pivot %q, not %q", doc.Pivot, def.Pivot())
+	}
+	tr := NewTranslator(def)
+	tr.AllowInsertion = doc.AllowInsertion
+	tr.AllowDeletion = doc.AllowDeletion
+	tr.AllowReplacement = doc.AllowReplacement
+	tr.RepairInserts = doc.RepairInserts
+	topo := tr.Topology()
+	for id, p := range doc.Island {
+		if !topo.InIsland(id) {
+			return nil, fmt.Errorf("vupdate: saved island policy for %q, which is not an island node", id)
+		}
+		tr.Island[id] = p
+	}
+	for id, p := range doc.Outside {
+		if _, ok := def.Node(id); !ok {
+			return nil, fmt.Errorf("vupdate: saved outside policy for unknown node %q", id)
+		}
+		tr.Outside[id] = p
+	}
+	for id, sp := range doc.Peninsula {
+		if _, ok := def.Node(id); !ok {
+			return nil, fmt.Errorf("vupdate: saved peninsula policy for unknown node %q", id)
+		}
+		action, err := actionFromName(sp.OnDelete)
+		if err != nil {
+			return nil, err
+		}
+		p := PeninsulaPolicy{AllowUpdateOnDelete: sp.AllowUpdateOnDelete, OnDelete: action}
+		if len(sp.Default) != len(sp.DefaultKinds) {
+			return nil, fmt.Errorf("vupdate: peninsula %q default values and kinds disagree", id)
+		}
+		for i, lit := range sp.Default {
+			kind, err := reldb.ParseKind(sp.DefaultKinds[i])
+			if err != nil {
+				return nil, err
+			}
+			v, err := reldb.ParseValue(kind, lit)
+			if err != nil {
+				return nil, err
+			}
+			p.Default = append(p.Default, v)
+		}
+		tr.Peninsula[id] = p
+	}
+	return tr, nil
+}

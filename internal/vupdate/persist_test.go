@@ -1,0 +1,116 @@
+package vupdate_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"penguin/internal/reldb"
+	"penguin/internal/university"
+	. "penguin/internal/vupdate"
+)
+
+func TestTranslatorSaveLoadRoundTrip(t *testing.T) {
+	_, g := university.New()
+	om := university.MustOmega(g)
+	orig, _, err := ChooseTranslator(om, PaperDialogAnswers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig.RepairInserts = true
+	orig.Peninsula[university.Curriculum] = PeninsulaPolicy{
+		AllowUpdateOnDelete: true,
+		OnDelete:            PeninsulaReplaceDefault,
+		Default:             reldb.Tuple{reldb.String("CS101")},
+	}
+
+	var buf bytes.Buffer
+	if err := orig.SavePolicies(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Rebind against a fresh definition (a restart).
+	_, g2 := university.New()
+	om2 := university.MustOmega(g2)
+	loaded, err := LoadTranslator(om2, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.AllowInsertion != orig.AllowInsertion ||
+		loaded.AllowDeletion != orig.AllowDeletion ||
+		loaded.AllowReplacement != orig.AllowReplacement ||
+		loaded.RepairInserts != orig.RepairInserts {
+		t.Fatal("gates differ after round trip")
+	}
+	for id, p := range orig.Island {
+		if loaded.Island[id] != p {
+			t.Fatalf("island policy %s differs: %+v vs %+v", id, loaded.Island[id], p)
+		}
+	}
+	for id, p := range orig.Outside {
+		if loaded.Outside[id] != p {
+			t.Fatalf("outside policy %s differs", id)
+		}
+	}
+	lp := loaded.Peninsula[university.Curriculum]
+	if lp.OnDelete != PeninsulaReplaceDefault || !lp.AllowUpdateOnDelete {
+		t.Fatalf("peninsula policy = %+v", lp)
+	}
+	if len(lp.Default) != 1 || !lp.Default[0].Equal(reldb.String("CS101")) {
+		t.Fatalf("peninsula default = %v", lp.Default)
+	}
+}
+
+func TestLoadedTranslatorDrivesUpdates(t *testing.T) {
+	db, g := university.MustNewSeeded()
+	om := university.MustOmega(g)
+	orig, _, err := ChooseTranslator(om, PaperDialogAnswers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.SavePolicies(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadTranslator(om, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := NewUpdater(loaded)
+	if _, err := u.DeleteByKey(reldb.Tuple{s("CS445")}); err != nil {
+		t.Fatal(err)
+	}
+	if db.MustRelation(university.Courses).Has(reldb.Tuple{s("CS445")}) {
+		t.Fatal("delete under loaded translator failed")
+	}
+}
+
+func TestLoadTranslatorValidation(t *testing.T) {
+	_, g := university.New()
+	om := university.MustOmega(g)
+	op := university.MustOmegaPrime(g)
+	orig := PermissiveTranslator(om)
+	var buf bytes.Buffer
+	if err := orig.SavePolicies(&buf); err != nil {
+		t.Fatal(err)
+	}
+	saved := buf.String()
+
+	// Wrong object.
+	if _, err := LoadTranslator(op, strings.NewReader(saved)); err == nil {
+		t.Fatal("loading ω's translator into ω′ accepted")
+	}
+	// Corrupt JSON.
+	if _, err := LoadTranslator(om, strings.NewReader(saved[:20])); err == nil {
+		t.Fatal("truncated JSON accepted")
+	}
+	// Unknown node in island policies.
+	doc := strings.Replace(saved, `"COURSES"`, `"NOPE"`, 1)
+	if _, err := LoadTranslator(om, strings.NewReader(doc)); err == nil {
+		t.Fatal("unknown island node accepted")
+	}
+	// Unknown peninsula action.
+	bad := strings.Replace(saved, `"delete-tuple"`, `"explode"`, 1)
+	if _, err := LoadTranslator(om, strings.NewReader(bad)); err == nil {
+		t.Fatal("unknown action accepted")
+	}
+}

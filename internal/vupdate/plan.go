@@ -1,0 +1,182 @@
+package vupdate
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"penguin/internal/reldb"
+	"penguin/internal/structural"
+	"penguin/internal/viewobject"
+)
+
+// ErrRejected wraps every policy rejection: the requested view-object
+// update has no translation under the chosen translator, so the
+// transaction rolls back. Use errors.Is to distinguish rejections from
+// infrastructure failures.
+var ErrRejected = errors.New("view-object update rejected by translator")
+
+// OpKind identifies a primitive database operation.
+type OpKind uint8
+
+// Primitive database operations emitted by the translation algorithms.
+const (
+	OpInsert OpKind = iota
+	OpDelete
+	OpReplace
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	case OpReplace:
+		return "replace"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(k))
+	}
+}
+
+// DBOp records one primitive database operation of a translation.
+type DBOp struct {
+	Kind     OpKind
+	Relation string
+	// Key identifies the affected tuple for deletes and replaces.
+	Key reldb.Tuple
+	// Tuple is the inserted or replacing tuple.
+	Tuple reldb.Tuple
+}
+
+// String implements fmt.Stringer.
+func (op DBOp) String() string {
+	switch op.Kind {
+	case OpInsert:
+		return fmt.Sprintf("insert %s %s", op.Relation, op.Tuple)
+	case OpDelete:
+		return fmt.Sprintf("delete %s key %s", op.Relation, op.Key)
+	case OpReplace:
+		return fmt.Sprintf("replace %s key %s with %s", op.Relation, op.Key, op.Tuple)
+	default:
+		return fmt.Sprintf("%s %s", op.Kind, op.Relation)
+	}
+}
+
+// Result reports a committed view-object update: the database operations
+// performed, in execution order.
+type Result struct {
+	Ops []DBOp
+}
+
+// Count returns the number of operations of the given kind.
+func (r *Result) Count(kind OpKind) int {
+	n := 0
+	for _, op := range r.Ops {
+		if op.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the operations one per line.
+func (r *Result) String() string {
+	lines := make([]string, len(r.Ops))
+	for i, op := range r.Ops {
+		lines[i] = op.String()
+	}
+	return strings.Join(lines, "\n")
+}
+
+// Updater executes view-object updates on a database under a translator.
+// The database must be the one the translator's definition was built over.
+type Updater struct {
+	T *Translator
+}
+
+// NewUpdater creates an updater for the translator.
+func NewUpdater(t *Translator) *Updater { return &Updater{T: t} }
+
+// session carries one in-flight update translation: the transaction, the
+// op log, and bookkeeping shared by the algorithms.
+type session struct {
+	tr  *Translator
+	def *viewobject.Definition
+	g   *structural.Graph
+	tx  *reldb.Tx
+	ops []DBOp
+}
+
+// run executes fn inside a transaction against the definition's database,
+// committing on success and rolling back on error.
+func (u *Updater) run(fn func(*session) error) (*Result, error) {
+	def := u.T.Definition()
+	db := def.Graph().Database()
+	s := &session{tr: u.T, def: def, g: def.Graph(), tx: db.Begin()}
+	if err := fn(s); err != nil {
+		_ = s.tx.Rollback()
+		return nil, err
+	}
+	if err := s.tx.Commit(); err != nil {
+		return nil, err
+	}
+	return &Result{Ops: s.ops}, nil
+}
+
+func (s *session) insert(rel string, t reldb.Tuple) error {
+	if err := s.tx.Insert(rel, t); err != nil {
+		return err
+	}
+	s.ops = append(s.ops, DBOp{Kind: OpInsert, Relation: rel, Tuple: t.Clone()})
+	return nil
+}
+
+func (s *session) delete(rel string, key reldb.Tuple) error {
+	if _, err := s.tx.Delete(rel, key); err != nil {
+		return err
+	}
+	s.ops = append(s.ops, DBOp{Kind: OpDelete, Relation: rel, Key: key.Clone()})
+	return nil
+}
+
+func (s *session) replace(rel string, oldKey reldb.Tuple, newTuple reldb.Tuple) error {
+	if _, err := s.tx.Replace(rel, oldKey, newTuple); err != nil {
+		return err
+	}
+	s.ops = append(s.ops, DBOp{Kind: OpReplace, Relation: rel, Key: oldKey.Clone(), Tuple: newTuple.Clone()})
+	return nil
+}
+
+// relation resolves a relation inside the transaction.
+func (s *session) relation(name string) (*reldb.Relation, error) {
+	return s.tx.Relation(name)
+}
+
+// schemaOf returns the base schema of a node's relation.
+func (s *session) schemaOf(n *viewobject.Node) *reldb.Schema {
+	rel, err := s.tx.Relation(n.Relation)
+	if err != nil {
+		panic(err) // definitions are validated against the database
+	}
+	return rel.Schema()
+}
+
+// reject builds a translator rejection.
+func reject(format string, args ...any) error {
+	return fmt.Errorf("%s: %w", fmt.Sprintf(format, args...), ErrRejected)
+}
+
+// checkInstance verifies an instance belongs to the updater's definition
+// (local validation, step 1).
+func (u *Updater) checkInstance(inst *viewobject.Instance) error {
+	if inst == nil {
+		return fmt.Errorf("vupdate: nil instance")
+	}
+	if inst.Definition() != u.T.Definition() {
+		return fmt.Errorf("vupdate: instance belongs to object %s, translator serves %s",
+			inst.Definition().Name, u.T.Definition().Name)
+	}
+	return nil
+}

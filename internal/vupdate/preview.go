@@ -1,0 +1,65 @@
+package vupdate
+
+import (
+	"penguin/internal/reldb"
+	"penguin/internal/viewobject"
+)
+
+// Preview variants translate a view-object update and report the
+// database operations it would perform, then roll the transaction back —
+// the database is untouched. They make the translation inspectable: a
+// DBA (or a test) can see exactly how a request maps to relational
+// operations under the chosen translator before committing to it.
+
+// runPreview executes fn inside a transaction and always rolls back,
+// returning the operations fn performed before the rollback.
+func (u *Updater) runPreview(fn func(*session) error) (*Result, error) {
+	def := u.T.Definition()
+	db := def.Graph().Database()
+	s := &session{tr: u.T, def: def, g: def.Graph(), tx: db.Begin()}
+	err := fn(s)
+	ops := s.ops
+	_ = s.tx.Rollback()
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Ops: ops}, nil
+}
+
+// PreviewDeleteByKey translates a complete deletion without executing it.
+func (u *Updater) PreviewDeleteByKey(key reldb.Tuple) (*Result, error) {
+	return u.runPreview(func(s *session) error {
+		inst, ok, err := viewobject.InstantiateByKey(s.tx, s.def, key)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return reject("vupdate: %s: no instance with key %s", s.def.Name, key)
+		}
+		return s.deleteInstance(inst)
+	})
+}
+
+// PreviewInsertInstance translates a complete insertion without executing
+// it.
+func (u *Updater) PreviewInsertInstance(inst *viewobject.Instance) (*Result, error) {
+	if err := u.checkInstance(inst); err != nil {
+		return nil, err
+	}
+	return u.runPreview(func(s *session) error {
+		return s.insertInstance(inst)
+	})
+}
+
+// PreviewReplaceInstance translates a replacement without executing it.
+func (u *Updater) PreviewReplaceInstance(oldInst, newInst *viewobject.Instance) (*Result, error) {
+	if err := u.checkInstance(oldInst); err != nil {
+		return nil, err
+	}
+	if err := u.checkInstance(newInst); err != nil {
+		return nil, err
+	}
+	return u.runPreview(func(s *session) error {
+		return s.replaceInstance(oldInst, newInst)
+	})
+}

@@ -1,0 +1,104 @@
+package vupdate_test
+
+import (
+	"errors"
+	"testing"
+
+	"penguin/internal/reldb"
+	"penguin/internal/university"
+	"penguin/internal/viewobject"
+	. "penguin/internal/vupdate"
+)
+
+func TestPreviewDeleteLeavesDatabaseUntouched(t *testing.T) {
+	db, _, _, u := fixture(t)
+	before := databaseFingerprint(t, db)
+	res, err := u.PreviewDeleteByKey(reldb.Tuple{s("CS345")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same plan as the real deletion: 1 course + 3 grades + 2 curricula.
+	if res.Count(OpDelete) != 6 {
+		t.Fatalf("previewed deletes = %d\n%s", res.Count(OpDelete), res)
+	}
+	if databaseFingerprint(t, db) != before {
+		t.Fatal("preview mutated the database")
+	}
+	// The real deletion then performs exactly the previewed plan.
+	real, err := u.DeleteByKey(reldb.Tuple{s("CS345")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if real.String() != res.String() {
+		t.Fatalf("plans differ:\npreview:\n%s\nreal:\n%s", res, real)
+	}
+}
+
+func TestPreviewInsertAndReplace(t *testing.T) {
+	db, _, om, u := fixture(t)
+	before := databaseFingerprint(t, db)
+
+	inst := viewobject.MustNewInstance(om, reldb.Tuple{
+		s("CS777"), s("Preview"), s("Computer Science"), iv(3), s("graduate"),
+	})
+	res, err := u.PreviewInsertInstance(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count(OpInsert) != 1 {
+		t.Fatalf("previewed inserts:\n%s", res)
+	}
+	if databaseFingerprint(t, db) != before {
+		t.Fatal("insert preview mutated the database")
+	}
+
+	old, ok, err := viewobject.InstantiateByKey(db, om, reldb.Tuple{s("CS345")})
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	repl := old.Clone()
+	_ = repl.Root().SetAttr(om, "CourseID", s("EES345"))
+	_ = repl.Root().SetAttr(om, "DeptName", s("Engineering Economic Systems"))
+	dep := repl.Root().Children(university.Department)[0]
+	_ = dep.SetTuple(om, reldb.Tuple{s("Engineering Economic Systems"), reldb.Null(), reldb.Null()})
+	res, err = u.PreviewReplaceInstance(old, repl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count(OpInsert) != 1 || res.Count(OpReplace) != 6 {
+		t.Fatalf("previewed replacement plan:\n%s", res)
+	}
+	if databaseFingerprint(t, db) != before {
+		t.Fatal("replace preview mutated the database")
+	}
+	// The caller's instances are untouched too.
+	if !db.MustRelation(university.Courses).Has(reldb.Tuple{s("CS345")}) {
+		t.Fatal("CS345 gone after preview")
+	}
+}
+
+func TestPreviewRejections(t *testing.T) {
+	db, _, om, _ := fixture(t)
+	tr := PermissiveTranslator(om)
+	tr.AllowReplacement = false
+	u := NewUpdater(tr)
+	old, ok, err := viewobject.InstantiateByKey(db, om, reldb.Tuple{s("CS345")})
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if _, err := u.PreviewReplaceInstance(old, old.Clone()); !errors.Is(err, ErrRejected) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := u.PreviewDeleteByKey(reldb.Tuple{s("NOPE")}); !errors.Is(err, ErrRejected) {
+		t.Fatalf("err = %v", err)
+	}
+	// Foreign instances rejected before any transaction starts.
+	_, g2 := university.MustNewSeeded()
+	om2 := university.MustOmega(g2)
+	foreign := viewobject.MustNewInstance(om2, reldb.Tuple{
+		s("X"), reldb.Null(), reldb.Null(), reldb.Null(), reldb.Null(),
+	})
+	if _, err := u.PreviewInsertInstance(foreign); err == nil {
+		t.Fatal("foreign instance accepted")
+	}
+}

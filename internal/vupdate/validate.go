@@ -1,0 +1,62 @@
+package vupdate
+
+import (
+	"fmt"
+
+	"penguin/internal/viewobject"
+)
+
+// validateConnections is the structural part of local validation (step 1
+// of §5): within the instance, every child component linked to its parent
+// by a single connection must actually be connected — the values of the
+// connecting attributes must match. A mismatch means the request is
+// internally inconsistent (for example, a STUDENT component whose PID
+// differs from its GRADES parent's PID) and is rejected before any
+// translation happens. Children attached through multi-connection paths
+// (excluded intermediate relations) cannot be checked without the
+// intermediate tuples and are skipped.
+func validateConnections(def *viewobject.Definition, in *viewobject.InstNode) error {
+	node := in.Node()
+	parentSchema := def.NodeSchema(node)
+	parentTuple := in.Tuple()
+	for _, child := range node.Children {
+		kids := in.Children(child.ID)
+		if len(kids) == 0 {
+			continue
+		}
+		if len(child.Path) == 1 {
+			e := child.Path[0]
+			srcIdx, err := parentSchema.Indices(e.SourceAttrs())
+			if err != nil {
+				return err
+			}
+			childSchema := def.NodeSchema(child)
+			tgtIdx, err := childSchema.Indices(e.TargetAttrs())
+			if err != nil {
+				return err
+			}
+			for _, ci := range kids {
+				ct := ci.Tuple()
+				for k := range srcIdx {
+					pv := parentTuple[srcIdx[k]]
+					cv := ct[tgtIdx[k]]
+					if pv.IsNull() {
+						return fmt.Errorf("vupdate: %s: component %s cannot be connected: parent %s has null %s: %w",
+							def.Name, child.ID, node.ID, e.SourceAttrs()[k], ErrRejected)
+					}
+					if !pv.Equal(cv) {
+						return fmt.Errorf("vupdate: %s: component %s (%s) is not connected to its parent %s (%s=%s, %s=%s): %w",
+							def.Name, child.ID, ct, node.ID,
+							e.SourceAttrs()[k], pv, e.TargetAttrs()[k], cv, ErrRejected)
+					}
+				}
+			}
+		}
+		for _, ci := range kids {
+			if err := validateConnections(def, ci); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,209 @@
+// Package workload generates synthetic schemas, data, and view objects
+// for the scaling experiments (E12): ownership trees of configurable
+// depth and width (the dependency island's shape), optional referencing
+// peninsulas, and deterministic data with configurable fan-out. All
+// identifiers are sequential so runs are reproducible.
+package workload
+
+import (
+	"fmt"
+
+	"penguin/internal/reldb"
+	"penguin/internal/structural"
+	"penguin/internal/viewobject"
+)
+
+// TreeSpec sizes a synthetic ownership-tree workload.
+type TreeSpec struct {
+	// Depth is the number of ownership levels below the pivot (0 = pivot
+	// only).
+	Depth int
+	// Width is the number of owned child relations per relation.
+	Width int
+	// Fanout is the number of owned tuples per parent tuple.
+	Fanout int
+	// Roots is the number of pivot tuples.
+	Roots int
+	// Peninsulas adds that many relations referencing the pivot, each
+	// with Fanout referencing tuples per pivot tuple.
+	Peninsulas int
+}
+
+// Relations returns the number of island relations the spec generates.
+func (s TreeSpec) Relations() int {
+	n, level := 1, 1
+	for d := 0; d < s.Depth; d++ {
+		level *= s.Width
+		n += level
+	}
+	return n
+}
+
+// Workload is a generated database, structural schema, and view object.
+type Workload struct {
+	DB  *reldb.Database
+	G   *structural.Graph
+	Def *viewobject.Definition
+	// IslandRels and PeninsulaRels list the generated relation names.
+	IslandRels    []string
+	PeninsulaRels []string
+}
+
+// BuildTree generates the workload: relations N0 (pivot), N0_c for its
+// children, N0_c_c for grandchildren, and so on; ownership connections
+// between each parent and child; peninsula relations P0..Pn referencing
+// the pivot; seeded data; and a view object spanning every generated
+// relation with the pivot at the root.
+func BuildTree(spec TreeSpec) (*Workload, error) {
+	if spec.Width < 0 || spec.Depth < 0 || spec.Roots < 1 {
+		return nil, fmt.Errorf("workload: invalid spec %+v", spec)
+	}
+	db := reldb.NewDatabase()
+	g := structural.NewGraph(db)
+	w := &Workload{DB: db, G: g}
+
+	// Pivot relation: key K0, payload V.
+	pivotName := "N0"
+	pivotAttrs := []reldb.Attribute{
+		{Name: "K0", Type: reldb.KindInt},
+		{Name: "V", Type: reldb.KindString, Nullable: true},
+	}
+	db.MustCreateRelation(reldb.MustSchema(pivotName, pivotAttrs, []string{"K0"}))
+	w.IslandRels = append(w.IslandRels, pivotName)
+
+	// Node definition tree for the view object.
+	rootNode := &viewobject.Node{Relation: pivotName}
+
+	type frame struct {
+		name    string
+		keyAttr []string // key attribute names, root-to-here
+		node    *viewobject.Node
+		depth   int
+	}
+	stack := []frame{{name: pivotName, keyAttr: []string{"K0"}, node: rootNode, depth: 0}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if f.depth >= spec.Depth {
+			continue
+		}
+		for c := 0; c < spec.Width; c++ {
+			childName := fmt.Sprintf("%s_%d", f.name, c)
+			childKey := append(append([]string(nil), f.keyAttr...), fmt.Sprintf("K%d", f.depth+1))
+			attrs := make([]reldb.Attribute, 0, len(childKey)+1)
+			for _, k := range childKey {
+				attrs = append(attrs, reldb.Attribute{Name: k, Type: reldb.KindInt})
+			}
+			attrs = append(attrs, reldb.Attribute{Name: "V", Type: reldb.KindString, Nullable: true})
+			db.MustCreateRelation(reldb.MustSchema(childName, attrs, childKey))
+			conn := &structural.Connection{
+				Name: f.name + ">" + childName, Type: structural.Ownership,
+				From: f.name, To: childName,
+				FromAttrs: f.keyAttr, ToAttrs: f.keyAttr,
+			}
+			if err := g.AddConnection(conn); err != nil {
+				return nil, err
+			}
+			if err := db.MustRelation(childName).CreateIndex("byParent", f.keyAttr); err != nil {
+				return nil, err
+			}
+			childNode := &viewobject.Node{
+				Relation: childName,
+				Path:     []structural.Edge{{Conn: conn, Forward: true}},
+			}
+			f.node.Children = append(f.node.Children, childNode)
+			w.IslandRels = append(w.IslandRels, childName)
+			stack = append(stack, frame{name: childName, keyAttr: childKey, node: childNode, depth: f.depth + 1})
+		}
+	}
+
+	// Peninsulas referencing the pivot.
+	for pIdx := 0; pIdx < spec.Peninsulas; pIdx++ {
+		name := fmt.Sprintf("P%d", pIdx)
+		db.MustCreateRelation(reldb.MustSchema(name, []reldb.Attribute{
+			{Name: "PK", Type: reldb.KindInt},
+			{Name: "K0", Type: reldb.KindInt},
+			{Name: "V", Type: reldb.KindString, Nullable: true},
+		}, []string{"PK", "K0"}))
+		conn := &structural.Connection{
+			Name: name + ">" + pivotName, Type: structural.Reference,
+			From: name, To: pivotName,
+			FromAttrs: []string{"K0"}, ToAttrs: []string{"K0"},
+		}
+		if err := g.AddConnection(conn); err != nil {
+			return nil, err
+		}
+		if err := db.MustRelation(name).CreateIndex("byPivot", []string{"K0"}); err != nil {
+			return nil, err
+		}
+		rootNode.Children = append(rootNode.Children, &viewobject.Node{
+			Relation: name,
+			Path:     []structural.Edge{{Conn: conn, Forward: false}},
+		})
+		w.PeninsulaRels = append(w.PeninsulaRels, name)
+	}
+
+	def, err := viewobject.NewDefinition(fmt.Sprintf("tree-d%d-w%d", spec.Depth, spec.Width), g, rootNode)
+	if err != nil {
+		return nil, err
+	}
+	w.Def = def
+	if err := seedTree(w, spec); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// seedTree fills the generated relations: Roots pivot tuples, Fanout
+// owned tuples per parent tuple per child relation, and Fanout peninsula
+// tuples per pivot tuple per peninsula.
+func seedTree(w *Workload, spec TreeSpec) error {
+	return w.DB.RunInTx(func(tx *reldb.Tx) error {
+		// Pivot rows.
+		for r := 0; r < spec.Roots; r++ {
+			if err := tx.Insert("N0", reldb.Tuple{reldb.Int(int64(r)), reldb.String(fmt.Sprintf("root%d", r))}); err != nil {
+				return err
+			}
+		}
+		// Owned rows, level by level, following the definition tree.
+		var fill func(n *viewobject.Node, parentKeys []reldb.Tuple) error
+		fill = func(n *viewobject.Node, parentKeys []reldb.Tuple) error {
+			for _, child := range n.Children {
+				if len(child.Path) == 1 && child.Path[0].Conn.Type == structural.Ownership {
+					var childKeys []reldb.Tuple
+					for _, pk := range parentKeys {
+						for f := 0; f < spec.Fanout; f++ {
+							key := append(pk.Clone(), reldb.Int(int64(f)))
+							tuple := append(key.Clone(), reldb.String("v"))
+							if err := tx.Insert(child.Relation, tuple); err != nil {
+								return err
+							}
+							childKeys = append(childKeys, key)
+						}
+					}
+					if err := fill(child, childKeys); err != nil {
+						return err
+					}
+					continue
+				}
+				// Peninsula: Fanout referencing rows per pivot tuple.
+				pk := 0
+				for _, root := range parentKeys {
+					for f := 0; f < spec.Fanout; f++ {
+						tuple := reldb.Tuple{reldb.Int(int64(pk)), root[0], reldb.String("p")}
+						if err := tx.Insert(child.Relation, tuple); err != nil {
+							return err
+						}
+						pk++
+					}
+				}
+			}
+			return nil
+		}
+		roots := make([]reldb.Tuple, spec.Roots)
+		for r := range roots {
+			roots[r] = reldb.Tuple{reldb.Int(int64(r))}
+		}
+		return fill(w.Def.Root(), roots)
+	})
+}

@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"testing"
+
+	"penguin/internal/reldb"
+	"penguin/internal/structural"
+	"penguin/internal/viewobject"
+	"penguin/internal/vupdate"
+)
+
+func TestBuildTreeShape(t *testing.T) {
+	spec := TreeSpec{Depth: 2, Width: 2, Fanout: 3, Roots: 2, Peninsulas: 1}
+	w, err := BuildTree(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 + 2 + 4 island relations.
+	if got := len(w.IslandRels); got != spec.Relations() || got != 7 {
+		t.Fatalf("island relations = %d, want 7", got)
+	}
+	if len(w.PeninsulaRels) != 1 {
+		t.Fatalf("peninsulas = %d", len(w.PeninsulaRels))
+	}
+	// Complexity = island relations + peninsulas.
+	if w.Def.Complexity() != 8 {
+		t.Fatalf("complexity = %d", w.Def.Complexity())
+	}
+	// Row counts: roots=2; level 1: 2 rels × 2 roots × 3 = 12;
+	// level 2: 4 rels × 6 parents-per-rel... each level-1 relation has
+	// 6 rows; each has 2 children with 3 rows per parent row: 4 rels × 18.
+	if got := w.DB.MustRelation("N0").Count(); got != 2 {
+		t.Fatalf("N0 rows = %d", got)
+	}
+	if got := w.DB.MustRelation("N0_0").Count(); got != 6 {
+		t.Fatalf("N0_0 rows = %d", got)
+	}
+	if got := w.DB.MustRelation("N0_0_1").Count(); got != 18 {
+		t.Fatalf("N0_0_1 rows = %d", got)
+	}
+	if got := w.DB.MustRelation("P0").Count(); got != 6 {
+		t.Fatalf("P0 rows = %d", got)
+	}
+}
+
+func TestBuildTreeIntegrity(t *testing.T) {
+	w, err := BuildTree(TreeSpec{Depth: 2, Width: 2, Fanout: 2, Roots: 3, Peninsulas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := &structural.Integrity{G: w.G}
+	vs, err := in.Audit(w.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("violations:\n%s", structural.FormatViolations(vs))
+	}
+}
+
+func TestWorkloadTopology(t *testing.T) {
+	w, err := BuildTree(TreeSpec{Depth: 1, Width: 2, Fanout: 1, Roots: 1, Peninsulas: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := vupdate.Analyze(w.Def)
+	if len(topo.Island()) != 3 {
+		t.Fatalf("island = %v", topo.Island())
+	}
+	if len(topo.Peninsulas()) != 1 {
+		t.Fatalf("peninsulas = %v", topo.Peninsulas())
+	}
+}
+
+func TestWorkloadUpdatesEndToEnd(t *testing.T) {
+	w, err := BuildTree(TreeSpec{Depth: 2, Width: 2, Fanout: 2, Roots: 3, Peninsulas: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := vupdate.NewUpdater(vupdate.PermissiveTranslator(w.Def))
+	// Delete root 0: pivot + 2×2 level-1 + 4×4 level-2 + 2 peninsula rows.
+	res, err := u.DeleteByKey(reldb.Tuple{reldb.Int(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 + 4 + 16 + 2
+	if res.Count(vupdate.OpDelete) != want {
+		t.Fatalf("deletes = %d, want %d\n%s", res.Count(vupdate.OpDelete), want, res)
+	}
+	in := &structural.Integrity{G: w.G}
+	if vs, _ := in.Audit(w.DB); len(vs) != 0 {
+		t.Fatalf("violations:\n%s", structural.FormatViolations(vs))
+	}
+	// Instantiate a surviving root.
+	inst, ok, err := viewobject.InstantiateByKey(w.DB, w.Def, reldb.Tuple{reldb.Int(1)})
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	// 4 level-1 + 16 level-2 + 2 peninsula components.
+	total := 0
+	for _, n := range w.Def.Nodes() {
+		if n != w.Def.Root() {
+			total += inst.Count(n.ID)
+		}
+	}
+	if total != 22 {
+		t.Fatalf("components = %d, want 22", total)
+	}
+}
+
+func TestBuildTreeInvalidSpec(t *testing.T) {
+	if _, err := BuildTree(TreeSpec{Roots: 0}); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+func TestSpecRelations(t *testing.T) {
+	cases := []struct {
+		spec TreeSpec
+		want int
+	}{
+		{TreeSpec{Depth: 0, Width: 5}, 1},
+		{TreeSpec{Depth: 1, Width: 3}, 4},
+		{TreeSpec{Depth: 3, Width: 2}, 15},
+	}
+	for _, c := range cases {
+		if got := c.spec.Relations(); got != c.want {
+			t.Errorf("%+v: Relations = %d, want %d", c.spec, got, c.want)
+		}
+	}
+}
