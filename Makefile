@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test race vet bench verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# verify is the full gate: compile everything, vet, then run the whole
+# suite (including the concurrent stress tests) under the race detector.
+verify: build vet race

@@ -175,10 +175,12 @@ func (sh *shell) command(line string) bool {
 	case ".help":
 		sh.help()
 	case ".tables":
-		for _, n := range sh.db.Names() {
-			rel, _ := sh.db.Relation(n)
+		rtx := sh.db.BeginRead()
+		for _, n := range rtx.Names() {
+			rel, _ := rtx.Relation(n)
 			fmt.Fprintf(sh.out, "%-12s %6d rows\n", n, rel.Count())
 		}
+		rtx.Close()
 	case ".schema":
 		if len(args) != 1 {
 			fmt.Fprintln(sh.out, "usage: .schema REL")
@@ -215,7 +217,9 @@ func (sh *shell) command(line string) bool {
 		if def == nil {
 			break
 		}
-		insts, err := oql.Query(sh.db, def, strings.Join(args[1:], " "))
+		rtx := sh.db.BeginRead()
+		insts, err := oql.Query(rtx, def, strings.Join(args[1:], " "))
+		rtx.Close()
 		if err != nil {
 			fmt.Fprintln(sh.out, "error:", err)
 			break
@@ -229,7 +233,9 @@ func (sh *shell) command(line string) bool {
 		if def == nil {
 			break
 		}
-		inst, ok, err := viewobject.InstantiateByKey(sh.db, def, key)
+		rtx := sh.db.BeginRead()
+		inst, ok, err := viewobject.InstantiateByKey(rtx, def, key)
+		rtx.Close()
 		if err != nil {
 			fmt.Fprintln(sh.out, "error:", err)
 			break

@@ -96,9 +96,16 @@ func (v *View) Schema() *reldb.Schema { return v.schema }
 // Root returns the root relation of the query graph.
 func (v *View) Root() string { return v.Joins[0].Relation }
 
-// plan composes the view's relational algebra tree.
-func (v *View) plan() (reldb.Plan, error) {
-	root, err := v.db.Relation(v.Joins[0].Relation)
+// resolver resolves relation names; *reldb.Database, *reldb.ReadTx, and
+// *reldb.Tx all satisfy it.
+type resolver interface {
+	Relation(name string) (*reldb.Relation, error)
+}
+
+// plan composes the view's relational algebra tree over relations resolved
+// through res.
+func (v *View) plan(res resolver) (reldb.Plan, error) {
+	root, err := res.Relation(v.Joins[0].Relation)
 	if err != nil {
 		return nil, err
 	}
@@ -107,7 +114,7 @@ func (v *View) plan() (reldb.Plan, error) {
 		Prefix: v.Joins[0].Relation,
 	}
 	for _, j := range v.Joins[1:] {
-		rel, err := v.db.Relation(j.Relation)
+		rel, err := res.Relation(j.Relation)
 		if err != nil {
 			return nil, err
 		}
@@ -134,7 +141,9 @@ func (v *View) plan() (reldb.Plan, error) {
 
 // joinedSchema derives the schema of the view's rows.
 func (v *View) joinedSchema() (*reldb.Schema, error) {
-	p, err := v.plan()
+	rtx := v.db.BeginRead()
+	defer rtx.Close()
+	p, err := v.plan(rtx)
 	if err != nil {
 		return nil, err
 	}
@@ -148,9 +157,19 @@ func (v *View) joinedSchema() (*reldb.Schema, error) {
 	return rs.Schema, nil
 }
 
-// Materialize evaluates the view.
+// Materialize evaluates the view inside a snapshot-isolated read
+// transaction: all joined relations come from one committed state.
 func (v *View) Materialize() (*reldb.ResultSet, error) {
-	p, err := v.plan()
+	rtx := v.db.BeginRead()
+	defer rtx.Close()
+	return v.MaterializeIn(rtx)
+}
+
+// MaterializeIn evaluates the view against relations resolved through res
+// — a *reldb.ReadTx snapshot, a write transaction (to see its uncommitted
+// state), or a bare database.
+func (v *View) MaterializeIn(res resolver) (*reldb.ResultSet, error) {
+	p, err := v.plan(res)
 	if err != nil {
 		return nil, err
 	}

@@ -6,13 +6,34 @@ import (
 	"sync"
 )
 
-// Database is a catalog of named relations. All access is serialized by a
-// readers-writer lock; transactions hold the write lock for their entire
-// lifetime, which matches the single-writer discipline the update
-// translation algorithms assume.
+// Database is a catalog of named relations with copy-on-write concurrency:
+//
+//   - Committed *Relation values are immutable. A write transaction (Tx)
+//     mutates private clones of the relations it touches and publishes
+//     them by pointer swap at commit, under the catalog lock.
+//   - mu guards only the relations map and the generation counter; every
+//     critical section is short (pointer copies), so neither readers nor
+//     writers are ever blocked for the duration of a transaction.
+//   - writer serializes write transactions (the single-writer discipline
+//     the update-translation algorithms assume). Readers never take it.
+//   - gen increments on every commit; a ReadTx records the generation it
+//     pinned, and each published Relation records the generation that
+//     produced it.
+//
+// Read paths acquire a ReadTx (BeginRead) for a consistent snapshot across
+// relations. Resolving a single relation with Relation() and reading it is
+// also race-free — the returned value is an immutable committed version —
+// but two such resolutions may observe different commits.
+//
+// Setup-phase exception: fixtures may mutate relations in place (direct
+// Insert / CreateIndex on a resolved *Relation) before any concurrent
+// access starts. Once readers or writers run concurrently, all writes must
+// go through transactions.
 type Database struct {
 	mu        sync.RWMutex
+	writer    sync.Mutex
 	relations map[string]*Relation
+	gen       uint64
 }
 
 // NewDatabase creates an empty database.
@@ -20,14 +41,19 @@ func NewDatabase() *Database {
 	return &Database{relations: make(map[string]*Relation)}
 }
 
-// CreateRelation defines a new relation from the schema.
+// CreateRelation defines a new relation from the schema. DDL takes the
+// writer lock: it cannot run while a write transaction is open.
 func (db *Database) CreateRelation(schema *Schema) (*Relation, error) {
+	db.writer.Lock()
+	defer db.writer.Unlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if _, dup := db.relations[schema.Name()]; dup {
 		return nil, fmt.Errorf("reldb: create %s: %w", schema.Name(), ErrRelationExists)
 	}
+	db.gen++
 	r := NewRelation(schema)
+	r.gen = db.gen
 	db.relations[schema.Name()] = r
 	return r, nil
 }
@@ -41,18 +67,24 @@ func (db *Database) MustCreateRelation(schema *Schema) *Relation {
 	return r
 }
 
-// DropRelation removes a relation and its data.
+// DropRelation removes a relation and its data. Like all DDL it takes the
+// writer lock.
 func (db *Database) DropRelation(name string) error {
+	db.writer.Lock()
+	defer db.writer.Unlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if _, ok := db.relations[name]; !ok {
 		return fmt.Errorf("reldb: drop %s: %w", name, ErrNoSuchRelation)
 	}
 	delete(db.relations, name)
+	db.gen++
 	return nil
 }
 
-// Relation returns the named relation.
+// Relation returns the current committed version of the named relation.
+// The returned value is immutable under the copy-on-write discipline; for
+// reads that must be consistent across relations, use BeginRead.
 func (db *Database) Relation(name string) (*Relation, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
@@ -92,8 +124,17 @@ func (db *Database) Names() []string {
 	return names
 }
 
-// Clone deep-copies the database: schemas are shared (immutable), rows and
-// indexes are copied. Used for what-if planning and failure-injection tests.
+// Generation returns the commit generation: it increments every time a
+// write transaction commits (or a relation is dropped).
+func (db *Database) Generation() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.gen
+}
+
+// Clone copies the database into an independent catalog: schemas and
+// stored tuples are shared (both immutable), row maps and indexes are
+// copied. Used for what-if planning and failure-injection tests.
 func (db *Database) Clone() *Database {
 	db.mu.RLock()
 	defer db.mu.RUnlock()

@@ -1,0 +1,111 @@
+package reldb
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ReadTx is a snapshot-isolated read transaction: BeginRead pins the
+// current committed version of every relation (a map of pointers — cheap,
+// no data is copied) and all reads through the ReadTx observe exactly that
+// database state, however long the transaction lives and however many
+// write transactions commit in the meantime.
+//
+// Under the copy-on-write discipline the pinned versions are immutable,
+// so a ReadTx holds no lock after BeginRead returns: long-running
+// instantiations never block writers, and writers never block readers.
+//
+// ReadTx satisfies structural.Resolver, so it can be handed directly to
+// viewobject.Instantiate, oql.Query, structural.ConnectedVia, and every
+// other read path that resolves relations by name.
+type ReadTx struct {
+	db   *Database
+	rels map[string]*Relation
+	gen  uint64
+	done bool
+}
+
+// BeginRead starts a read transaction pinning the current committed
+// state. It blocks only for the duration of a commit's pointer swap.
+func (db *Database) BeginRead() *ReadTx {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	rels := make(map[string]*Relation, len(db.relations))
+	for n, r := range db.relations {
+		rels[n] = r
+	}
+	return &ReadTx{db: db, rels: rels, gen: db.gen}
+}
+
+// Relation returns the pinned version of the named relation.
+func (rtx *ReadTx) Relation(name string) (*Relation, error) {
+	if rtx.done {
+		return nil, ErrTxDone
+	}
+	r, ok := rtx.rels[name]
+	if !ok {
+		return nil, fmt.Errorf("reldb: relation %s: %w", name, ErrNoSuchRelation)
+	}
+	return r, nil
+}
+
+// MustRelation is Relation that panics on error.
+func (rtx *ReadTx) MustRelation(name string) *Relation {
+	r, err := rtx.Relation(name)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// HasRelation reports whether the snapshot contains the named relation.
+func (rtx *ReadTx) HasRelation(name string) bool {
+	_, ok := rtx.rels[name]
+	return ok
+}
+
+// Names returns the snapshot's relation names, sorted.
+func (rtx *ReadTx) Names() []string {
+	names := make([]string, 0, len(rtx.rels))
+	for n := range rtx.rels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Generation returns the commit generation the snapshot pinned.
+func (rtx *ReadTx) Generation() uint64 { return rtx.gen }
+
+// TotalRows returns the number of tuples across the snapshot.
+func (rtx *ReadTx) TotalRows() int {
+	total := 0
+	for _, r := range rtx.rels {
+		total += r.Count()
+	}
+	return total
+}
+
+// Stale reports whether the database has committed past the snapshot.
+func (rtx *ReadTx) Stale() bool { return rtx.db.Generation() != rtx.gen }
+
+// Fork materializes the snapshot as a private Database sharing the pinned
+// relation versions. Write transactions on the fork copy-on-write before
+// mutating, so the fork can be updated freely — what-if translation
+// planning runs against it without ever taking the live database's writer
+// lock. Mutate the fork only through transactions.
+func (rtx *ReadTx) Fork() *Database {
+	c := NewDatabase()
+	c.gen = rtx.gen
+	for n, r := range rtx.rels {
+		c.relations[n] = r
+	}
+	return c
+}
+
+// Close ends the read transaction; further access fails with ErrTxDone.
+// Closing is idempotent and never blocks (no lock is held).
+func (rtx *ReadTx) Close() {
+	rtx.done = true
+	rtx.rels = nil
+}

@@ -11,12 +11,20 @@ import (
 // hash indexes accelerate equality lookups on non-key attribute sets
 // (the connection attributes of the structural model).
 //
-// Relation is not internally synchronized; the owning Database serializes
-// access.
+// Relation is not internally synchronized. Under the database's copy-on-
+// write discipline, committed versions are immutable: write transactions
+// mutate a private clone and publish it at commit, so any *Relation
+// obtained from the catalog (directly or through a ReadTx snapshot) is
+// safe to read concurrently. Stored tuples are never mutated in place
+// (Insert and Replace store defensive copies), which lets clones share
+// them.
 type Relation struct {
 	schema  *Schema
 	rows    map[string]Tuple
 	indexes map[string]*secondaryIndex
+	// gen is the commit generation that published this version (0 for a
+	// version never published by a transaction).
+	gen uint64
 }
 
 type secondaryIndex struct {
@@ -43,6 +51,10 @@ func (r *Relation) Name() string { return r.schema.Name() }
 
 // Count returns the number of tuples in the relation.
 func (r *Relation) Count() int { return len(r.rows) }
+
+// Generation returns the commit generation that published this version of
+// the relation.
+func (r *Relation) Generation() uint64 { return r.gen }
 
 // Insert adds a tuple. It fails with ErrDuplicateKey if a tuple with the
 // same primary key exists, and with a validation error if the tuple does
@@ -168,7 +180,9 @@ func (r *Relation) All() []Tuple {
 }
 
 // Select returns all tuples satisfying the predicate, in key order.
-// A nil predicate selects everything.
+// A nil predicate selects everything. On a predicate evaluation error the
+// result slice is nil — never a truncated prefix a caller could silently
+// use.
 func (r *Relation) Select(pred Expr) ([]Tuple, error) {
 	var out []Tuple
 	var evalErr error
@@ -186,7 +200,10 @@ func (r *Relation) Select(pred Expr) ([]Tuple, error) {
 		out = append(out, t.Clone())
 		return true
 	})
-	return out, evalErr
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	return out, nil
 }
 
 // CreateIndex registers a secondary hash index over the named attributes
@@ -265,6 +282,18 @@ func (r *Relation) MatchEqual(attrNames []string, vals Tuple) ([]Tuple, error) {
 	if len(vals) != len(idx) {
 		return nil, fmt.Errorf("reldb: %s: MatchEqual wants %d values, got %d",
 			r.Name(), len(idx), len(vals))
+	}
+	// Duplicate attributes are rejected: the point-lookup fast path below
+	// compares attribute sets, and a duplicated name (e.g. ["id","id"]
+	// against a two-column key) would falsely pass sameIntSet and build a
+	// key with a hole.
+	seen := make(map[int]struct{}, len(idx))
+	for _, j := range idx {
+		if _, dup := seen[j]; dup {
+			return nil, fmt.Errorf("reldb: %s: MatchEqual: duplicate attribute %s",
+				r.Name(), r.schema.Attr(j).Name)
+		}
+		seen[j] = struct{}{}
 	}
 	// Equality on exactly the primary-key attributes is a point lookup.
 	if sameIntSet(idx, r.schema.key) {
@@ -361,12 +390,16 @@ func (ix *secondaryIndex) remove(t Tuple, ek string) {
 	}
 }
 
-// clone deep-copies the relation (used by Database.Clone for what-if
-// translation planning and tests).
+// clone copies the relation's structure — row map and index buckets — into
+// an independent version. Stored tuples are shared: they are never mutated
+// in place (Insert/Replace store copies), so sharing them is safe and
+// keeps the copy-on-write hot path (one clone per relation a transaction
+// touches) free of per-tuple allocation.
 func (r *Relation) clone() *Relation {
 	c := NewRelation(r.schema)
+	c.gen = r.gen
 	for ek, t := range r.rows {
-		c.rows[ek] = t.Clone()
+		c.rows[ek] = t
 	}
 	for name, ix := range r.indexes {
 		c.indexes[name] = &secondaryIndex{

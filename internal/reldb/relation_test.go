@@ -304,6 +304,49 @@ func TestIndexBackfill(t *testing.T) {
 	}
 }
 
+// A failing predicate must not hand back a truncated result set: callers
+// check err != nil, but defensive coding (and retrofitted error handling)
+// can still touch the slice.
+func TestSelectErrorReturnsNilResults(t *testing.T) {
+	r := newGradesRel(t)
+	for i := 1; i <= 5; i++ {
+		if err := r.Insert(grade("CS101", int64(i), "A")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := r.Select(Eq("NoSuchAttr", Int(1)))
+	if err == nil {
+		t.Fatal("predicate over a missing attribute should fail")
+	}
+	if got != nil {
+		t.Fatalf("error path returned %d tuples, want nil", len(got))
+	}
+}
+
+// Duplicate attribute names must not trigger the primary-key point-lookup
+// fast path: ["CourseID","CourseID"] has the same length and element set
+// as the key ["CourseID","PID"] under a set comparison, and would build a
+// lookup key with a hole.
+func TestMatchEqualRejectsDuplicateAttrs(t *testing.T) {
+	r := newGradesRel(t)
+	if err := r.Insert(grade("CS101", 1, "A")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.MatchEqual([]string{"CourseID", "CourseID"}, Tuple{String("CS101"), String("CS101")})
+	if err == nil {
+		t.Fatalf("duplicate attributes accepted, got %v", got)
+	}
+	// Non-key duplicates are rejected too.
+	if _, err := r.MatchEqual([]string{"Grade", "Grade"}, Tuple{String("A"), String("A")}); err == nil {
+		t.Fatal("duplicate non-key attributes accepted")
+	}
+	// The legitimate full-key lookup still works.
+	got, err = r.MatchEqual([]string{"CourseID", "PID"}, Tuple{String("CS101"), Int(1)})
+	if err != nil || len(got) != 1 {
+		t.Fatalf("full-key MatchEqual = %v, %v", got, err)
+	}
+}
+
 func TestMatchEqualWithAndWithoutIndex(t *testing.T) {
 	r := newGradesRel(t)
 	for pid := int64(1); pid <= 30; pid++ {

@@ -4,50 +4,62 @@ import (
 	"fmt"
 )
 
-// Tx is a write transaction over a Database. It holds the database's write
-// lock from Begin until Commit or Rollback and records an undo log so that
-// Rollback restores the exact pre-transaction state. The update-translation
-// algorithms execute each view-object update inside one transaction: if any
-// step of a translation is rejected, the whole view-object update rolls
-// back, as §5.1 of the paper requires ("the transaction cannot be completed
-// and has to be rolled back").
+// Tx is a write transaction over a Database, implemented with copy-on-
+// write: the first access to a relation clones it into the transaction's
+// private working set, all reads and writes inside the transaction go to
+// the clone (read-your-writes), and Commit publishes the modified clones
+// back into the catalog by pointer swap. Committed relation versions are
+// never mutated, so concurrent readers holding a snapshot are undisturbed
+// for as long as they like.
+//
+// Write transactions are serialized by the database's writer lock from
+// Begin until Commit or Rollback — the single-writer discipline of the
+// paper's §5 update pipeline. Rollback simply discards the working set;
+// the committed state was never touched, so no undo log is needed. If any
+// step of a view-object translation is rejected, the whole update rolls
+// back, as §5.1 requires ("the transaction cannot be completed and has to
+// be rolled back").
 type Tx struct {
-	db   *Database
-	undo []undoEntry
-	done bool
+	db      *Database
+	dirty   map[string]*Relation // private clones, by relation name
+	written map[string]bool      // clones with at least one successful op
+	ops     int
+	done    bool
 }
 
-type undoOp uint8
-
-const (
-	undoInsert  undoOp = iota // compensates an insert: delete newKey
-	undoDelete                // compensates a delete: re-insert before
-	undoReplace               // compensates a replace: replace back
-)
-
-type undoEntry struct {
-	op     undoOp
-	rel    *Relation
-	before Tuple // deleted or replaced tuple (pre-image)
-	after  Tuple // inserted or replacing tuple (post-image)
-}
-
-// Begin starts a transaction, acquiring the database write lock.
+// Begin starts a write transaction, acquiring the database writer lock.
 func (db *Database) Begin() *Tx {
-	db.mu.Lock()
-	return &Tx{db: db}
+	db.writer.Lock()
+	return &Tx{
+		db:      db,
+		dirty:   make(map[string]*Relation),
+		written: make(map[string]bool),
+	}
 }
 
-// Relation returns the named relation for use inside the transaction.
+// Relation returns the transaction's private copy of the named relation.
+// Reads through it observe the transaction's own uncommitted writes. It
+// fails with ErrTxDone after Commit or Rollback, so a finished transaction
+// cannot leak mutable state.
 func (tx *Tx) Relation(name string) (*Relation, error) {
+	if tx.done {
+		return nil, ErrTxDone
+	}
+	if r, ok := tx.dirty[name]; ok {
+		return r, nil
+	}
+	tx.db.mu.RLock()
 	r, ok := tx.db.relations[name]
+	tx.db.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("reldb: relation %s: %w", name, ErrNoSuchRelation)
 	}
-	return r, nil
+	c := r.clone()
+	tx.dirty[name] = c
+	return c, nil
 }
 
-// Insert adds a tuple to the named relation, logging the undo action.
+// Insert adds a tuple to the named relation.
 func (tx *Tx) Insert(relName string, t Tuple) error {
 	if tx.done {
 		return ErrTxDone
@@ -59,12 +71,13 @@ func (tx *Tx) Insert(relName string, t Tuple) error {
 	if err := r.Insert(t); err != nil {
 		return err
 	}
-	tx.undo = append(tx.undo, undoEntry{op: undoInsert, rel: r, after: t.Clone()})
+	tx.written[relName] = true
+	tx.ops++
 	return nil
 }
 
-// Delete removes the tuple with the given key from the named relation,
-// logging the undo action, and returns the deleted tuple.
+// Delete removes the tuple with the given key from the named relation and
+// returns the deleted tuple.
 func (tx *Tx) Delete(relName string, key Tuple) (Tuple, error) {
 	if tx.done {
 		return nil, ErrTxDone
@@ -77,12 +90,13 @@ func (tx *Tx) Delete(relName string, key Tuple) (Tuple, error) {
 	if err != nil {
 		return nil, err
 	}
-	tx.undo = append(tx.undo, undoEntry{op: undoDelete, rel: r, before: old})
+	tx.written[relName] = true
+	tx.ops++
 	return old, nil
 }
 
 // Replace substitutes the tuple at oldKey with newTuple (possibly changing
-// the key), logging the undo action, and returns the replaced tuple.
+// the key) and returns the replaced tuple.
 func (tx *Tx) Replace(relName string, oldKey Tuple, newTuple Tuple) (Tuple, error) {
 	if tx.done {
 		return nil, ErrTxDone
@@ -98,59 +112,60 @@ func (tx *Tx) Replace(relName string, oldKey Tuple, newTuple Tuple) (Tuple, erro
 	if err := r.Replace(oldKey, newTuple); err != nil {
 		return nil, err
 	}
-	tx.undo = append(tx.undo, undoEntry{
-		op: undoReplace, rel: r, before: old, after: newTuple.Clone(),
-	})
+	tx.written[relName] = true
+	tx.ops++
 	return old, nil
 }
 
-// OpCount returns the number of logged operations so far.
-func (tx *Tx) OpCount() int { return len(tx.undo) }
+// OpCount returns the number of successful operations so far.
+func (tx *Tx) OpCount() int { return tx.ops }
 
-// Commit makes the transaction's effects permanent and releases the lock.
+// Commit publishes the transaction's modified relations into the catalog
+// and releases the writer lock. Relations the transaction only read are
+// not republished.
 func (tx *Tx) Commit() error {
 	if tx.done {
 		return ErrTxDone
 	}
 	tx.done = true
-	tx.undo = nil
+	tx.db.mu.Lock()
+	if len(tx.written) > 0 {
+		tx.db.gen++
+		for name := range tx.written {
+			r := tx.dirty[name]
+			r.gen = tx.db.gen
+			tx.db.relations[name] = r
+		}
+	}
 	tx.db.mu.Unlock()
+	tx.dirty, tx.written = nil, nil
+	tx.db.writer.Unlock()
 	return nil
 }
 
-// Rollback undoes every logged operation in reverse order and releases the
-// lock. Rolling back a finished transaction is a no-op returning ErrTxDone.
+// Rollback discards the transaction's working set and releases the writer
+// lock; the committed state was never touched. Rolling back a finished
+// transaction is a no-op returning ErrTxDone.
 func (tx *Tx) Rollback() error {
 	if tx.done {
 		return ErrTxDone
 	}
-	for i := len(tx.undo) - 1; i >= 0; i-- {
-		e := tx.undo[i]
-		switch e.op {
-		case undoInsert:
-			if _, err := e.rel.Delete(e.rel.schema.KeyOf(e.after)); err != nil {
-				panic(fmt.Sprintf("reldb: rollback failed undoing insert: %v", err))
-			}
-		case undoDelete:
-			if err := e.rel.Insert(e.before); err != nil {
-				panic(fmt.Sprintf("reldb: rollback failed undoing delete: %v", err))
-			}
-		case undoReplace:
-			if err := e.rel.Replace(e.rel.schema.KeyOf(e.after), e.before); err != nil {
-				panic(fmt.Sprintf("reldb: rollback failed undoing replace: %v", err))
-			}
-		}
-	}
 	tx.done = true
-	tx.undo = nil
-	tx.db.mu.Unlock()
+	tx.dirty, tx.written = nil, nil
+	tx.db.writer.Unlock()
 	return nil
 }
 
 // RunInTx executes fn inside a transaction, committing if fn returns nil
-// and rolling back otherwise. It returns fn's error.
+// and rolling back otherwise. It returns fn's error. A panic inside fn
+// rolls the transaction back (releasing the writer lock) and re-panics.
 func (db *Database) RunInTx(fn func(*Tx) error) error {
 	tx := db.Begin()
+	defer func() {
+		if !tx.done {
+			_ = tx.Rollback()
+		}
+	}()
 	if err := fn(tx); err != nil {
 		_ = tx.Rollback()
 		return err

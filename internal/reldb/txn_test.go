@@ -229,6 +229,80 @@ func TestTxSerializesWriters(t *testing.T) {
 	}
 }
 
+func TestRunInTxPanicReleasesLock(t *testing.T) {
+	db := txDB(t)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("RunInTx swallowed the panic")
+			}
+		}()
+		_ = db.RunInTx(func(tx *Tx) error {
+			if err := tx.Insert("R", Tuple{Int(1), String("a")}); err != nil {
+				return err
+			}
+			panic("boom")
+		})
+	}()
+	// The writer lock must have been released: a new transaction can run.
+	err := db.RunInTx(func(tx *Tx) error {
+		return tx.Insert("R", Tuple{Int(2), String("b")})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// And the panicked transaction's partial work was rolled back.
+	r := db.MustRelation("R")
+	if r.Has(Tuple{Int(1)}) {
+		t.Fatal("panicked transaction's insert survived")
+	}
+	if !r.Has(Tuple{Int(2)}) {
+		t.Fatal("follow-up transaction lost")
+	}
+}
+
+func TestTxRelationAfterDone(t *testing.T) {
+	db := txDB(t)
+	tx := db.Begin()
+	_ = tx.Commit()
+	if _, err := tx.Relation("R"); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("Relation after commit: %v", err)
+	}
+	tx2 := db.Begin()
+	_ = tx2.Rollback()
+	if _, err := tx2.Relation("R"); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("Relation after rollback: %v", err)
+	}
+}
+
+// TestTxIsolationUntilCommit: a transaction's writes are invisible to the
+// committed state (and to concurrent snapshot readers) until Commit.
+func TestTxIsolationUntilCommit(t *testing.T) {
+	db := txDB(t)
+	tx := db.Begin()
+	if err := tx.Insert("R", Tuple{Int(1), String("a")}); err != nil {
+		t.Fatal(err)
+	}
+	// Through the transaction the row is visible (read-your-writes)...
+	rel, err := tx.Relation("R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel.Has(Tuple{Int(1)}) {
+		t.Fatal("transaction does not see its own write")
+	}
+	// ...but the committed version is untouched.
+	if db.MustRelation("R").Has(Tuple{Int(1)}) {
+		t.Fatal("uncommitted write visible in committed state")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if !db.MustRelation("R").Has(Tuple{Int(1)}) {
+		t.Fatal("commit lost the write")
+	}
+}
+
 func TestDatabaseCatalog(t *testing.T) {
 	db := NewDatabase()
 	s := MustSchema("A", []Attribute{{Name: "X", Type: KindInt}}, []string{"X"})

@@ -66,20 +66,20 @@ func runCreate(db *reldb.Database, st *CreateTableStmt) (*Outcome, error) {
 }
 
 func runInsert(db *reldb.Database, st *InsertStmt) (*Outcome, error) {
-	rel, err := db.Relation(st.Table)
-	if err != nil {
-		return nil, err
-	}
-	schema := rel.Schema()
-	var colIdx []int
-	if len(st.Cols) > 0 {
-		colIdx, err = schema.Indices(st.Cols)
-		if err != nil {
-			return nil, err
-		}
-	}
 	n := 0
-	err = db.RunInTx(func(tx *reldb.Tx) error {
+	err := db.RunInTx(func(tx *reldb.Tx) error {
+		rel, err := tx.Relation(st.Table)
+		if err != nil {
+			return err
+		}
+		schema := rel.Schema()
+		var colIdx []int
+		if len(st.Cols) > 0 {
+			colIdx, err = schema.Indices(st.Cols)
+			if err != nil {
+				return err
+			}
+		}
 		for _, row := range st.Rows {
 			var tuple reldb.Tuple
 			if colIdx == nil {
@@ -132,8 +132,13 @@ var emptySchema = reldb.MustSchema("~empty", []reldb.Attribute{
 	{Name: "~", Type: reldb.KindBool, Nullable: true},
 }, []string{"~"})
 
+// runSelect evaluates the query inside a snapshot-isolated read
+// transaction: every scanned relation comes from one committed state, and
+// concurrent writers are never blocked by a long-running query.
 func runSelect(db *reldb.Database, st *SelectStmt) (*Outcome, error) {
-	from, err := db.Relation(st.From)
+	rtx := db.BeginRead()
+	defer rtx.Close()
+	from, err := rtx.Relation(st.From)
 	if err != nil {
 		return nil, err
 	}
@@ -141,7 +146,7 @@ func runSelect(db *reldb.Database, st *SelectStmt) (*Outcome, error) {
 	if len(st.Joins) > 0 {
 		p = reldb.QualifyPlan{Input: p, Prefix: st.From}
 		for _, j := range st.Joins {
-			rel, err := db.Relation(j.Table)
+			rel, err := rtx.Relation(j.Table)
 			if err != nil {
 				return nil, err
 			}
@@ -286,25 +291,28 @@ func applyAliases(rs *reldb.ResultSet, items []SelectItem) *reldb.ResultSet {
 }
 
 func runUpdate(db *reldb.Database, st *UpdateStmt) (*Outcome, error) {
-	rel, err := db.Relation(st.Table)
-	if err != nil {
-		return nil, err
-	}
-	schema := rel.Schema()
-	setIdx := make(map[int]reldb.Expr, len(st.Set))
-	for col, e := range st.Set {
-		i, ok := schema.AttrIndex(col)
-		if !ok {
-			return nil, fmt.Errorf("rql: %s has no column %s", st.Table, col)
-		}
-		setIdx[i] = e
-	}
-	matches, err := rel.Select(st.Where)
-	if err != nil {
-		return nil, err
-	}
 	n := 0
-	err = db.RunInTx(func(tx *reldb.Tx) error {
+	// Match selection runs inside the transaction, so the rows updated are
+	// exactly the rows that matched — no window for a concurrent writer
+	// between read and write.
+	err := db.RunInTx(func(tx *reldb.Tx) error {
+		rel, err := tx.Relation(st.Table)
+		if err != nil {
+			return err
+		}
+		schema := rel.Schema()
+		setIdx := make(map[int]reldb.Expr, len(st.Set))
+		for col, e := range st.Set {
+			i, ok := schema.AttrIndex(col)
+			if !ok {
+				return fmt.Errorf("rql: %s has no column %s", st.Table, col)
+			}
+			setIdx[i] = e
+		}
+		matches, err := rel.Select(st.Where)
+		if err != nil {
+			return err
+		}
 		for _, t := range matches {
 			nt := t.Clone()
 			row := reldb.Row{Schema: schema, Tuple: t}
@@ -329,17 +337,17 @@ func runUpdate(db *reldb.Database, st *UpdateStmt) (*Outcome, error) {
 }
 
 func runDelete(db *reldb.Database, st *DeleteStmt) (*Outcome, error) {
-	rel, err := db.Relation(st.Table)
-	if err != nil {
-		return nil, err
-	}
-	schema := rel.Schema()
-	matches, err := rel.Select(st.Where)
-	if err != nil {
-		return nil, err
-	}
 	n := 0
-	err = db.RunInTx(func(tx *reldb.Tx) error {
+	err := db.RunInTx(func(tx *reldb.Tx) error {
+		rel, err := tx.Relation(st.Table)
+		if err != nil {
+			return err
+		}
+		schema := rel.Schema()
+		matches, err := rel.Select(st.Where)
+		if err != nil {
+			return err
+		}
 		for _, t := range matches {
 			if _, err := tx.Delete(st.Table, schema.KeyOf(t)); err != nil {
 				return err

@@ -11,12 +11,17 @@ import (
 // DBA (or a test) can see exactly how a request maps to relational
 // operations under the chosen translator before committing to it.
 
-// runPreview executes fn inside a transaction and always rolls back,
-// returning the operations fn performed before the rollback.
+// runPreview executes fn inside a transaction over a private fork of a
+// consistent read snapshot, returning the operations fn performed. The
+// what-if reads see exactly the pinned committed state; the live database
+// is untouched and its writer lock is never taken, so previews run
+// concurrently with real update traffic.
 func (u *Updater) runPreview(fn func(*session) error) (*Result, error) {
 	def := u.T.Definition()
 	db := def.Graph().Database()
-	s := &session{tr: u.T, def: def, g: def.Graph(), tx: db.Begin()}
+	rtx := db.BeginRead()
+	defer rtx.Close()
+	s := &session{tr: u.T, def: def, g: def.Graph(), tx: rtx.Fork().Begin()}
 	err := fn(s)
 	ops := s.ops
 	_ = s.tx.Rollback()

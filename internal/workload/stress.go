@@ -1,0 +1,247 @@
+// Concurrent-workload stress generator: N reader goroutines instantiate
+// the generated view object through snapshot-isolated read transactions
+// while M writer goroutines execute VO-R / VO-CD / VO-CI update
+// translations in write transactions. Every assembled instance is checked
+// against invariants that only hold for a consistent committed state, so
+// a torn read (an instance assembled across a commit boundary) is caught
+// even when it would not trip the race detector.
+package workload
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"penguin/internal/reldb"
+	"penguin/internal/viewobject"
+	"penguin/internal/vupdate"
+)
+
+// StressSpec sizes a concurrent stress run over a BuildTree workload.
+type StressSpec struct {
+	// Tree shapes the schema and data. Roots must be >= Writers so every
+	// writer owns a disjoint, non-empty set of instances.
+	Tree TreeSpec
+	// Readers is the number of concurrent instantiation goroutines.
+	Readers int
+	// Writers is the number of concurrent update-translation goroutines.
+	// Writer w owns the root keys k with k mod Writers == w; readers read
+	// every key.
+	Writers int
+	// Cycles is the number of VO-R → VO-CD → VO-CI rounds each writer runs
+	// per owned key.
+	Cycles int
+}
+
+// StressResult reports what a stress run did and what it found.
+type StressResult struct {
+	// Instantiations counts reader instantiations that found an instance.
+	Instantiations int64
+	// Absent counts reader lookups that found no instance (the key was
+	// between its VO-CD and VO-CI).
+	Absent int64
+	// Replaces, Deletes, Inserts count committed writer translations.
+	Replaces, Deletes, Inserts int64
+	// Violations lists invariant violations (torn instances). Empty means
+	// every observed instance was consistent with a committed state.
+	Violations []string
+}
+
+// stamp is the uniform payload a VO-R writes into every island node of an
+// instance; readers use it to detect instances assembled across commits.
+func stamp(writer, cycle int) string { return fmt.Sprintf("w%d-c%d", writer, cycle) }
+
+// RunStress builds the workload and drives readers against writers until
+// every writer finishes its cycles. It returns the tallies and any
+// invariant violations; data races surface through `go test -race`.
+func RunStress(spec StressSpec) (*StressResult, error) {
+	if spec.Readers < 1 || spec.Writers < 1 || spec.Cycles < 1 {
+		return nil, fmt.Errorf("workload: stress needs readers, writers, cycles >= 1 (got %+v)", spec)
+	}
+	if spec.Tree.Roots < spec.Writers {
+		return nil, fmt.Errorf("workload: %d roots cannot feed %d writers", spec.Tree.Roots, spec.Writers)
+	}
+	w, err := BuildTree(spec.Tree)
+	if err != nil {
+		return nil, err
+	}
+	u := vupdate.NewUpdater(vupdate.PermissiveTranslator(w.Def))
+
+	// Stamp every instance once, serially, so the uniform-stamp invariant
+	// holds from the first concurrent read.
+	for k := 0; k < spec.Tree.Roots; k++ {
+		if _, err := replaceStamped(w, u, int64(k), "seed"); err != nil {
+			return nil, fmt.Errorf("workload: initial stamping of key %d: %w", k, err)
+		}
+	}
+
+	res := &StressResult{}
+	var mu sync.Mutex
+	violate := func(format string, args ...any) {
+		mu.Lock()
+		if len(res.Violations) < 20 {
+			res.Violations = append(res.Violations, fmt.Sprintf(format, args...))
+		}
+		mu.Unlock()
+	}
+
+	done := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < spec.Readers; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			for i := r; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				key := reldb.Tuple{reldb.Int(int64(i % spec.Tree.Roots))}
+				rtx := w.DB.BeginRead()
+				inst, ok, err := viewobject.InstantiateByKey(rtx, w.Def, key)
+				gen := rtx.Generation()
+				rtx.Close()
+				if err != nil {
+					violate("reader %d: instantiate %s: %v", r, key, err)
+					return
+				}
+				if !ok {
+					atomic.AddInt64(&res.Absent, 1)
+					continue
+				}
+				atomic.AddInt64(&res.Instantiations, 1)
+				if msg := checkInstance(w, spec.Tree, inst); msg != "" {
+					violate("reader %d: key %s at gen %d: %s", r, key, gen, msg)
+					return
+				}
+			}
+		}(r)
+	}
+
+	var writers sync.WaitGroup
+	writerErrs := make(chan error, spec.Writers)
+	for wr := 0; wr < spec.Writers; wr++ {
+		writers.Add(1)
+		go func(wr int) {
+			defer writers.Done()
+			for c := 0; c < spec.Cycles; c++ {
+				for k := wr; k < spec.Tree.Roots; k += spec.Writers {
+					// VO-R: restamp every island node.
+					stamped, err := replaceStamped(w, u, int64(k), stamp(wr, c))
+					if err != nil {
+						writerErrs <- fmt.Errorf("writer %d: VO-R key %d: %w", wr, k, err)
+						return
+					}
+					atomic.AddInt64(&res.Replaces, 1)
+					// VO-CD: delete the whole instance.
+					if _, err := u.DeleteByKey(reldb.Tuple{reldb.Int(int64(k))}); err != nil {
+						writerErrs <- fmt.Errorf("writer %d: VO-CD key %d: %w", wr, k, err)
+						return
+					}
+					atomic.AddInt64(&res.Deletes, 1)
+					// VO-CI: re-insert the stamped instance.
+					if _, err := u.InsertInstance(stamped); err != nil {
+						writerErrs <- fmt.Errorf("writer %d: VO-CI key %d: %w", wr, k, err)
+						return
+					}
+					atomic.AddInt64(&res.Inserts, 1)
+				}
+			}
+		}(wr)
+	}
+	writers.Wait()
+	close(done)
+	readers.Wait()
+	close(writerErrs)
+	for err := range writerErrs {
+		return res, err
+	}
+	return res, nil
+}
+
+// replaceStamped instantiates the current state of the instance at root
+// key k from a snapshot, clones it with every island node's V set to s,
+// and executes the VO-R translation. It returns the stamped instance.
+func replaceStamped(w *Workload, u *vupdate.Updater, k int64, s string) (*viewobject.Instance, error) {
+	rtx := w.DB.BeginRead()
+	cur, ok, err := viewobject.InstantiateByKey(rtx, w.Def, reldb.Tuple{reldb.Int(k)})
+	rtx.Close()
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("no instance with key %d", k)
+	}
+	stamped := cur.Clone()
+	for _, relName := range w.IslandRels {
+		for _, n := range stamped.NodesAt(relName) {
+			if err := n.SetAttr(w.Def, "V", reldb.String(s)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if _, err := u.ReplaceInstance(cur, stamped); err != nil {
+		return nil, err
+	}
+	return stamped, nil
+}
+
+// checkInstance verifies that an assembled instance is consistent with
+// some committed state:
+//
+//   - shape: every component has exactly Fanout children per child node
+//     (VO-CD and VO-CI move whole instances, so partial shapes can only
+//     come from a torn read);
+//   - uniform stamp: every island node carries the same V (every VO-R
+//     writes one stamp across the island in one transaction).
+//
+// It returns "" when consistent, a description otherwise.
+func checkInstance(w *Workload, spec TreeSpec, inst *viewobject.Instance) string {
+	stamps := make(map[string]int)
+	var shapeErr string
+	var walk func(n *viewobject.InstNode, island bool)
+	walk = func(n *viewobject.InstNode, island bool) {
+		if island {
+			v, ok := n.Get(w.Def, "V")
+			if !ok || v.IsNull() {
+				shapeErr = fmt.Sprintf("island node %s has no V value", n.Node().ID)
+				return
+			}
+			s, _ := v.AsString()
+			stamps[s]++
+		}
+		for _, child := range n.Node().Children {
+			kids := n.Children(child.ID)
+			if len(kids) != spec.Fanout {
+				shapeErr = fmt.Sprintf("node %s has %d components under %s, want %d",
+					n.Node().ID, len(kids), child.ID, spec.Fanout)
+				return
+			}
+			childIsland := islandRel(w, child.Relation)
+			for _, kid := range kids {
+				walk(kid, childIsland)
+				if shapeErr != "" {
+					return
+				}
+			}
+		}
+	}
+	walk(inst.Root(), true)
+	if shapeErr != "" {
+		return shapeErr
+	}
+	if len(stamps) != 1 {
+		return fmt.Sprintf("island stamped inconsistently: %v (torn across commits)", stamps)
+	}
+	return ""
+}
+
+func islandRel(w *Workload, name string) bool {
+	for _, n := range w.IslandRels {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}

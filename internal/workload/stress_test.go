@@ -1,0 +1,45 @@
+package workload
+
+import "testing"
+
+func TestRunStressValidation(t *testing.T) {
+	if _, err := RunStress(StressSpec{}); err == nil {
+		t.Fatal("zero spec accepted")
+	}
+	if _, err := RunStress(StressSpec{
+		Tree:    TreeSpec{Depth: 1, Width: 1, Fanout: 1, Roots: 2},
+		Readers: 1, Writers: 3, Cycles: 1,
+	}); err == nil {
+		t.Fatal("more writers than roots accepted")
+	}
+}
+
+// TestRunStress drives the full concurrent workload: readers instantiate
+// through snapshots while writers cycle VO-R / VO-CD / VO-CI. Run with
+// `go test -race` this is the tentpole proof that the read path is race-
+// clean; the invariant checks prove no torn instances either way.
+func TestRunStress(t *testing.T) {
+	spec := StressSpec{
+		Tree:    TreeSpec{Depth: 2, Width: 2, Fanout: 2, Roots: 6, Peninsulas: 1},
+		Readers: 4,
+		Writers: 2,
+		Cycles:  8,
+	}
+	res, err := RunStress(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Error(v)
+	}
+	wantOps := int64(spec.Cycles * spec.Tree.Roots)
+	if res.Replaces != wantOps || res.Deletes != wantOps || res.Inserts != wantOps {
+		t.Fatalf("writer ops: R=%d D=%d I=%d, want %d each",
+			res.Replaces, res.Deletes, res.Inserts, wantOps)
+	}
+	if res.Instantiations == 0 {
+		t.Fatal("readers never observed an instance")
+	}
+	t.Logf("instantiations=%d absent=%d ops=%d×3",
+		res.Instantiations, res.Absent, wantOps)
+}

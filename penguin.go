@@ -51,8 +51,10 @@ type (
 	Value = reldb.Value
 	// Kind identifies a value's runtime type.
 	Kind = reldb.Kind
-	// Tx is a write transaction with an undo log.
+	// Tx is a copy-on-write write transaction.
 	Tx = reldb.Tx
+	// ReadTx is a snapshot-isolated read transaction.
+	ReadTx = reldb.ReadTx
 	// Expr is a scalar expression over rows.
 	Expr = reldb.Expr
 	// ResultSet is a materialized query result.
