@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench verify
+.PHONY: build test race vet bench bench-smoke bench-baseline verify
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,16 @@ vet:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-smoke runs every benchmark exactly once (no timing fidelity) to
+# catch benchmarks that panic or fail to build; cheap enough for CI.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# bench-baseline records a full benchmark run as JSON for diffing
+# against future runs.
+bench-baseline:
+	$(GO) test -bench=. -benchmem -run='^$$' ./... | $(GO) run ./cmd/bench2json > BENCH_baseline.json
 
 # verify is the full gate: compile everything, vet, then run the whole
 # suite (including the concurrent stress tests) under the race detector.

@@ -1,0 +1,130 @@
+// Command bench2json converts `go test -bench` text output on stdin to
+// a JSON document on stdout, so benchmark baselines can be stored and
+// diffed (see BENCH_baseline.json and the bench-baseline make target).
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | bench2json > BENCH_baseline.json
+//
+// Only benchmark result lines and the goos/goarch/pkg/cpu headers are
+// consumed; everything else (PASS, ok, test logs) is ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark name with the -P GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Package is the import path from the preceding "pkg:" header.
+	Package string `json:"package,omitempty"`
+	// Procs is the GOMAXPROCS suffix (1 when the line carries none).
+	Procs int `json:"procs"`
+	// Iterations is b.N for the measured run.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp, BytesPerOp, AllocsPerOp mirror the ns/op, B/op and
+	// allocs/op columns; the latter two are -1 without -benchmem.
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Report is the whole document: environment headers plus every result.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	report, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+}
+
+// parse reads `go test -bench` output and collects headers and results.
+func parse(r io.Reader) (*Report, error) {
+	report := &Report{Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			report.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			report.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			report.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseResult(line)
+			if ok {
+				b.Package = pkg
+				report.Benchmarks = append(report.Benchmarks, b)
+			}
+		}
+	}
+	return report, sc.Err()
+}
+
+// parseResult parses one result line, e.g.
+//
+//	BenchmarkVOCD-8  2150  523148 ns/op  187352 B/op  2145 allocs/op
+func parseResult(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 { // minimum shape: name, iterations, value, "ns/op"
+		return Benchmark{}, false
+	}
+	b := Benchmark{Procs: 1, BytesPerOp: -1, AllocsPerOp: -1}
+	b.Name = f[0]
+	if i := strings.LastIndex(b.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Procs = p
+			b.Name = b.Name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b.Iterations = iters
+	// Remaining fields come in value/unit pairs.
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = int64(v)
+		case "allocs/op":
+			b.AllocsPerOp = int64(v)
+		}
+	}
+	if b.NsPerOp == 0 && !strings.Contains(line, "ns/op") {
+		return Benchmark{}, false
+	}
+	return b, true
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: penguin
+cpu: AMD EPYC 7B13
+BenchmarkVOCD-8   	    2150	    523148 ns/op	  187352 B/op	    2145 allocs/op
+BenchmarkVOR-8    	     100	  11022334 ns/op
+BenchmarkKeyCodec 	 1000000	      1042 ns/op	      48 B/op	       2 allocs/op
+PASS
+ok  	penguin	12.345s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.CPU != "AMD EPYC 7B13" {
+		t.Errorf("headers: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkVOCD" || b.Procs != 8 || b.Package != "penguin" {
+		t.Errorf("first benchmark: %+v", b)
+	}
+	if b.Iterations != 2150 || b.NsPerOp != 523148 || b.BytesPerOp != 187352 || b.AllocsPerOp != 2145 {
+		t.Errorf("first benchmark values: %+v", b)
+	}
+	// Without -benchmem columns the memory fields stay -1.
+	if b := rep.Benchmarks[1]; b.BytesPerOp != -1 || b.AllocsPerOp != -1 {
+		t.Errorf("no-benchmem benchmark: %+v", b)
+	}
+	// No GOMAXPROCS suffix means procs defaults to 1.
+	if b := rep.Benchmarks[2]; b.Procs != 1 || b.Name != "BenchmarkKeyCodec" {
+		t.Errorf("suffix-free benchmark: %+v", b)
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	rep, err := parse(strings.NewReader("PASS\nok \tpenguin\t1s\nBenchmarkBroken notanumber ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Errorf("noise parsed as benchmarks: %+v", rep.Benchmarks)
+	}
+}

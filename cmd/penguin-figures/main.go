@@ -5,25 +5,44 @@
 //
 // Usage:
 //
-//	penguin-figures [-out report.txt]
+//	penguin-figures [-out report.txt] [-stats]
+//
+// With -stats, an "Engine statistics" section is appended to the report
+// showing the metrics the run accumulated (transactions committed,
+// tuples scanned, §5 step timings, ...).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"penguin/internal/figures"
+	"penguin/internal/obs"
 )
 
 func main() {
 	out := flag.String("out", "", "write the report to this file instead of stdout")
+	stats := flag.Bool("stats", false, "append engine metrics accumulated while generating the figures")
 	flag.Parse()
 
+	before := obs.Capture()
 	report, err := figures.All()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "penguin-figures:", err)
 		os.Exit(1)
+	}
+	if *stats {
+		delta := obs.Capture().Sub(before)
+		var b strings.Builder
+		b.WriteString(report)
+		b.WriteString("\n== Engine statistics ==\n\n")
+		if err := obs.WriteText(&b, delta); err != nil {
+			fmt.Fprintln(os.Stderr, "penguin-figures:", err)
+			os.Exit(1)
+		}
+		report = b.String()
 	}
 	if *out == "" {
 		fmt.Print(report)

@@ -23,19 +23,26 @@
 //	.delete NAME KEY          complete deletion (VO-CD) by pivot key
 //	.dialog NAME              run the translator-selection dialog
 //	.figures                  regenerate the paper's figures
+//	.stats                    dump engine metrics (counters and histograms)
+//	.trace [N]                show the last N trace events (default 20)
 //	.save FILE / .load FILE   snapshot the database
 //	.help / .quit
+//
+// Errors go to stderr; results go to stdout, so output can be piped.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 
 	"penguin/internal/figures"
+	"penguin/internal/obs"
 	"penguin/internal/oql"
 	"penguin/internal/reldb"
 	"penguin/internal/rql"
@@ -52,7 +59,18 @@ type shell struct {
 	objects  map[string]*viewobject.Definition
 	updaters map[string]*vupdate.Updater
 	out      *bufio.Writer
+	errw     io.Writer
 	in       *bufio.Reader
+	// ring buffers trace events for .trace; installed as the engine's
+	// trace sink when the shell starts.
+	ring *obs.Ring
+}
+
+// errorf reports a failure on the error stream. Results stay on out so
+// piped output is clean.
+func (sh *shell) errorf(format string, args ...any) {
+	sh.out.Flush() // keep ordering sensible when both streams share a terminal
+	fmt.Fprintf(sh.errw, format+"\n", args...)
 }
 
 func main() {
@@ -64,8 +82,11 @@ func main() {
 		objects:  make(map[string]*viewobject.Definition),
 		updaters: make(map[string]*vupdate.Updater),
 		out:      bufio.NewWriter(os.Stdout),
+		errw:     os.Stderr,
 		in:       bufio.NewReader(os.Stdin),
+		ring:     obs.NewRing(256),
 	}
+	obs.Default.SetSink(sh.ring)
 	switch {
 	case *load != "":
 		f, err := os.Open(*load)
@@ -154,7 +175,7 @@ func (sh *shell) execRQL(line string) {
 	out, err := rql.Exec(sh.db, line)
 	switch {
 	case err != nil:
-		fmt.Fprintln(sh.out, "error:", err)
+		sh.errorf("error: %v", err)
 	case out.Rows != nil:
 		fmt.Fprint(sh.out, rql.FormatResult(out.Rows))
 	case out.Message != "":
@@ -183,12 +204,12 @@ func (sh *shell) command(line string) bool {
 		rtx.Close()
 	case ".schema":
 		if len(args) != 1 {
-			fmt.Fprintln(sh.out, "usage: .schema REL")
+			sh.errorf("usage: .schema REL")
 			break
 		}
 		rel, err := sh.db.Relation(args[0])
 		if err != nil {
-			fmt.Fprintln(sh.out, "error:", err)
+			sh.errorf("error: %v", err)
 			break
 		}
 		fmt.Fprintln(sh.out, rel.Schema())
@@ -210,7 +231,7 @@ func (sh *shell) command(line string) bool {
 		}
 	case ".query":
 		if len(args) < 1 {
-			fmt.Fprintln(sh.out, "usage: .query NAME [OQL]")
+			sh.errorf("usage: .query NAME [OQL]")
 			break
 		}
 		def := sh.lookupObject(args[:1])
@@ -221,7 +242,7 @@ func (sh *shell) command(line string) bool {
 		insts, err := oql.Query(rtx, def, strings.Join(args[1:], " "))
 		rtx.Close()
 		if err != nil {
-			fmt.Fprintln(sh.out, "error:", err)
+			sh.errorf("error: %v", err)
 			break
 		}
 		fmt.Fprintf(sh.out, "%d instance(s)\n", len(insts))
@@ -237,7 +258,7 @@ func (sh *shell) command(line string) bool {
 		inst, ok, err := viewobject.InstantiateByKey(rtx, def, key)
 		rtx.Close()
 		if err != nil {
-			fmt.Fprintln(sh.out, "error:", err)
+			sh.errorf("error: %v", err)
 			break
 		}
 		if !ok {
@@ -252,12 +273,12 @@ func (sh *shell) command(line string) bool {
 		}
 		u := sh.updaters[args[0]]
 		if u == nil {
-			fmt.Fprintln(sh.out, "no translator chosen for", args[0], "- run .dialog first")
+			sh.errorf("no translator chosen for %s - run .dialog first", args[0])
 			break
 		}
 		res, err := u.DeleteByKey(key)
 		if err != nil {
-			fmt.Fprintln(sh.out, "rejected:", err)
+			sh.errorf("rejected: %v", err)
 			break
 		}
 		fmt.Fprintf(sh.out, "translated into %d operation(s):\n%s\n", len(res.Ops), res)
@@ -268,12 +289,12 @@ func (sh *shell) command(line string) bool {
 		}
 		u := sh.updaters[args[0]]
 		if u == nil {
-			fmt.Fprintln(sh.out, "no translator chosen for", args[0], "- run .dialog first")
+			sh.errorf("no translator chosen for %s - run .dialog first", args[0])
 			break
 		}
 		res, err := u.PreviewDeleteByKey(key)
 		if err != nil {
-			fmt.Fprintln(sh.out, "would be rejected:", err)
+			sh.errorf("would be rejected: %v", err)
 			break
 		}
 		fmt.Fprintf(sh.out, "would translate into %d operation(s) (nothing executed):\n%s\n", len(res.Ops), res)
@@ -286,7 +307,7 @@ func (sh *shell) command(line string) bool {
 		tr, tape, err := vupdate.ChooseTranslator(def,
 			&vupdate.InteractiveAnswerer{R: sh.in, W: flushWriter{sh.out}})
 		if err != nil {
-			fmt.Fprintln(sh.out, "error:", err)
+			sh.errorf("error: %v", err)
 			break
 		}
 		tr.RepairInserts = true
@@ -295,41 +316,67 @@ func (sh *shell) command(line string) bool {
 	case ".figures":
 		report, err := figures.All()
 		if err != nil {
-			fmt.Fprintln(sh.out, "error:", err)
+			sh.errorf("error: %v", err)
 			break
 		}
 		fmt.Fprint(sh.out, report)
+	case ".stats":
+		if err := obs.WriteText(sh.out, obs.Capture()); err != nil {
+			sh.errorf("error: %v", err)
+		}
+	case ".trace":
+		n := 20
+		if len(args) >= 1 {
+			parsed, err := strconv.Atoi(args[0])
+			if err != nil || parsed < 1 {
+				sh.errorf("usage: .trace [N]")
+				break
+			}
+			n = parsed
+		}
+		if sh.ring == nil {
+			sh.errorf("tracing is not enabled in this session")
+			break
+		}
+		events := sh.ring.Last(n)
+		if len(events) == 0 {
+			fmt.Fprintln(sh.out, "no trace events recorded yet")
+			break
+		}
+		for _, ev := range events {
+			fmt.Fprintln(sh.out, ev)
+		}
 	case ".save":
 		if len(args) != 1 {
-			fmt.Fprintln(sh.out, "usage: .save FILE")
+			sh.errorf("usage: .save FILE")
 			break
 		}
 		f, err := os.Create(args[0])
 		if err != nil {
-			fmt.Fprintln(sh.out, "error:", err)
+			sh.errorf("error: %v", err)
 			break
 		}
 		err = sh.db.WriteSnapshot(f)
 		f.Close()
 		if err != nil {
-			fmt.Fprintln(sh.out, "error:", err)
+			sh.errorf("error: %v", err)
 			break
 		}
 		fmt.Fprintln(sh.out, "saved", args[0])
 	case ".load":
 		if len(args) != 1 {
-			fmt.Fprintln(sh.out, "usage: .load FILE")
+			sh.errorf("usage: .load FILE")
 			break
 		}
 		f, err := os.Open(args[0])
 		if err != nil {
-			fmt.Fprintln(sh.out, "error:", err)
+			sh.errorf("error: %v", err)
 			break
 		}
 		db, err := reldb.ReadSnapshot(f)
 		f.Close()
 		if err != nil {
-			fmt.Fprintln(sh.out, "error:", err)
+			sh.errorf("error: %v", err)
 			break
 		}
 		sh.db = db
@@ -338,19 +385,19 @@ func (sh *shell) command(line string) bool {
 		sh.updaters = map[string]*vupdate.Updater{}
 		fmt.Fprintln(sh.out, "loaded", args[0], "(objects cleared: snapshots hold data, not schemas' connections)")
 	default:
-		fmt.Fprintln(sh.out, "unknown command", cmd, "- try .help")
+		sh.errorf("unknown command %s - try .help", cmd)
 	}
 	return false
 }
 
 func (sh *shell) lookupObject(args []string) *viewobject.Definition {
 	if len(args) < 1 {
-		fmt.Fprintln(sh.out, "usage: ... NAME")
+		sh.errorf("usage: ... NAME")
 		return nil
 	}
 	def, ok := sh.objects[args[0]]
 	if !ok {
-		fmt.Fprintln(sh.out, "no object named", args[0], "- see .objects")
+		sh.errorf("no object named %s - see .objects", args[0])
 		return nil
 	}
 	return def
@@ -360,7 +407,7 @@ func (sh *shell) lookupObject(args []string) *viewobject.Definition {
 // pivot key.
 func (sh *shell) objectAndKey(args []string, usage string) (*viewobject.Definition, reldb.Tuple) {
 	if len(args) < 2 {
-		fmt.Fprintf(sh.out, "usage: %s NAME KEY...\n", usage)
+		sh.errorf("usage: %s NAME KEY...", usage)
 		return nil, nil
 	}
 	def := sh.lookupObject(args[:1])
@@ -369,20 +416,20 @@ func (sh *shell) objectAndKey(args []string, usage string) (*viewobject.Definiti
 	}
 	pivotRel, err := sh.db.Relation(def.Pivot())
 	if err != nil {
-		fmt.Fprintln(sh.out, "error:", err)
+		sh.errorf("error: %v", err)
 		return nil, nil
 	}
 	schema := pivotRel.Schema()
 	keyIdx := schema.Key()
 	if len(args)-1 != len(keyIdx) {
-		fmt.Fprintf(sh.out, "key of %s has %d attribute(s)\n", def.Pivot(), len(keyIdx))
+		sh.errorf("key of %s has %d attribute(s)", def.Pivot(), len(keyIdx))
 		return nil, nil
 	}
 	key := make(reldb.Tuple, len(keyIdx))
 	for i, raw := range args[1:] {
 		v, err := reldb.ParseValue(schema.Attr(keyIdx[i]).Type, raw)
 		if err != nil {
-			fmt.Fprintln(sh.out, "error:", err)
+			sh.errorf("error: %v", err)
 			return nil, nil
 		}
 		key[i] = v
@@ -402,6 +449,8 @@ Dot-commands:
   .preview NAME KEY     show a deletion's translation without executing it
   .dialog NAME          choose a translator interactively
   .figures              regenerate the paper's figures
+  .stats                dump engine metrics (counters and histograms)
+  .trace [N]            show the last N trace events (default 20)
   .save FILE .load FILE .quit
 `)
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"penguin/internal/obs"
 	"penguin/internal/reldb"
 	"penguin/internal/university"
 	"penguin/internal/viewobject"
@@ -15,7 +16,8 @@ import (
 func keyOf(id string) reldb.Tuple { return reldb.Tuple{reldb.String(id)} }
 
 // testShell builds a shell over the seeded university with ω and ω′
-// registered, capturing output in a buffer.
+// registered. Stdout and stderr are captured in separate buffers (the
+// shell routes errors to stderr); out holds stdout, sh.errw the errors.
 func testShell(t *testing.T) (*shell, *bytes.Buffer) {
 	t.Helper()
 	db, g, err := university.NewSeeded()
@@ -30,23 +32,29 @@ func testShell(t *testing.T) (*shell, *bytes.Buffer) {
 		objects:  map[string]*viewobject.Definition{"omega": om, "omega-prime": op},
 		updaters: make(map[string]*vupdate.Updater),
 		out:      bufio.NewWriter(&out),
+		errw:     &bytes.Buffer{},
 		in:       bufio.NewReader(strings.NewReader("")),
+		ring:     obs.NewRing(64),
 	}
+	obs.Default.SetSink(sh.ring)
+	t.Cleanup(func() { obs.Default.SetSink(nil) })
 	sh.updaters["omega"] = vupdate.NewUpdater(vupdate.PermissiveTranslator(om))
 	return sh, &out
 }
 
-// run executes one shell command (or RQL line) and returns the output.
+// run executes one shell command (or RQL line) and returns stdout and
+// stderr concatenated (stdout first), so assertions cover both streams.
 func run(t *testing.T, sh *shell, out *bytes.Buffer, line string) string {
 	t.Helper()
 	out.Reset()
+	sh.errw.(*bytes.Buffer).Reset()
 	if strings.HasPrefix(line, ".") {
 		sh.command(line)
 	} else {
 		sh.execRQL(line)
 	}
 	sh.out.Flush()
-	return out.String()
+	return out.String() + sh.errw.(*bytes.Buffer).String()
 }
 
 func TestShellTablesAndSchema(t *testing.T) {
@@ -189,6 +197,64 @@ func TestShellSaveLoad(t *testing.T) {
 	text = run(t, sh, out, ".load /nonexistent/file")
 	if !strings.Contains(text, "error") {
 		t.Errorf("missing load error:\n%s", text)
+	}
+}
+
+// Errors must land on stderr only; stdout stays clean for piping.
+func TestShellErrorsGoToStderr(t *testing.T) {
+	sh, out := testShell(t)
+	out.Reset()
+	errBuf := sh.errw.(*bytes.Buffer)
+	errBuf.Reset()
+	sh.execRQL("SELEKT nonsense")
+	sh.out.Flush()
+	if out.Len() != 0 {
+		t.Errorf("RQL error leaked to stdout: %q", out.String())
+	}
+	if !strings.Contains(errBuf.String(), "error") {
+		t.Errorf("stderr missing error: %q", errBuf.String())
+	}
+	errBuf.Reset()
+	sh.command(".bogus")
+	sh.out.Flush()
+	if out.Len() != 0 {
+		t.Errorf("unknown-command error leaked to stdout: %q", out.String())
+	}
+	if !strings.Contains(errBuf.String(), "unknown command") {
+		t.Errorf("stderr missing unknown-command: %q", errBuf.String())
+	}
+}
+
+func TestShellStatsAndTrace(t *testing.T) {
+	sh, out := testShell(t)
+	run(t, sh, out, ".delete omega CS445")
+
+	text := run(t, sh, out, ".stats")
+	for _, want := range []string{
+		"reldb.tx.commits ",
+		"vupdate.updates.committed ",
+		"vupdate.step.translate_ns.count ",
+		"vupdate.ops.delete ",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf(".stats missing %q:\n%s", want, text)
+		}
+	}
+
+	text = run(t, sh, out, ".trace")
+	for _, want := range []string{"vupdate.step.translate", "vupdate.update", "reldb.commit"} {
+		if !strings.Contains(text, want) {
+			t.Errorf(".trace missing %q:\n%s", want, text)
+		}
+	}
+
+	text = run(t, sh, out, ".trace 2")
+	if got := len(strings.Split(strings.TrimSpace(text), "\n")); got != 2 {
+		t.Errorf(".trace 2 printed %d lines:\n%s", got, text)
+	}
+	text = run(t, sh, out, ".trace bogus")
+	if !strings.Contains(text, "usage") {
+		t.Errorf(".trace bogus output:\n%s", text)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"penguin/internal/obs"
 	"penguin/internal/university"
 	"penguin/internal/viewobject"
 	"penguin/internal/vupdate"
@@ -36,6 +37,8 @@ func TestShellRunLoop(t *testing.T) {
 		"y", "y", "n", // GRADES
 		"y", "y", "y", // STUDENT
 		".delete omega CS445",
+		".stats",
+		".trace 10",
 		".quit",
 	}, "\n") + "\n"
 
@@ -45,8 +48,12 @@ func TestShellRunLoop(t *testing.T) {
 		objects:  map[string]*viewobject.Definition{"omega": om},
 		updaters: map[string]*vupdate.Updater{},
 		out:      bufio.NewWriter(&out),
+		errw:     &bytes.Buffer{},
 		in:       bufio.NewReader(strings.NewReader(script)),
+		ring:     obs.NewRing(64),
 	}
+	obs.Default.SetSink(sh.ring)
+	defer obs.Default.SetSink(nil)
 	sh.run()
 	sh.out.Flush()
 	text := out.String()
@@ -55,6 +62,12 @@ func TestShellRunLoop(t *testing.T) {
 		"view object omega",
 		"translator chosen after 19 question(s)",
 		"translated into",
+		// .stats renders the update-pipeline metrics the delete produced.
+		"vupdate.updates.committed",
+		"vupdate.step.translate_ns.count",
+		// .trace shows the per-step spans and the commit.
+		"vupdate.step.translate",
+		"reldb.commit",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("run loop output missing %q:\n%s", want, text)
@@ -77,6 +90,7 @@ func TestShellRunLoopEOF(t *testing.T) {
 		objects:  map[string]*viewobject.Definition{},
 		updaters: map[string]*vupdate.Updater{},
 		out:      bufio.NewWriter(&out),
+		errw:     &bytes.Buffer{},
 		in:       bufio.NewReader(strings.NewReader("SELECT * FROM STAFF")),
 	}
 	sh.run() // no trailing newline: statement runs? bufio returns EOF with partial line

@@ -7,13 +7,17 @@ package penguin_test
 
 import (
 	"fmt"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
+	"penguin"
 	"penguin/internal/reldb"
 	"penguin/internal/university"
 	"penguin/internal/viewobject"
 	"penguin/internal/vupdate"
+	"penguin/internal/workload"
 )
 
 // TestConcurrentInstantiationDuringUpdates runs 4 snapshot readers
@@ -202,6 +206,124 @@ func TestReadTxForkPreviewDuringWrites(t *testing.T) {
 	}
 	if got := db.MustRelation(university.Grades).Count(); got != before+30 {
 		t.Fatalf("GRADES count %d, want %d", got, before+30)
+	}
+}
+
+// TestConcurrentMetricCoherence hammers the commit path from several
+// writers while a sampler goroutine snapshots the metrics mid-flight.
+// The histogram ordering contract (bucket, sum, count written in that
+// order; count read first) means a sampled commit-latency histogram may
+// trail the buckets but never lead them — Count <= ΣBuckets always, and
+// after the writers quiesce the counters match the work performed
+// exactly: commits recorded == commits performed, Count == ΣBuckets.
+func TestConcurrentMetricCoherence(t *testing.T) {
+	db, _ := university.MustNewSeeded()
+	before := penguin.Stats()
+
+	const writers = 4
+	const perWriter = 50
+	stop := make(chan struct{})
+	var torn atomic.Int64
+	var swg sync.WaitGroup
+	swg.Add(1)
+	go func() {
+		defer swg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st := penguin.Stats().Histogram("reldb.tx.commit_ns")
+			var sum int64
+			for _, b := range st.Buckets {
+				sum += b
+			}
+			if st.Count > sum {
+				torn.Add(1)
+			}
+		}
+	}()
+
+	errs := make(chan error, writers)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				pid := int64(10_000 + w*perWriter + i)
+				err := db.RunInTx(func(tx *reldb.Tx) error {
+					return tx.Insert(university.Grades,
+						reldb.Tuple{reldb.String("CS101"), reldb.Int(pid), reldb.String("Spr91"), reldb.String("A")})
+				})
+				if err != nil {
+					errs <- fmt.Errorf("writer %d insert %d: %v", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	swg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	if n := torn.Load(); n != 0 {
+		t.Errorf("sampler observed %d torn histogram reads (Count > ΣBuckets)", n)
+	}
+	delta := penguin.Stats().Sub(before)
+	if got := delta.Counter("reldb.tx.commits"); got != writers*perWriter {
+		t.Errorf("reldb.tx.commits = %d, want %d (commits performed)", got, writers*perWriter)
+	}
+	hist := delta.Histogram("reldb.tx.commit_ns")
+	if hist.Count != writers*perWriter {
+		t.Errorf("commit_ns.count = %d, want %d", hist.Count, writers*perWriter)
+	}
+	var sum int64
+	for _, b := range hist.Buckets {
+		sum += b
+	}
+	if sum != hist.Count {
+		t.Errorf("quiesced histogram torn: Count=%d ΣBuckets=%d", hist.Count, sum)
+	}
+}
+
+// TestStressMetricsCoherent runs the workload stress suite and checks
+// the metric delta it captured is internally coherent: every commit the
+// counter recorded also landed in the latency histogram, and every
+// committed update translation was counted.
+func TestStressMetricsCoherent(t *testing.T) {
+	res, err := workload.RunStress(workload.StressSpec{
+		Tree:    workload.TreeSpec{Depth: 2, Width: 2, Fanout: 2, Roots: 4},
+		Readers: 3,
+		Writers: 2,
+		Cycles:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("stress violations: %v", res.Violations)
+	}
+	m := res.Metrics
+	commits := m.Counter("reldb.tx.commits")
+	if commits == 0 {
+		t.Fatal("stress run recorded no commits")
+	}
+	if got := m.Histogram("reldb.tx.commit_ns").Count; got != commits {
+		t.Errorf("commit_ns.count = %d, want %d (commits counter)", got, commits)
+	}
+	performed := res.Replaces + res.Deletes + res.Inserts
+	if got := m.Counter("vupdate.updates.committed"); got < performed {
+		t.Errorf("updates.committed = %d, want >= %d (stress tallies)", got, performed)
+	}
+	if s := res.Summary(); !strings.Contains(s, "stress: ") || !strings.Contains(s, "violations") {
+		t.Errorf("summary line malformed: %s", s)
 	}
 }
 

@@ -3,7 +3,9 @@ package keller
 import (
 	"errors"
 	"fmt"
+	"time"
 
+	"penguin/internal/obs"
 	"penguin/internal/reldb"
 )
 
@@ -54,6 +56,16 @@ type Result struct {
 // Total returns the number of database operations performed.
 func (r *Result) Total() int { return r.Inserts + r.Deletes + r.Replaces }
 
+// observe records one committed flat-view translation into the baseline
+// metrics: translation latency and emitted primitive operations.
+func (r *Result) observe(name string, start time.Time) {
+	obs.Default.KellerTranslateNs.Observe(time.Since(start).Nanoseconds())
+	obs.Default.KellerOps.Add(int64(r.Total()))
+	if obs.Default.Tracing() {
+		obs.Default.EmitSpan(name, fmt.Sprintf("ops=%d", r.Total()), start)
+	}
+}
+
 // Insert translates a view insertion (Keller 1985): for each relation of
 // the query graph, the view tuple's attributes for that relation build a
 // base tuple (attributes the view projects out become null); then
@@ -66,6 +78,7 @@ func (r *Result) Total() int { return r.Inserts + r.Deletes + r.Replaces }
 //
 // The whole translation runs in one transaction.
 func (t *Translator) Insert(viewTuple reldb.Tuple) (*Result, error) {
+	start := time.Now()
 	res := &Result{}
 	err := t.View.db.RunInTx(func(tx *reldb.Tx) error {
 		schema := t.View.schema
@@ -82,6 +95,7 @@ func (t *Translator) Insert(viewTuple reldb.Tuple) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	res.observe("keller.insert", start)
 	return res, nil
 }
 
@@ -154,6 +168,7 @@ func visibleEqual(bt, existing reldb.Tuple, attrMap map[int]int) bool {
 // view objects need more: dependent tuples in other relations survive as
 // orphans (the comparison experiment measures them).
 func (t *Translator) Delete(viewTuple reldb.Tuple) (*Result, error) {
+	start := time.Now()
 	res := &Result{}
 	err := t.View.db.RunInTx(func(tx *reldb.Tx) error {
 		rootName := t.View.Root()
@@ -177,6 +192,7 @@ func (t *Translator) Delete(viewTuple reldb.Tuple) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	res.observe("keller.delete", start)
 	return res, nil
 }
 
@@ -185,6 +201,7 @@ func (t *Translator) Delete(viewTuple reldb.Tuple) (*Result, error) {
 // values replace; a key change replaces the root tuple's key (when
 // allowed) and inserts elsewhere.
 func (t *Translator) Replace(oldTuple, newTuple reldb.Tuple) (*Result, error) {
+	start := time.Now()
 	res := &Result{}
 	err := t.View.db.RunInTx(func(tx *reldb.Tx) error {
 		schema := t.View.schema
@@ -198,6 +215,7 @@ func (t *Translator) Replace(oldTuple, newTuple reldb.Tuple) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	res.observe("keller.replace", start)
 	return res, nil
 }
 

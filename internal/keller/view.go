@@ -16,7 +16,9 @@ package keller
 import (
 	"fmt"
 	"strings"
+	"time"
 
+	"penguin/internal/obs"
 	"penguin/internal/reldb"
 )
 
@@ -169,11 +171,21 @@ func (v *View) Materialize() (*reldb.ResultSet, error) {
 // — a *reldb.ReadTx snapshot, a write transaction (to see its uncommitted
 // state), or a bare database.
 func (v *View) MaterializeIn(res resolver) (*reldb.ResultSet, error) {
+	start := time.Now()
 	p, err := v.plan(res)
 	if err != nil {
 		return nil, err
 	}
-	return p.Run()
+	rs, err := p.Run()
+	if err != nil {
+		return nil, err
+	}
+	obs.Default.KellerMaterializeNs.Observe(time.Since(start).Nanoseconds())
+	if obs.Default.Tracing() {
+		obs.Default.EmitSpan("keller.materialize",
+			fmt.Sprintf("view=%s rows=%d", v.Name, len(rs.Rows)), start)
+	}
+	return rs, nil
 }
 
 // qualify prefixes an attribute with a relation name if not already

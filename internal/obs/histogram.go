@@ -1,0 +1,168 @@
+package obs
+
+import "sync/atomic"
+
+// Bucket layout shared by every histogram, so snapshots are comparable
+// across metrics and across runs. Bounds are inclusive upper bounds; one
+// implicit +Inf bucket follows the last bound.
+var (
+	// DurationBounds buckets latencies in nanoseconds: 1µs, 10µs, 100µs,
+	// 1ms, 10ms, 100ms, 1s, +Inf.
+	DurationBounds = []int64{1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000, 1_000_000_000}
+	// CountBounds buckets cardinalities (fan-out, generation lag):
+	// 0, 1, 2, 4, 8, 16, 64, 256, 1024, +Inf.
+	CountBounds = []int64{0, 1, 2, 4, 8, 16, 64, 256, 1024}
+)
+
+const (
+	// nStripes spreads concurrent observers across cachelines. Must be a
+	// power of two.
+	nStripes = 8
+	// maxBuckets bounds the per-stripe bucket array (len(bounds)+1 slots
+	// used). Both bound sets above fit.
+	maxBuckets = 16
+)
+
+// Histogram is a fixed-bound, striped histogram. Observations pick a
+// stripe by mixing the observed value (latencies and cardinalities have
+// effectively random low bits), so concurrent observers rarely contend
+// on one cacheline; reads sum the stripes without taking any lock.
+//
+// Write ordering (bucket, then sum, then count) and read ordering (count
+// first) are chosen so a concurrent snapshot can never observe
+// count > Σbuckets: a reader that sees an incremented count is
+// guaranteed to see the matching bucket increment too. After writers
+// quiesce, count == Σbuckets exactly. The stress suite asserts both.
+//
+// Use NewHistogram (or Registry, which initializes its histograms);
+// the zero value drops every observation into the first bucket.
+type Histogram struct {
+	bounds  []int64
+	stripes [nStripes]stripe
+}
+
+// stripe is one shard of a histogram, padded to its own cachelines.
+type stripe struct {
+	count  atomic.Int64
+	sum    atomic.Int64
+	bucket [maxBuckets]atomic.Int64
+	_      [64]byte
+}
+
+// NewHistogram creates a histogram over the given inclusive upper
+// bounds (ascending; at most maxBuckets-1 entries).
+func NewHistogram(bounds []int64) *Histogram {
+	h := &Histogram{}
+	h.init(bounds)
+	return h
+}
+
+func (h *Histogram) init(bounds []int64) {
+	if len(bounds) >= maxBuckets {
+		panic("obs: too many histogram bounds")
+	}
+	h.bounds = bounds
+}
+
+// mix is splitmix64's finalizer: a cheap stateless value scrambler used
+// for stripe selection.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	s := &h.stripes[mix(uint64(v))&(nStripes-1)]
+	s.bucket[h.bucketIdx(v)].Add(1)
+	s.sum.Add(v)
+	s.count.Add(1)
+}
+
+// bucketIdx returns the index of the bucket v falls into.
+func (h *Histogram) bucketIdx(v int64) int {
+	for i, b := range h.bounds {
+		if v <= b {
+			return i
+		}
+	}
+	return len(h.bounds) // +Inf bucket
+}
+
+// Count returns the total number of observations (reading each stripe
+// atomically; see the ordering note on Histogram).
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.stripes {
+		n += h.stripes[i].count.Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 {
+	var n int64
+	for i := range h.stripes {
+		n += h.stripes[i].sum.Load()
+	}
+	return n
+}
+
+// HistogramStat is a point-in-time copy of a histogram.
+type HistogramStat struct {
+	// Count and Sum aggregate every observation.
+	Count, Sum int64
+	// Bounds are the inclusive upper bounds; Buckets has len(Bounds)+1
+	// entries, the last being the +Inf bucket.
+	Bounds  []int64
+	Buckets []int64
+}
+
+// Stat captures the histogram. Count is read before the buckets in each
+// stripe, so under concurrent writers Count <= ΣBuckets; after writers
+// quiesce the two are equal.
+func (h *Histogram) Stat() HistogramStat {
+	st := HistogramStat{
+		Bounds:  h.bounds,
+		Buckets: make([]int64, len(h.bounds)+1),
+	}
+	for i := range h.stripes {
+		s := &h.stripes[i]
+		st.Count += s.count.Load()
+		st.Sum += s.sum.Load()
+		for b := range st.Buckets {
+			st.Buckets[b] += s.bucket[b].Load()
+		}
+	}
+	return st
+}
+
+// Mean returns the average observed value (0 when empty).
+func (st HistogramStat) Mean() float64 {
+	if st.Count == 0 {
+		return 0
+	}
+	return float64(st.Sum) / float64(st.Count)
+}
+
+// Sub returns the difference of two stats of the same histogram
+// (bucket-wise; used for before/after deltas).
+func (st HistogramStat) Sub(prev HistogramStat) HistogramStat {
+	out := HistogramStat{
+		Count:  st.Count - prev.Count,
+		Sum:    st.Sum - prev.Sum,
+		Bounds: st.Bounds,
+	}
+	out.Buckets = make([]int64, len(st.Buckets))
+	for i := range st.Buckets {
+		out.Buckets[i] = st.Buckets[i]
+		if i < len(prev.Buckets) {
+			out.Buckets[i] -= prev.Buckets[i]
+		}
+	}
+	return out
+}

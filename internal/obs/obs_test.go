@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(DurationBounds)
+	h.Observe(500)           // ≤ 1µs
+	h.Observe(5_000)         // ≤ 10µs
+	h.Observe(2_000_000_000) // +Inf
+	st := h.Stat()
+	if st.Count != 3 {
+		t.Fatalf("count = %d, want 3", st.Count)
+	}
+	if st.Sum != 500+5_000+2_000_000_000 {
+		t.Fatalf("sum = %d", st.Sum)
+	}
+	if st.Buckets[0] != 1 || st.Buckets[1] != 1 || st.Buckets[len(st.Buckets)-1] != 1 {
+		t.Fatalf("bucket layout wrong: %v", st.Buckets)
+	}
+	var total int64
+	for _, b := range st.Buckets {
+		total += b
+	}
+	if total != st.Count {
+		t.Fatalf("Σbuckets %d != count %d", total, st.Count)
+	}
+}
+
+// Concurrent observers never produce a snapshot with count > Σbuckets
+// (the documented write/read ordering), and after quiescing the two are
+// exactly equal.
+func TestHistogramConcurrentCoherence(t *testing.T) {
+	h := NewHistogram(CountBounds)
+	const workers, perWorker = 8, 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st := h.Stat()
+			var total int64
+			for _, b := range st.Buckets {
+				total += b
+			}
+			if st.Count > total {
+				t.Errorf("torn read: count %d > Σbuckets %d", st.Count, total)
+				return
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(int64(w*perWorker + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	st := h.Stat()
+	if st.Count != workers*perWorker {
+		t.Fatalf("count = %d, want %d", st.Count, workers*perWorker)
+	}
+	var total int64
+	for _, b := range st.Buckets {
+		total += b
+	}
+	if total != st.Count {
+		t.Fatalf("Σbuckets %d != count %d after quiesce", total, st.Count)
+	}
+}
+
+// The hot-path primitives allocate nothing, and the trace fast path with
+// no sink installed is a single atomic load — the overhead-when-disabled
+// guarantee the instrumented engine paths rely on.
+func TestPrimitivesAllocationFree(t *testing.T) {
+	r := NewRegistry()
+	if r.Tracing() {
+		t.Fatal("fresh registry has a sink")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Commits.Inc()
+		r.CommitNs.Observe(12345)
+		if r.Tracing() {
+			t.Fatal("tracing flipped on")
+		}
+		r.Emit(Event{Name: "noop"})
+	})
+	if allocs != 0 {
+		t.Fatalf("hot-path primitives allocated %.1f/op, want 0", allocs)
+	}
+}
+
+func TestRingEmitAndLast(t *testing.T) {
+	rg := NewRing(4)
+	for i := 0; i < 6; i++ {
+		rg.Emit(Event{Name: "e", Dur: time.Duration(i)})
+	}
+	evs := rg.Last(10)
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	if evs[0].Seq != 3 || evs[3].Seq != 6 {
+		t.Fatalf("wrong window: first=%d last=%d", evs[0].Seq, evs[3].Seq)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("events out of order: %v", evs)
+		}
+	}
+	if got := rg.Last(2); len(got) != 2 || got[1].Seq != 6 {
+		t.Fatalf("Last(2) = %v", got)
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	rg := NewRing(64)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			evs := rg.Last(64)
+			for i := 1; i < len(evs); i++ {
+				if evs[i].Seq <= evs[i-1].Seq {
+					t.Error("ring read out of order")
+					return
+				}
+			}
+		}
+	}()
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				rg.Emit(Event{Name: "c"})
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	if rg.Len() != 8000 {
+		t.Fatalf("emitted %d, want 8000", rg.Len())
+	}
+}
+
+func TestRegistrySinkInstallRemove(t *testing.T) {
+	r := NewRegistry()
+	rg := NewRing(8)
+	r.SetSink(rg)
+	if !r.Tracing() {
+		t.Fatal("sink installed but Tracing() false")
+	}
+	r.EmitSpan("test.span", "detail", time.Now())
+	if rg.Len() != 1 {
+		t.Fatalf("ring holds %d events, want 1", rg.Len())
+	}
+	r.SetSink(nil)
+	if r.Tracing() {
+		t.Fatal("sink removed but Tracing() true")
+	}
+	r.Emit(Event{Name: "dropped"})
+	if rg.Len() != 1 {
+		t.Fatal("event delivered after sink removal")
+	}
+}
+
+func TestSnapshotSubAndWriteText(t *testing.T) {
+	r := NewRegistry()
+	before := r.Snapshot()
+	r.Commits.Inc()
+	r.CommitNs.Observe(50_000)
+	r.Ops[0].Add(3)
+	r.Rejects[2].Inc()
+	delta := r.Snapshot().Sub(before)
+	if got := delta.Counter("reldb.tx.commits"); got != 1 {
+		t.Fatalf("commits delta = %d, want 1", got)
+	}
+	if got := delta.Counter("vupdate.ops.insert"); got != 3 {
+		t.Fatalf("insert ops delta = %d, want 3", got)
+	}
+	if got := delta.Counter("vupdate.reject.translator-policy"); got != 1 {
+		t.Fatalf("rejection delta = %d, want 1", got)
+	}
+	if st := delta.Histogram("reldb.tx.commit_ns"); st.Count != 1 || st.Sum != 50_000 {
+		t.Fatalf("commit hist delta = %+v", st)
+	}
+
+	var b strings.Builder
+	if err := WriteText(&b, delta); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"reldb.tx.commits 1",
+		"reldb.tx.commit_ns.count 1",
+		"reldb.tx.commit_ns.sum 50000",
+		"reldb.tx.commit_ns.le_100000 1",
+		"vupdate.ops.insert 3",
+		"vupdate.reject.translator-policy 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("WriteText missing %q:\n%s", want, text)
+		}
+	}
+	// Lines are sorted (expvar-style stable rendering).
+	lines := strings.Split(strings.TrimSpace(text), "\n")
+	for i := 1; i < len(lines); i++ {
+		if lines[i] < lines[i-1] {
+			t.Fatalf("output unsorted at line %d: %q < %q", i, lines[i], lines[i-1])
+		}
+	}
+	if !strings.Contains(delta.Summary(), "commits=1") {
+		t.Errorf("summary line: %s", delta.Summary())
+	}
+}
+
+func TestStepAndReasonNames(t *testing.T) {
+	if StepLocalValidate.String() != "local_validate" || StepGlobalValidate.String() != "global_validate" {
+		t.Fatal("step names wrong")
+	}
+	if RejectReasonName(1) != "no-instance" || RejectReasonName(-1) != "unknown" || RejectReasonName(99) != "unknown" {
+		t.Fatal("reason names wrong")
+	}
+}

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Step indexes the four steps of the paper's §5 update pipeline. The
+// vupdate algorithms time each step into Registry.StepNs.
+type Step uint8
+
+// §5 pipeline steps.
+const (
+	// StepLocalValidate is step 1: validating the request against the
+	// view-object definition (instance lookup, connection checks).
+	StepLocalValidate Step = iota
+	// StepPropagate is step 2: propagation within the view object
+	// (island key complements flowing down to island children).
+	StepPropagate
+	// StepTranslate is step 3: translating the request into primitive
+	// database operations under the chosen translator.
+	StepTranslate
+	// StepGlobalValidate is step 4: validation against the structural
+	// model (foreign-key maintenance, recursive dependency repair).
+	StepGlobalValidate
+	// NumSteps sizes per-step metric arrays.
+	NumSteps
+)
+
+// stepNames are the snapshot key fragments, indexed by Step.
+var stepNames = [NumSteps]string{"local_validate", "propagate", "translate", "global_validate"}
+
+// String implements fmt.Stringer.
+func (s Step) String() string {
+	if s < NumSteps {
+		return stepNames[s]
+	}
+	return "step?"
+}
+
+// NumOpKinds sizes per-operation metric arrays; the indices align with
+// vupdate.OpKind (insert, delete, replace) — asserted by a vupdate test.
+const NumOpKinds = 3
+
+// opNames are the snapshot key fragments, indexed by vupdate.OpKind.
+var opNames = [NumOpKinds]string{"insert", "delete", "replace"}
+
+// Rejection-reason slugs, indexed by vupdate.Reason. obs owns the names
+// so snapshots render without importing vupdate (which imports obs); a
+// vupdate test asserts Reason.String() stays aligned with this table.
+var rejectReasonNames = [...]string{
+	"unknown",
+	"no-instance",
+	"translator-policy",
+	"integrity",
+	"ambiguous-key",
+	"conflict",
+}
+
+// NumRejectReasons sizes the rejection counter array.
+const NumRejectReasons = len(rejectReasonNames)
+
+// RejectReasonName returns the slug for a rejection-reason index
+// ("unknown" for out-of-range values).
+func RejectReasonName(i int) string {
+	if i < 0 || i >= NumRejectReasons {
+		return rejectReasonNames[0]
+	}
+	return rejectReasonNames[i]
+}
+
+// Registry is the engine-wide metric set. All fields are safe for
+// concurrent use; the engine packages write into the package-level
+// Default registry. Construct extra registries with NewRegistry (tests).
+type Registry struct {
+	// reldb: transaction and snapshot metrics.
+	Commits        Counter   // write transactions committed
+	EmptyCommits   Counter   // commits that published no writes
+	Rollbacks      Counter   // write transactions rolled back
+	TxDoneHits     Counter   // operations attempted on a finished Tx/ReadTx
+	RelationClones Counter   // copy-on-write relation clones
+	ReadTxBegins   Counter   // read transactions opened
+	CommitNs       Histogram // write-transaction latency, Begin→Commit
+	ReadTxLag      Histogram // ReadTx generation lag observed at Close
+
+	// viewobject: instantiation metrics.
+	Instantiations Counter   // Instantiate / InstantiateByKey calls
+	TuplesScanned  Counter   // tuples read while assembling instances
+	InstNodes      Counter   // instance nodes assembled
+	NodeFanOut     Histogram // components per (parent, child-node) pair
+	InstantiateNs  Histogram // instantiation latency
+
+	// vupdate: §5 update-pipeline metrics.
+	UpdatesCommitted Counter                   // translations that committed
+	UpdatesRejected  Counter                   // translations that rolled back with a rejection
+	StepNs           [NumSteps]Histogram       // per-step latency
+	Ops              [NumOpKinds]Counter       // emitted DBOps by OpKind
+	Rejects          [NumRejectReasons]Counter // rejections by Reason
+
+	// keller: flat-view baseline metrics (for E-benchmark comparisons).
+	KellerMaterializeNs Histogram // view materialization latency
+	KellerTranslateNs   Histogram // flat-view update translation latency
+	KellerOps           Counter   // primitive ops emitted by the baseline
+
+	sink atomic.Pointer[sinkBox]
+}
+
+// sinkBox wraps a Sink so a nil interface and "no sink" are the same
+// single atomic-pointer load on the hot path.
+type sinkBox struct{ s Sink }
+
+// NewRegistry creates a registry with every histogram initialized.
+func NewRegistry() *Registry {
+	r := &Registry{}
+	r.CommitNs.init(DurationBounds)
+	r.ReadTxLag.init(CountBounds)
+	r.NodeFanOut.init(CountBounds)
+	r.InstantiateNs.init(DurationBounds)
+	for i := range r.StepNs {
+		r.StepNs[i].init(DurationBounds)
+	}
+	r.KellerMaterializeNs.init(DurationBounds)
+	r.KellerTranslateNs.init(DurationBounds)
+	return r
+}
+
+// Default is the registry the engine packages write into.
+var Default = NewRegistry()
+
+// SetSink installs (or, with nil, removes) the trace sink.
+func (r *Registry) SetSink(s Sink) {
+	if s == nil {
+		r.sink.Store(nil)
+		return
+	}
+	r.sink.Store(&sinkBox{s: s})
+}
+
+// Tracing reports whether a sink is installed. Hot paths check this
+// before building an Event, so tracing costs one atomic load when off.
+func (r *Registry) Tracing() bool { return r.sink.Load() != nil }
+
+// Emit sends an event to the sink, if one is installed. Callers that
+// format a Detail string should gate on Tracing() first to stay
+// allocation-free when tracing is off.
+func (r *Registry) Emit(ev Event) {
+	if b := r.sink.Load(); b != nil {
+		b.s.Emit(ev)
+	}
+}
+
+// EmitSpan emits a span event for the interval [start, now). It is a
+// convenience for call sites that already checked Tracing().
+func (r *Registry) EmitSpan(name, detail string, start time.Time) {
+	r.Emit(Event{Name: name, Detail: detail, Start: start, Dur: time.Since(start)})
+}

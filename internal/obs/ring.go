@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one trace record: a named span of the update pipeline (or a
+// point event with zero duration) with a small preformatted detail.
+type Event struct {
+	// Seq is the global emission order (1-based), assigned by the ring.
+	Seq uint64
+	// Name is the dotted event name, e.g. "vupdate.step.translate".
+	Name string
+	// Detail is a short preformatted description.
+	Detail string
+	// Start is when the span began.
+	Start time.Time
+	// Dur is the span duration (0 for point events).
+	Dur time.Duration
+}
+
+// String renders one trace line.
+func (e Event) String() string {
+	if e.Detail == "" {
+		return fmt.Sprintf("#%-6d %-28s %10s", e.Seq, e.Name, e.Dur)
+	}
+	return fmt.Sprintf("#%-6d %-28s %10s  %s", e.Seq, e.Name, e.Dur, e.Detail)
+}
+
+// Sink receives trace events. Implementations must be safe for
+// concurrent use. The nil default (no sink installed on a Registry)
+// keeps instrumented hot paths allocation-free: callers gate event
+// construction behind Registry.Tracing().
+type Sink interface {
+	Emit(Event)
+}
+
+// Ring is a fixed-size trace ring buffer implementing Sink. Writers
+// claim a slot with one atomic increment and publish the event with one
+// atomic pointer store; readers load the pointers without any lock, so
+// neither side ever blocks the other. A reader racing a wrapping writer
+// simply observes the newer event (slots are published whole).
+type Ring struct {
+	seq   atomic.Uint64
+	slots []atomic.Pointer[Event]
+}
+
+// NewRing creates a ring holding the last size events.
+func NewRing(size int) *Ring {
+	if size < 1 {
+		size = 1
+	}
+	return &Ring{slots: make([]atomic.Pointer[Event], size)}
+}
+
+// Emit implements Sink.
+func (r *Ring) Emit(ev Event) {
+	seq := r.seq.Add(1)
+	ev.Seq = seq
+	r.slots[int((seq-1)%uint64(len(r.slots)))].Store(&ev)
+}
+
+// Len returns the number of events emitted so far (not the number
+// retained, which is capped at the ring size).
+func (r *Ring) Len() uint64 { return r.seq.Load() }
+
+// Last returns up to n retained events, oldest first. It is lock-free:
+// events overwritten while reading are skipped.
+func (r *Ring) Last(n int) []Event {
+	if n < 1 {
+		return nil
+	}
+	if n > len(r.slots) {
+		n = len(r.slots)
+	}
+	head := r.seq.Load()
+	lo := uint64(1)
+	if head > uint64(n) {
+		lo = head - uint64(n) + 1
+	}
+	out := make([]Event, 0, n)
+	for s := lo; s <= head; s++ {
+		ev := r.slots[int((s-1)%uint64(len(r.slots)))].Load()
+		// A slot may hold an older or newer event than s if a writer is
+		// lapping the reader; keep only the event actually numbered s.
+		if ev != nil && ev.Seq == s {
+			out = append(out, *ev)
+		}
+	}
+	return out
+}

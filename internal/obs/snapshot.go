@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Snapshot is a point-in-time copy of a Registry: flat maps keyed by
+// expvar-style dotted names. It is a plain value — safe to retain,
+// subtract, and render after the registry has moved on.
+type Snapshot struct {
+	// Counters maps metric name → count.
+	Counters map[string]int64
+	// Histograms maps metric name → stat. Latency histograms use the
+	// "_ns" suffix and record nanoseconds.
+	Histograms map[string]HistogramStat
+}
+
+// Snapshot captures the registry.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]int64, 32),
+		Histograms: make(map[string]HistogramStat, 16),
+	}
+	c := func(name string, ctr *Counter) { s.Counters[name] = ctr.Load() }
+	h := func(name string, hist *Histogram) { s.Histograms[name] = hist.Stat() }
+
+	c("reldb.tx.commits", &r.Commits)
+	c("reldb.tx.empty_commits", &r.EmptyCommits)
+	c("reldb.tx.rollbacks", &r.Rollbacks)
+	c("reldb.tx.txdone_hits", &r.TxDoneHits)
+	c("reldb.relation.clones", &r.RelationClones)
+	c("reldb.readtx.begins", &r.ReadTxBegins)
+	h("reldb.tx.commit_ns", &r.CommitNs)
+	h("reldb.readtx.lag_generations", &r.ReadTxLag)
+
+	c("viewobject.instantiate.calls", &r.Instantiations)
+	c("viewobject.instantiate.tuples_scanned", &r.TuplesScanned)
+	c("viewobject.instantiate.nodes", &r.InstNodes)
+	h("viewobject.instantiate.fanout", &r.NodeFanOut)
+	h("viewobject.instantiate.ns", &r.InstantiateNs)
+
+	c("vupdate.updates.committed", &r.UpdatesCommitted)
+	c("vupdate.updates.rejected", &r.UpdatesRejected)
+	for i := Step(0); i < NumSteps; i++ {
+		h("vupdate.step."+stepNames[i]+"_ns", &r.StepNs[i])
+	}
+	for i := 0; i < NumOpKinds; i++ {
+		c("vupdate.ops."+opNames[i], &r.Ops[i])
+	}
+	for i := 0; i < NumRejectReasons; i++ {
+		c("vupdate.reject."+rejectReasonNames[i], &r.Rejects[i])
+	}
+
+	h("keller.materialize_ns", &r.KellerMaterializeNs)
+	h("keller.translate_ns", &r.KellerTranslateNs)
+	c("keller.ops", &r.KellerOps)
+	return s
+}
+
+// Capture snapshots the Default registry.
+func Capture() Snapshot { return Default.Snapshot() }
+
+// Counter returns a counter by name (0 when absent).
+func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
+
+// Histogram returns a histogram stat by name (zero stat when absent).
+func (s Snapshot) Histogram(name string) HistogramStat { return s.Histograms[name] }
+
+// Sub returns the metric-wise difference s − prev: the activity between
+// two snapshots of the same registry.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   make(map[string]int64, len(s.Counters)),
+		Histograms: make(map[string]HistogramStat, len(s.Histograms)),
+	}
+	for k, v := range s.Counters {
+		out.Counters[k] = v - prev.Counters[k]
+	}
+	for k, v := range s.Histograms {
+		out.Histograms[k] = v.Sub(prev.Histograms[k])
+	}
+	return out
+}
+
+// WriteText renders the snapshot as sorted "name value" lines —
+// expvar-compatible flat keys, histograms expanded into .count, .sum,
+// .mean, and one .le_* line per non-empty bucket:
+//
+//	reldb.tx.commits 42
+//	reldb.tx.commit_ns.count 42
+//	reldb.tx.commit_ns.mean 18432.5
+//	reldb.tx.commit_ns.le_100000 40
+//	reldb.tx.commit_ns.le_inf 2
+func WriteText(w io.Writer, s Snapshot) error {
+	lines := make([]string, 0, len(s.Counters)+4*len(s.Histograms))
+	for name, v := range s.Counters {
+		lines = append(lines, fmt.Sprintf("%s %d", name, v))
+	}
+	for name, st := range s.Histograms {
+		lines = append(lines, fmt.Sprintf("%s.count %d", name, st.Count))
+		lines = append(lines, fmt.Sprintf("%s.sum %d", name, st.Sum))
+		lines = append(lines, fmt.Sprintf("%s.mean %.1f", name, st.Mean()))
+		for i, n := range st.Buckets {
+			if n == 0 {
+				continue
+			}
+			if i < len(st.Bounds) {
+				lines = append(lines, fmt.Sprintf("%s.le_%d %d", name, st.Bounds[i], n))
+			} else {
+				lines = append(lines, fmt.Sprintf("%s.le_inf %d", name, n))
+			}
+		}
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(w, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary condenses the snapshot into one line for workload reports:
+// commit and instantiation volume, mean latencies, op and rejection
+// totals. Durations render in time.Duration notation.
+func (s Snapshot) Summary() string {
+	var ops, rejects int64
+	for i := 0; i < NumOpKinds; i++ {
+		ops += s.Counter("vupdate.ops." + opNames[i])
+	}
+	for i := 0; i < NumRejectReasons; i++ {
+		rejects += s.Counter("vupdate.reject." + rejectReasonNames[i])
+	}
+	commit := s.Histogram("reldb.tx.commit_ns")
+	inst := s.Histogram("viewobject.instantiate.ns")
+	return fmt.Sprintf(
+		"commits=%d (mean %s) rollbacks=%d instantiations=%d (mean %s) tuples_scanned=%d dbops=%d rejections=%d clones=%d",
+		s.Counter("reldb.tx.commits"), time.Duration(int64(commit.Mean())),
+		s.Counter("reldb.tx.rollbacks"),
+		s.Counter("viewobject.instantiate.calls"), time.Duration(int64(inst.Mean())),
+		s.Counter("viewobject.instantiate.tuples_scanned"),
+		ops, rejects,
+		s.Counter("reldb.relation.clones"))
+}

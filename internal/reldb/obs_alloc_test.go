@@ -1,0 +1,132 @@
+package reldb
+
+import (
+	"testing"
+
+	"penguin/internal/obs"
+)
+
+// The acceptance guarantee of the observability layer: with no trace
+// sink installed, the instrumented transaction paths allocate nothing
+// beyond what the uninstrumented engine allocates. Begin allocates
+// exactly the Tx struct and its two maps; Commit, Rollback, BeginRead,
+// and Close must add zero observability allocations (atomic counter and
+// histogram updates only — no Event construction, no formatting).
+func TestCommitPathAllocationFreeWhenUntraced(t *testing.T) {
+	if obs.Default.Tracing() {
+		t.Fatal("test requires no sink installed on obs.Default")
+	}
+	db := NewDatabase()
+	db.MustCreateRelation(MustSchema("R", []Attribute{
+		{Name: "K", Type: KindInt},
+		{Name: "V", Type: KindString, Nullable: true},
+	}, []string{"K"}))
+
+	// Begin + Commit of a read-only transaction: 3 allocations (the Tx
+	// struct and the dirty/written maps), none from instrumentation.
+	allocs := testing.AllocsPerRun(200, func() {
+		tx := db.Begin()
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 3 {
+		t.Fatalf("Begin+Commit allocated %.1f/op, want <= 3 (instrumentation must add none)", allocs)
+	}
+
+	// Begin + Rollback likewise.
+	allocs = testing.AllocsPerRun(200, func() {
+		tx := db.Begin()
+		if err := tx.Rollback(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 3 {
+		t.Fatalf("Begin+Rollback allocated %.1f/op, want <= 3", allocs)
+	}
+
+	// BeginRead + Close: the ReadTx struct and the pinned catalog map
+	// (header + bucket); the lag observation at Close must not allocate.
+	allocs = testing.AllocsPerRun(200, func() {
+		rtx := db.BeginRead()
+		rtx.Close()
+	})
+	if allocs > 3 {
+		t.Fatalf("BeginRead+Close allocated %.1f/op, want <= 3", allocs)
+	}
+}
+
+// Commits, rollbacks, clones, and ErrTxDone hits are counted, and the
+// commit-latency histogram records one observation per commit.
+func TestTxObservability(t *testing.T) {
+	db := NewDatabase()
+	db.MustCreateRelation(MustSchema("R", []Attribute{
+		{Name: "K", Type: KindInt},
+	}, []string{"K"}))
+
+	before := obs.Default.Snapshot()
+	tx := db.Begin()
+	if err := tx.Insert("R", Tuple{Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != ErrTxDone { // counted as a txdone hit
+		t.Fatalf("second commit: %v", err)
+	}
+	tx2 := db.Begin()
+	_ = tx2.Rollback()
+	delta := obs.Default.Snapshot().Sub(before)
+
+	if got := delta.Counter("reldb.tx.commits"); got != 1 {
+		t.Errorf("commits delta = %d, want 1", got)
+	}
+	if got := delta.Counter("reldb.tx.rollbacks"); got != 1 {
+		t.Errorf("rollbacks delta = %d, want 1", got)
+	}
+	if got := delta.Counter("reldb.tx.txdone_hits"); got != 1 {
+		t.Errorf("txdone delta = %d, want 1", got)
+	}
+	if got := delta.Counter("reldb.relation.clones"); got != 1 {
+		t.Errorf("clones delta = %d, want 1 (one relation touched)", got)
+	}
+	if st := delta.Histogram("reldb.tx.commit_ns"); st.Count != 1 {
+		t.Errorf("commit_ns count = %d, want 1 (only the successful commit observes)", st.Count)
+	}
+}
+
+// ReadTx.Close records the snapshot's generation lag; a snapshot that
+// watched two commits go by reports lag 2.
+func TestReadTxLagObserved(t *testing.T) {
+	db := NewDatabase()
+	db.MustCreateRelation(MustSchema("R", []Attribute{
+		{Name: "K", Type: KindInt},
+	}, []string{"K"}))
+
+	before := obs.Default.Snapshot()
+	rtx := db.BeginRead()
+	for i := 0; i < 2; i++ {
+		if err := db.RunInTx(func(tx *Tx) error {
+			return tx.Insert("R", Tuple{Int(int64(i))})
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !rtx.Stale() {
+		t.Fatal("snapshot should be stale")
+	}
+	rtx.Close()
+	rtx.Close() // idempotent: observed once only
+	delta := obs.Default.Snapshot().Sub(before)
+	lag := delta.Histogram("reldb.readtx.lag_generations")
+	if lag.Count != 1 {
+		t.Fatalf("lag observations = %d, want 1", lag.Count)
+	}
+	if lag.Sum != 2 {
+		t.Fatalf("lag sum = %d, want 2", lag.Sum)
+	}
+	if got := delta.Counter("reldb.readtx.begins"); got != 1 {
+		t.Fatalf("readtx begins delta = %d, want 1", got)
+	}
+}

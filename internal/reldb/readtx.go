@@ -3,6 +3,8 @@ package reldb
 import (
 	"fmt"
 	"sort"
+
+	"penguin/internal/obs"
 )
 
 // ReadTx is a snapshot-isolated read transaction: BeginRead pins the
@@ -34,12 +36,14 @@ func (db *Database) BeginRead() *ReadTx {
 	for n, r := range db.relations {
 		rels[n] = r
 	}
+	obs.Default.ReadTxBegins.Inc()
 	return &ReadTx{db: db, rels: rels, gen: db.gen}
 }
 
 // Relation returns the pinned version of the named relation.
 func (rtx *ReadTx) Relation(name string) (*Relation, error) {
 	if rtx.done {
+		obs.Default.TxDoneHits.Inc()
 		return nil, ErrTxDone
 	}
 	r, ok := rtx.rels[name]
@@ -104,8 +108,13 @@ func (rtx *ReadTx) Fork() *Database {
 }
 
 // Close ends the read transaction; further access fails with ErrTxDone.
-// Closing is idempotent and never blocks (no lock is held).
+// Closing is idempotent and never blocks (no lock is held beyond the
+// momentary generation read). The first Close records how many commits
+// the snapshot fell behind (its staleness) into the ReadTxLag histogram.
 func (rtx *ReadTx) Close() {
+	if !rtx.done {
+		obs.Default.ReadTxLag.Observe(int64(rtx.db.Generation() - rtx.gen))
+	}
 	rtx.done = true
 	rtx.rels = nil
 }

@@ -3,6 +3,8 @@ package reldb
 import (
 	"fmt"
 	"sort"
+
+	"penguin/internal/obs"
 )
 
 // Relation is an in-memory keyed table. Rows live in a map keyed by the
@@ -396,6 +398,7 @@ func (ix *secondaryIndex) remove(t Tuple, ek string) {
 // keeps the copy-on-write hot path (one clone per relation a transaction
 // touches) free of per-tuple allocation.
 func (r *Relation) clone() *Relation {
+	obs.Default.RelationClones.Inc()
 	c := NewRelation(r.schema)
 	c.gen = r.gen
 	for ek, t := range r.rows {

@@ -2,6 +2,9 @@ package reldb
 
 import (
 	"fmt"
+	"time"
+
+	"penguin/internal/obs"
 )
 
 // Tx is a write transaction over a Database, implemented with copy-on-
@@ -24,6 +27,7 @@ type Tx struct {
 	dirty   map[string]*Relation // private clones, by relation name
 	written map[string]bool      // clones with at least one successful op
 	ops     int
+	start   time.Time
 	done    bool
 }
 
@@ -34,6 +38,7 @@ func (db *Database) Begin() *Tx {
 		db:      db,
 		dirty:   make(map[string]*Relation),
 		written: make(map[string]bool),
+		start:   time.Now(),
 	}
 }
 
@@ -43,6 +48,7 @@ func (db *Database) Begin() *Tx {
 // cannot leak mutable state.
 func (tx *Tx) Relation(name string) (*Relation, error) {
 	if tx.done {
+		obs.Default.TxDoneHits.Inc()
 		return nil, ErrTxDone
 	}
 	if r, ok := tx.dirty[name]; ok {
@@ -62,6 +68,7 @@ func (tx *Tx) Relation(name string) (*Relation, error) {
 // Insert adds a tuple to the named relation.
 func (tx *Tx) Insert(relName string, t Tuple) error {
 	if tx.done {
+		obs.Default.TxDoneHits.Inc()
 		return ErrTxDone
 	}
 	r, err := tx.Relation(relName)
@@ -80,6 +87,7 @@ func (tx *Tx) Insert(relName string, t Tuple) error {
 // returns the deleted tuple.
 func (tx *Tx) Delete(relName string, key Tuple) (Tuple, error) {
 	if tx.done {
+		obs.Default.TxDoneHits.Inc()
 		return nil, ErrTxDone
 	}
 	r, err := tx.Relation(relName)
@@ -99,6 +107,7 @@ func (tx *Tx) Delete(relName string, key Tuple) (Tuple, error) {
 // the key) and returns the replaced tuple.
 func (tx *Tx) Replace(relName string, oldKey Tuple, newTuple Tuple) (Tuple, error) {
 	if tx.done {
+		obs.Default.TxDoneHits.Inc()
 		return nil, ErrTxDone
 	}
 	r, err := tx.Relation(relName)
@@ -125,11 +134,13 @@ func (tx *Tx) OpCount() int { return tx.ops }
 // not republished.
 func (tx *Tx) Commit() error {
 	if tx.done {
+		obs.Default.TxDoneHits.Inc()
 		return ErrTxDone
 	}
 	tx.done = true
+	published := len(tx.written)
 	tx.db.mu.Lock()
-	if len(tx.written) > 0 {
+	if published > 0 {
 		tx.db.gen++
 		for name := range tx.written {
 			r := tx.dirty[name]
@@ -137,9 +148,19 @@ func (tx *Tx) Commit() error {
 			tx.db.relations[name] = r
 		}
 	}
+	gen := tx.db.gen
 	tx.db.mu.Unlock()
 	tx.dirty, tx.written = nil, nil
 	tx.db.writer.Unlock()
+	obs.Default.Commits.Inc()
+	if published == 0 {
+		obs.Default.EmptyCommits.Inc()
+	}
+	obs.Default.CommitNs.Observe(time.Since(tx.start).Nanoseconds())
+	if obs.Default.Tracing() {
+		obs.Default.EmitSpan("reldb.commit",
+			fmt.Sprintf("gen=%d relations=%d ops=%d", gen, published, tx.ops), tx.start)
+	}
 	return nil
 }
 
@@ -148,11 +169,16 @@ func (tx *Tx) Commit() error {
 // transaction is a no-op returning ErrTxDone.
 func (tx *Tx) Rollback() error {
 	if tx.done {
+		obs.Default.TxDoneHits.Inc()
 		return ErrTxDone
 	}
 	tx.done = true
 	tx.dirty, tx.written = nil, nil
 	tx.db.writer.Unlock()
+	obs.Default.Rollbacks.Inc()
+	if obs.Default.Tracing() {
+		obs.Default.EmitSpan("reldb.rollback", "", tx.start)
+	}
 	return nil
 }
 

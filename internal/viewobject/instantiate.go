@@ -2,7 +2,9 @@ package viewobject
 
 import (
 	"fmt"
+	"time"
 
+	"penguin/internal/obs"
 	"penguin/internal/reldb"
 	"penguin/internal/structural"
 )
@@ -46,6 +48,7 @@ type CountCond struct {
 // against the database reachable through res, and assembles the matching
 // hierarchical instances (Figure 4). Results are in pivot-key order.
 func Instantiate(res structural.Resolver, def *Definition, q Query) ([]*Instance, error) {
+	start := time.Now()
 	pivotRel, err := res.Relation(def.Pivot())
 	if err != nil {
 		return nil, err
@@ -58,6 +61,9 @@ func Instantiate(res structural.Resolver, def *Definition, q Query) ([]*Instance
 	if err != nil {
 		return nil, fmt.Errorf("viewobject: %s: pivot selection: %w", def.Name, err)
 	}
+	// The pivot selection scans the whole relation regardless of how many
+	// tuples qualify.
+	obs.Default.TuplesScanned.Add(int64(pivotRel.Count()))
 	var out []*Instance
 	for _, pt := range pivots {
 		inst, err := assembleInstance(res, def, pt)
@@ -72,23 +78,37 @@ func Instantiate(res structural.Resolver, def *Definition, q Query) ([]*Instance
 			out = append(out, inst)
 		}
 	}
+	obs.Default.Instantiations.Inc()
+	obs.Default.InstantiateNs.Observe(time.Since(start).Nanoseconds())
+	if obs.Default.Tracing() {
+		obs.Default.EmitSpan("viewobject.instantiate",
+			fmt.Sprintf("object=%s instances=%d", def.Name, len(out)), start)
+	}
 	return out, nil
 }
 
 // InstantiateByKey assembles the single instance whose object key equals
 // key, or reports ok=false if the pivot tuple does not exist.
 func InstantiateByKey(res structural.Resolver, def *Definition, key reldb.Tuple) (*Instance, bool, error) {
+	start := time.Now()
 	pivotRel, err := res.Relation(def.Pivot())
 	if err != nil {
 		return nil, false, err
 	}
 	pt, ok := pivotRel.Get(key)
+	obs.Default.TuplesScanned.Inc() // the keyed pivot lookup
 	if !ok {
 		return nil, false, nil
 	}
 	inst, err := assembleInstance(res, def, pt)
 	if err != nil {
 		return nil, false, err
+	}
+	obs.Default.Instantiations.Inc()
+	obs.Default.InstantiateNs.Observe(time.Since(start).Nanoseconds())
+	if obs.Default.Tracing() {
+		obs.Default.EmitSpan("viewobject.instantiate_by_key",
+			fmt.Sprintf("object=%s key=%s", def.Name, key), start)
 	}
 	return inst, true, nil
 }
@@ -98,6 +118,7 @@ func assembleInstance(res structural.Resolver, def *Definition, pivotTuple reldb
 	if err != nil {
 		return nil, err
 	}
+	obs.Default.InstNodes.Inc() // the root component
 	if err := fillChildren(res, def, inst.root); err != nil {
 		return nil, err
 	}
@@ -110,11 +131,14 @@ func fillChildren(res structural.Resolver, def *Definition, in *InstNode) error 
 		if err != nil {
 			return fmt.Errorf("viewobject: %s: node %s: %w", def.Name, child.ID, err)
 		}
+		obs.Default.TuplesScanned.Add(int64(len(targets)))
+		obs.Default.NodeFanOut.Observe(int64(len(targets)))
 		for _, tt := range targets {
 			cn, err := in.AddChild(def, child.ID, tt)
 			if err != nil {
 				return err
 			}
+			obs.Default.InstNodes.Inc()
 			if err := fillChildren(res, def, cn); err != nil {
 				return err
 			}

@@ -3,6 +3,7 @@ package vupdate
 import (
 	"fmt"
 
+	"penguin/internal/obs"
 	"penguin/internal/reldb"
 	"penguin/internal/structural"
 	"penguin/internal/viewobject"
@@ -14,13 +15,21 @@ import (
 // data.
 func (u *Updater) DeleteByKey(key reldb.Tuple) (*Result, error) {
 	return u.run(func(s *session) error {
-		inst, ok, err := viewobject.InstantiateByKey(s.tx, s.def, key)
-		if err != nil {
+		var inst *viewobject.Instance
+		if err := s.step(obs.StepLocalValidate, func() error {
+			var ok bool
+			var err error
+			inst, ok, err = viewobject.InstantiateByKey(s.tx, s.def, key)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return fmt.Errorf("vupdate: %s: no instance with key %s: %w",
+					s.def.Name, key, reldb.ErrNoSuchTuple)
+			}
+			return nil
+		}); err != nil {
 			return err
-		}
-		if !ok {
-			return fmt.Errorf("vupdate: %s: no instance with key %s: %w",
-				s.def.Name, key, reldb.ErrNoSuchTuple)
 		}
 		return s.deleteInstance(inst)
 	})
@@ -62,31 +71,36 @@ func (s *session) deleteInstance(inst *viewobject.Instance) error {
 		return fmt.Errorf("vupdate: %s: pivot tuple %s no longer exists: %w",
 			s.def.Name, pivotKey, reldb.ErrNoSuchTuple)
 	}
-	deleted := make(map[string]bool)
-	if err := s.deleteCascade(s.def.Pivot(), pivotTuple, deleted); err != nil {
-		return err
-	}
-	// Island components reached through paths with excluded intermediate
-	// relations are not covered by the connection cascade from the pivot
-	// alone; delete them explicitly.
-	topo := s.tr.Topology()
-	for _, nodeID := range topo.Island() {
-		for _, in := range inst.NodesAt(nodeID) {
-			node := in.Node()
-			rel, err := s.relation(node.Relation)
-			if err != nil {
-				return err
-			}
-			tuple := in.Tuple()
-			if !rel.Has(rel.Schema().KeyOf(tuple)) {
-				continue // already deleted by the cascade
-			}
-			if err := s.deleteCascade(node.Relation, tuple, deleted); err != nil {
-				return err
+	// The cascade interleaves translation (island deletions) with global
+	// maintenance (peninsula and out-of-object foreign keys); the two are
+	// timed as one translate step.
+	return s.step(obs.StepTranslate, func() error {
+		deleted := make(map[string]bool)
+		if err := s.deleteCascade(s.def.Pivot(), pivotTuple, deleted); err != nil {
+			return err
+		}
+		// Island components reached through paths with excluded intermediate
+		// relations are not covered by the connection cascade from the pivot
+		// alone; delete them explicitly.
+		topo := s.tr.Topology()
+		for _, nodeID := range topo.Island() {
+			for _, in := range inst.NodesAt(nodeID) {
+				node := in.Node()
+				rel, err := s.relation(node.Relation)
+				if err != nil {
+					return err
+				}
+				tuple := in.Tuple()
+				if !rel.Has(rel.Schema().KeyOf(tuple)) {
+					continue // already deleted by the cascade
+				}
+				if err := s.deleteCascade(node.Relation, tuple, deleted); err != nil {
+					return err
+				}
 			}
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
 // deleteCascade deletes one tuple and maintains global integrity:

@@ -3,6 +3,7 @@ package vupdate
 import (
 	"fmt"
 
+	"penguin/internal/obs"
 	"penguin/internal/reldb"
 	"penguin/internal/viewobject"
 )
@@ -35,32 +36,41 @@ func (s *session) insertInstance(inst *viewobject.Instance) error {
 	if !s.tr.AllowInsertion {
 		return reject("vupdate: %s: insertion of object instances is not allowed", s.def.Name)
 	}
-	if err := validateConnections(s.def, inst.Root()); err != nil {
+	if err := s.step(obs.StepLocalValidate, func() error {
+		return validateConnections(s.def, inst.Root())
+	}); err != nil {
 		return err
 	}
 	topo := s.tr.Topology()
 	var touched []relTuple
-	// Walk the definition preorder so owners precede owned tuples.
-	for _, node := range s.def.Nodes() {
-		for _, in := range inst.NodesAt(node.ID) {
-			t, err := s.insertComponent(topo, node, in.Tuple())
-			if err != nil {
-				return err
-			}
-			if t != nil {
-				touched = append(touched, relTuple{node.Relation, t})
+	if err := s.step(obs.StepTranslate, func() error {
+		// Walk the definition preorder so owners precede owned tuples.
+		for _, node := range s.def.Nodes() {
+			for _, in := range inst.NodesAt(node.ID) {
+				t, err := s.insertComponent(topo, node, in.Tuple())
+				if err != nil {
+					return err
+				}
+				if t != nil {
+					touched = append(touched, relTuple{node.Relation, t})
+				}
 			}
 		}
+		return nil
+	}); err != nil {
+		return err
 	}
 	// Global validation (§5.2): dependency repair for every inserted or
 	// replaced tuple, recursively.
-	seen := make(map[string]bool)
-	for _, rt := range touched {
-		if err := s.ensureDependencies(rt.rel, rt.tuple, seen); err != nil {
-			return err
+	return s.step(obs.StepGlobalValidate, func() error {
+		seen := make(map[string]bool)
+		for _, rt := range touched {
+			if err := s.ensureDependencies(rt.rel, rt.tuple, seen); err != nil {
+				return err
+			}
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
 type relTuple struct {
@@ -93,7 +103,7 @@ func (s *session) insertComponent(topo *Topology, node *viewobject.Node, tuple r
 	case exists && projectedEqual(tuple, existing, projIdx):
 		// CASE 1: an identical tuple exists.
 		if inIsland {
-			return nil, reject("vupdate: %s: identical %s tuple %s already exists in the dependency island",
+			return nil, rejectAs(ReasonConflict, "vupdate: %s: identical %s tuple %s already exists in the dependency island",
 				s.def.Name, node.ID, key)
 		}
 		return nil, nil
@@ -113,7 +123,7 @@ func (s *session) insertComponent(topo *Topology, node *viewobject.Node, tuple r
 	default:
 		// CASE 3: the key exists with differing values.
 		if inIsland {
-			return nil, reject("vupdate: %s: %s tuple with key %s exists with conflicting values",
+			return nil, rejectAs(ReasonConflict, "vupdate: %s: %s tuple with key %s exists with conflicting values",
 				s.def.Name, node.ID, key)
 		}
 		p := s.tr.outsidePolicy(node.ID)

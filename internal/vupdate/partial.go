@@ -56,7 +56,7 @@ func (u *Updater) PartialInsert(pivotKey reldb.Tuple, nodeID string, tuple reldb
 			return err
 		}
 		if !ok {
-			return reject("vupdate: %s: the new %s tuple %s is not connected to instance %s",
+			return rejectAs(ReasonIntegrity, "vupdate: %s: the new %s tuple %s is not connected to instance %s",
 				s.def.Name, nodeID, t, pivotKey)
 		}
 		return nil
@@ -77,7 +77,7 @@ func (u *Updater) PartialDelete(pivotKey reldb.Tuple, nodeID string, key reldb.T
 		}
 		topo := s.tr.Topology()
 		if !topo.InIsland(nodeID) {
-			return reject("vupdate: %s: partial deletion of %s components is ambiguous (outside the dependency island)",
+			return rejectAs(ReasonAmbiguousKey, "vupdate: %s: partial deletion of %s components is ambiguous (outside the dependency island)",
 				s.def.Name, nodeID)
 		}
 		pivotTuple, err := s.pivotTuple(pivotKey)
@@ -99,7 +99,7 @@ func (u *Updater) PartialDelete(pivotKey reldb.Tuple, nodeID string, key reldb.T
 			return err
 		}
 		if !connected {
-			return reject("vupdate: %s: %s tuple %s does not belong to instance %s",
+			return rejectAs(ReasonNoInstance, "vupdate: %s: %s tuple %s does not belong to instance %s",
 				s.def.Name, nodeID, key, pivotKey)
 		}
 		if node == s.def.Root() {
@@ -134,7 +134,7 @@ func (u *Updater) PartialUpdate(pivotKey reldb.Tuple, nodeID string, oldTuple, n
 			return err
 		}
 		if !connected {
-			return reject("vupdate: %s: %s tuple %s does not belong to instance %s",
+			return rejectAs(ReasonNoInstance, "vupdate: %s: %s tuple %s does not belong to instance %s",
 				s.def.Name, nodeID, schema.KeyOf(oldTuple), pivotKey)
 		}
 		topo := s.tr.Topology()
@@ -162,7 +162,7 @@ func (u *Updater) PartialUpdate(pivotKey reldb.Tuple, nodeID string, oldTuple, n
 					return err
 				}
 			default:
-				return reject("vupdate: %s: changes to the key of %s tuples are precluded",
+				return rejectAs(ReasonAmbiguousKey, "vupdate: %s: changes to the key of %s tuples are precluded",
 					s.def.Name, nodeID)
 			}
 		}

@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
+	"penguin/internal/obs"
 	"penguin/internal/reldb"
 	"penguin/internal/structural"
 	"penguin/internal/viewobject"
@@ -110,19 +112,58 @@ type session struct {
 }
 
 // run executes fn inside a transaction against the definition's database,
-// committing on success and rolling back on error.
+// committing on success and rolling back on error. Committed updates
+// record their emitted operations into the obs op counters (so the
+// counters always match the returned Result); rejections record their
+// reason.
 func (u *Updater) run(fn func(*session) error) (*Result, error) {
 	def := u.T.Definition()
 	db := def.Graph().Database()
+	start := time.Now()
 	s := &session{tr: u.T, def: def, g: def.Graph(), tx: db.Begin()}
 	if err := fn(s); err != nil {
 		_ = s.tx.Rollback()
+		countRejection(err)
 		return nil, err
 	}
 	if err := s.tx.Commit(); err != nil {
 		return nil, err
 	}
+	obs.Default.UpdatesCommitted.Inc()
+	for _, op := range s.ops {
+		if int(op.Kind) < obs.NumOpKinds {
+			obs.Default.Ops[op.Kind].Inc()
+		}
+	}
+	if obs.Default.Tracing() {
+		obs.Default.EmitSpan("vupdate.update",
+			fmt.Sprintf("object=%s ops=%d", def.Name, len(s.ops)), start)
+	}
 	return &Result{Ops: s.ops}, nil
+}
+
+// countRejection records a failed translation in the rejection counters.
+// Missing-tuple errors count as no-instance rejections even though they
+// do not wrap ErrRejected (the addressed instance simply is not there);
+// infrastructure errors are not counted.
+func countRejection(err error) {
+	if !errors.Is(err, ErrRejected) && !errors.Is(err, reldb.ErrNoSuchTuple) {
+		return
+	}
+	obs.Default.UpdatesRejected.Inc()
+	obs.Default.Rejects[ReasonOf(err)].Inc()
+}
+
+// step times one §5 pipeline step into the per-step histogram and, when
+// tracing, emits a span carrying the step name.
+func (s *session) step(st obs.Step, fn func() error) error {
+	start := time.Now()
+	err := fn()
+	obs.Default.StepNs[st].Observe(time.Since(start).Nanoseconds())
+	if obs.Default.Tracing() {
+		obs.Default.EmitSpan("vupdate.step."+st.String(), s.def.Name, start)
+	}
+	return err
 }
 
 func (s *session) insert(rel string, t reldb.Tuple) error {
@@ -163,9 +204,10 @@ func (s *session) schemaOf(n *viewobject.Node) *reldb.Schema {
 	return rel.Schema()
 }
 
-// reject builds a translator rejection.
+// reject builds a translator-policy rejection (the default reason; use
+// rejectAs to tag a more specific one).
 func reject(format string, args ...any) error {
-	return fmt.Errorf("%s: %w", fmt.Sprintf(format, args...), ErrRejected)
+	return rejectAs(ReasonTranslatorPolicy, format, args...)
 }
 
 // checkInstance verifies an instance belongs to the updater's definition

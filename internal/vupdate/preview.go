@@ -39,7 +39,7 @@ func (u *Updater) PreviewDeleteByKey(key reldb.Tuple) (*Result, error) {
 			return err
 		}
 		if !ok {
-			return reject("vupdate: %s: no instance with key %s", s.def.Name, key)
+			return rejectAs(ReasonNoInstance, "vupdate: %s: no instance with key %s", s.def.Name, key)
 		}
 		return s.deleteInstance(inst)
 	})

@@ -1,0 +1,88 @@
+package vupdate
+
+import (
+	"errors"
+	"fmt"
+
+	"penguin/internal/obs"
+	"penguin/internal/reldb"
+)
+
+// Reason classifies why a view-object update was rejected. Every
+// rejection still wraps ErrRejected — errors.Is(err, ErrRejected) keeps
+// working unchanged — but callers (and the obs rejection counters) can
+// now distinguish a translator policy refusal from a structural
+// integrity violation or a key conflict.
+//
+// The numeric values index obs.Registry.Rejects and must stay aligned
+// with the slug table in the obs package (asserted by TestReasonNames).
+type Reason uint8
+
+// Rejection reasons.
+const (
+	// ReasonUnknown covers rejections raised before the taxonomy existed
+	// and errors that merely wrap ErrRejected without a Rejection.
+	ReasonUnknown Reason = iota
+	// ReasonNoInstance: the addressed instance (or component) does not
+	// exist in the current database state.
+	ReasonNoInstance
+	// ReasonTranslatorPolicy: the chosen translator's policies forbid the
+	// requested operation (§6 dialog outcomes: AllowDeletion=false,
+	// non-modifiable outside relations, restrictive peninsula policies).
+	ReasonTranslatorPolicy
+	// ReasonIntegrity: the request is internally inconsistent with the
+	// view-object structure (disconnected components, null connection
+	// attributes — step 1 of §5).
+	ReasonIntegrity
+	// ReasonAmbiguousKey: the requested key change has no unambiguous
+	// translation (precluded key changes of outside relations, partial
+	// deletions outside the dependency island, peninsula key rewrites).
+	ReasonAmbiguousKey
+	// ReasonConflict: existing tuples conflict with the request (VO-CI
+	// cases 1 and 3 inside the dependency island, key adoption during
+	// replacement).
+	ReasonConflict
+
+	numReasons // sentinel; must equal obs.NumRejectReasons
+)
+
+// String returns the stable slug used in stats snapshots
+// (vupdate.reject.<slug>). The names live in the obs package so
+// snapshots render without importing vupdate.
+func (r Reason) String() string { return obs.RejectReasonName(int(r)) }
+
+// Rejection is the error raised when a view-object update has no
+// translation. It wraps ErrRejected, so existing errors.Is checks are
+// unaffected, and carries the Reason for the obs rejection counters.
+type Rejection struct {
+	Reason Reason
+	msg    string
+}
+
+// Error renders "<context>: view-object update rejected by translator",
+// the exact format rejections used before reasons were attached.
+func (r *Rejection) Error() string { return r.msg + ": " + ErrRejected.Error() }
+
+// Unwrap makes errors.Is(err, ErrRejected) true for every Rejection.
+func (r *Rejection) Unwrap() error { return ErrRejected }
+
+// rejectAs builds a rejection tagged with a reason.
+func rejectAs(reason Reason, format string, args ...any) error {
+	return &Rejection{Reason: reason, msg: fmt.Sprintf(format, args...)}
+}
+
+// ReasonOf extracts the rejection reason from an update error:
+// the Rejection's reason when one is present, ReasonNoInstance for
+// missing-tuple errors, and ReasonUnknown for bare ErrRejected wraps.
+// For errors that are not rejections at all it returns ReasonUnknown;
+// gate on errors.Is(err, ErrRejected) first to tell the cases apart.
+func ReasonOf(err error) Reason {
+	var rej *Rejection
+	if errors.As(err, &rej) {
+		return rej.Reason
+	}
+	if errors.Is(err, reldb.ErrNoSuchTuple) {
+		return ReasonNoInstance
+	}
+	return ReasonUnknown
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"penguin/internal/obs"
 	"penguin/internal/reldb"
 	"penguin/internal/structural"
 	"penguin/internal/viewobject"
@@ -51,10 +52,14 @@ func (s *session) replaceInstance(oldInst, newInst *viewobject.Instance) error {
 	newInst = newInst.Clone()
 	// Step 1: propagation within the view object, then local validation
 	// of the propagated replacing instance.
-	if err := propagateIslandKeys(s.def, topo, newInst.Root()); err != nil {
+	if err := s.step(obs.StepPropagate, func() error {
+		return propagateIslandKeys(s.def, topo, newInst.Root())
+	}); err != nil {
 		return err
 	}
-	if err := validateConnections(s.def, newInst.Root()); err != nil {
+	if err := s.step(obs.StepLocalValidate, func() error {
+		return validateConnections(s.def, newInst.Root())
+	}); err != nil {
 		return err
 	}
 	// Step 2: translation (state machine).
@@ -63,20 +68,24 @@ func (s *session) replaceInstance(oldInst, newInst *viewobject.Instance) error {
 		topo:   topo,
 		keyMap: make(map[string]map[string]keyChange),
 	}
-	if err := rc.walkPair(oldInst.Root(), newInst.Root(), stateR); err != nil {
+	if err := s.step(obs.StepTranslate, func() error {
+		return rc.walkPair(oldInst.Root(), newInst.Root(), stateR)
+	}); err != nil {
 		return err
 	}
 	// Step 3: validation against the structural model.
-	if err := rc.propagateKeyChanges(); err != nil {
-		return err
-	}
-	seen := make(map[string]bool)
-	for _, rt := range rc.touched {
-		if err := s.ensureDependencies(rt.rel, rt.tuple, seen); err != nil {
+	return s.step(obs.StepGlobalValidate, func() error {
+		if err := rc.propagateKeyChanges(); err != nil {
 			return err
 		}
-	}
-	return nil
+		seen := make(map[string]bool)
+		for _, rt := range rc.touched {
+			if err := s.ensureDependencies(rt.rel, rt.tuple, seen); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 }
 
 // propagateIslandKeys rewrites, throughout the dependency island of the
@@ -323,7 +332,7 @@ func (rc *replaceCtx) handleR(node *viewobject.Node, schema *reldb.Schema, ot, n
 	case ClassPeninsula:
 		return rc.peninsulaKeyChange(node, schema, ot, nt, projIdx)
 	default:
-		return reject("vupdate: %s: changes to the key of %s tuples are precluded (outside relation)",
+		return rejectAs(ReasonAmbiguousKey, "vupdate: %s: changes to the key of %s tuples are precluded (outside relation)",
 			rc.s.def.Name, node.ID)
 	}
 }
@@ -458,7 +467,7 @@ func (rc *replaceCtx) replaceIslandKey(node *viewobject.Node, schema *reldb.Sche
 		// and replace the existing one (simpler than delete+insert, as
 		// the paper notes), if allowed.
 		if !policy.AllowMergeWithExisting {
-			return reject("vupdate: %s: replacing %s key %s would require deleting the old tuple and adopting the existing tuple with key %s, which is not allowed",
+			return rejectAs(ReasonConflict, "vupdate: %s: replacing %s key %s would require deleting the old tuple and adopting the existing tuple with key %s, which is not allowed",
 				rc.s.def.Name, node.ID, oldKey, newKey)
 		}
 		if err := rc.s.delete(node.Relation, oldKey); err != nil {
@@ -512,7 +521,7 @@ func (rc *replaceCtx) handlePeninsula(node *viewobject.Node, schema *reldb.Schem
 func (rc *replaceCtx) peninsulaKeyChange(node *viewobject.Node, schema *reldb.Schema, ot, nt reldb.Tuple, projIdx []int) error {
 	expected := rc.applyKeyMapToRefs(node.Relation, ot)
 	if !schema.KeyOf(expected).Equal(schema.KeyOf(nt)) {
-		return reject("vupdate: %s: replacements on keys of referencing peninsula %s are prohibited",
+		return rejectAs(ReasonAmbiguousKey, "vupdate: %s: replacements on keys of referencing peninsula %s are prohibited",
 			rc.s.def.Name, node.ID)
 	}
 	// Non-key attribute changes apply to the database tuple now (it still

@@ -1,8 +1,6 @@
 package vupdate
 
 import (
-	"fmt"
-
 	"penguin/internal/viewobject"
 )
 
@@ -41,13 +39,13 @@ func validateConnections(def *viewobject.Definition, in *viewobject.InstNode) er
 					pv := parentTuple[srcIdx[k]]
 					cv := ct[tgtIdx[k]]
 					if pv.IsNull() {
-						return fmt.Errorf("vupdate: %s: component %s cannot be connected: parent %s has null %s: %w",
-							def.Name, child.ID, node.ID, e.SourceAttrs()[k], ErrRejected)
+						return rejectAs(ReasonIntegrity, "vupdate: %s: component %s cannot be connected: parent %s has null %s",
+							def.Name, child.ID, node.ID, e.SourceAttrs()[k])
 					}
 					if !pv.Equal(cv) {
-						return fmt.Errorf("vupdate: %s: component %s (%s) is not connected to its parent %s (%s=%s, %s=%s): %w",
+						return rejectAs(ReasonIntegrity, "vupdate: %s: component %s (%s) is not connected to its parent %s (%s=%s, %s=%s)",
 							def.Name, child.ID, ct, node.ID,
-							e.SourceAttrs()[k], pv, e.TargetAttrs()[k], cv, ErrRejected)
+							e.SourceAttrs()[k], pv, e.TargetAttrs()[k], cv)
 					}
 				}
 			}

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"penguin/internal/obs"
 	"penguin/internal/reldb"
 	"penguin/internal/viewobject"
 	"penguin/internal/vupdate"
@@ -45,6 +46,18 @@ type StressResult struct {
 	// Violations lists invariant violations (torn instances). Empty means
 	// every observed instance was consistent with a committed state.
 	Violations []string
+	// Metrics is the engine-metric delta across the run (everything the
+	// obs.Default registry accumulated between RunStress entry and exit).
+	Metrics obs.Snapshot
+}
+
+// Summary renders the run as one log line: what the workload did and
+// what the engine metrics observed while it ran.
+func (r *StressResult) Summary() string {
+	return fmt.Sprintf(
+		"stress: %d instantiations, %d absent, %d replaces, %d deletes, %d inserts, %d violations | %s",
+		r.Instantiations, r.Absent, r.Replaces, r.Deletes, r.Inserts, len(r.Violations),
+		r.Metrics.Summary())
 }
 
 // stamp is the uniform payload a VO-R writes into every island node of an
@@ -61,6 +74,7 @@ func RunStress(spec StressSpec) (*StressResult, error) {
 	if spec.Tree.Roots < spec.Writers {
 		return nil, fmt.Errorf("workload: %d roots cannot feed %d writers", spec.Tree.Roots, spec.Writers)
 	}
+	before := obs.Capture()
 	w, err := BuildTree(spec.Tree)
 	if err != nil {
 		return nil, err
@@ -154,6 +168,7 @@ func RunStress(spec StressSpec) (*StressResult, error) {
 	close(done)
 	readers.Wait()
 	close(writerErrs)
+	res.Metrics = obs.Capture().Sub(before)
 	for err := range writerErrs {
 		return res, err
 	}

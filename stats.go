@@ -1,0 +1,57 @@
+package penguin
+
+import (
+	"io"
+
+	"penguin/internal/obs"
+	"penguin/internal/vupdate"
+)
+
+// Observability (internal/obs): engine-wide metrics and tracing.
+type (
+	// StatsSnapshot is a point-in-time copy of the engine metrics —
+	// counters and histograms keyed by expvar-style dotted names.
+	StatsSnapshot = obs.Snapshot
+	// HistogramStat is one histogram's snapshot (count, sum, buckets).
+	HistogramStat = obs.HistogramStat
+	// TraceEvent is one trace span emitted by an instrumented path.
+	TraceEvent = obs.Event
+	// TraceSink receives trace events; install one with SetTraceSink.
+	TraceSink = obs.Sink
+	// TraceRing is a fixed-size lock-free buffer of recent trace events.
+	TraceRing = obs.Ring
+	// RejectReason classifies why an update translation was rejected.
+	RejectReason = vupdate.Reason
+)
+
+// Rejection reasons (vupdate.reject.* counters).
+const (
+	ReasonUnknown          = vupdate.ReasonUnknown
+	ReasonNoInstance       = vupdate.ReasonNoInstance
+	ReasonTranslatorPolicy = vupdate.ReasonTranslatorPolicy
+	ReasonIntegrity        = vupdate.ReasonIntegrity
+	ReasonAmbiguousKey     = vupdate.ReasonAmbiguousKey
+	ReasonConflict         = vupdate.ReasonConflict
+)
+
+// Stats captures the engine metrics accumulated so far by every layer
+// (reldb transactions, view-object instantiation, the §5 update
+// pipeline, the Keller baseline). Subtract two snapshots with Sub to
+// measure one workload's activity.
+func Stats() StatsSnapshot { return obs.Capture() }
+
+// WriteStats renders a snapshot as sorted "name value" text lines.
+func WriteStats(w io.Writer, s StatsSnapshot) error { return obs.WriteText(w, s) }
+
+// NewTraceRing creates a ring buffer holding the last size trace events;
+// install it with SetTraceSink to start recording.
+func NewTraceRing(size int) *TraceRing { return obs.NewRing(size) }
+
+// SetTraceSink installs (or, with nil, removes) the engine trace sink.
+// With no sink installed — the default — the instrumented hot paths skip
+// event construction entirely and stay allocation-free.
+func SetTraceSink(s TraceSink) { obs.Default.SetSink(s) }
+
+// RejectReasonOf extracts the rejection reason from an update error
+// (ReasonUnknown when the error carries none).
+var RejectReasonOf = vupdate.ReasonOf
