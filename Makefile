@@ -1,6 +1,7 @@
 GO ?= go
+BENCH_TOLERANCE ?= 0.30
 
-.PHONY: build test race vet bench bench-smoke bench-baseline verify
+.PHONY: build test race vet bench bench-smoke bench-baseline bench-diff verify
 
 build:
 	$(GO) build ./...
@@ -26,6 +27,14 @@ bench-smoke:
 # against future runs.
 bench-baseline:
 	$(GO) test -bench=. -benchmem -run='^$$' ./... | $(GO) run ./cmd/bench2json > BENCH_baseline.json
+
+# bench-diff reruns the benchmarks and fails when any ns/op regressed
+# beyond BENCH_TOLERANCE versus BENCH_baseline.json. Cross-hardware runs
+# are skipped with a warning (ns/op is not comparable across machines).
+# Time-based benchtime (not -benchtime=Nx): fixed iteration counts put
+# warm-up cost inside the measurement and false-flag sub-µs benchmarks.
+bench-diff:
+	$(GO) test -bench=. -benchtime=0.3s -run='^$$' ./... | $(GO) run ./cmd/bench2json | $(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json -tolerance $(BENCH_TOLERANCE)
 
 # verify is the full gate: compile everything, vet, then run the whole
 # suite (including the concurrent stress tests) under the race detector.

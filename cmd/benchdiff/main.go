@@ -1,0 +1,159 @@
+// Command benchdiff compares a fresh bench2json report against a stored
+// baseline and fails when a benchmark regressed beyond the tolerance.
+// It is the trace-driven regression gate: bench-smoke catches benchmarks
+// that break, benchdiff catches benchmarks that slow down.
+//
+// Usage:
+//
+//	go test -bench=. ./... | bench2json | benchdiff -baseline BENCH_baseline.json
+//
+// Only slowdowns fail (exit 1). Improvements, benchmarks new in the
+// current run, and benchmarks missing from it are reported but pass:
+// the gate exists to catch regressions, not churn. When the current
+// report's goos/goarch/cpu differ from the baseline's, the comparison is
+// skipped with a warning (cross-hardware ns/op is noise), unless -strict
+// forces it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Benchmark and Report mirror cmd/bench2json's output schema.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Package     string  `json:"package,omitempty"`
+	Procs       int     `json:"procs"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline report to compare against")
+	currentPath := flag.String("current", "-", "current report ('-' reads stdin)")
+	tolerance := flag.Float64("tolerance", 0.30, "allowed fractional ns/op slowdown before failing")
+	strict := flag.Bool("strict", false, "compare even when goos/goarch/cpu differ from the baseline")
+	flag.Parse()
+
+	base, err := loadReport(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := loadCurrent(*currentPath)
+	if err != nil {
+		fatal(err)
+	}
+	regressions, err := diff(os.Stdout, base, cur, *tolerance, *strict)
+	if err != nil {
+		fatal(err)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) beyond %.0f%% tolerance\n",
+			regressions, *tolerance*100)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(2)
+}
+
+func loadCurrent(path string) (*Report, error) {
+	if path == "-" {
+		return decodeReport(os.Stdin, "stdin")
+	}
+	return loadReport(path)
+}
+
+func loadReport(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return decodeReport(f, path)
+}
+
+func decodeReport(r io.Reader, name string) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return &rep, nil
+}
+
+// key identifies a benchmark across reports.
+func key(b Benchmark) string { return b.Package + "." + b.Name }
+
+// diff compares cur against base and returns the number of regressions.
+// All findings are written to w, one line per benchmark that changed
+// state (regressed, improved, appeared, disappeared).
+func diff(w io.Writer, base, cur *Report, tolerance float64, strict bool) (int, error) {
+	if tolerance < 0 {
+		return 0, fmt.Errorf("negative tolerance %v", tolerance)
+	}
+	if !strict && !sameEnvironment(base, cur) {
+		fmt.Fprintf(w, "benchdiff: environment differs from baseline (%s/%s/%s vs %s/%s/%s); skipping comparison (use -strict to force)\n",
+			cur.Goos, cur.Goarch, cur.CPU, base.Goos, base.Goarch, base.CPU)
+		return 0, nil
+	}
+	baseBy := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseBy[key(b)] = b
+	}
+	curBy := make(map[string]Benchmark, len(cur.Benchmarks))
+	regressions := 0
+	for _, c := range cur.Benchmarks {
+		curBy[key(c)] = c
+		b, ok := baseBy[key(c)]
+		if !ok {
+			fmt.Fprintf(w, "new       %-60s %12.0f ns/op\n", key(c), c.NsPerOp)
+			continue
+		}
+		if b.NsPerOp <= 0 {
+			continue
+		}
+		ratio := c.NsPerOp / b.NsPerOp
+		switch {
+		case ratio > 1+tolerance:
+			regressions++
+			fmt.Fprintf(w, "REGRESSED %-60s %12.0f -> %.0f ns/op (%+.1f%%)\n",
+				key(c), b.NsPerOp, c.NsPerOp, (ratio-1)*100)
+		case ratio < 1-tolerance:
+			fmt.Fprintf(w, "improved  %-60s %12.0f -> %.0f ns/op (%+.1f%%)\n",
+				key(c), b.NsPerOp, c.NsPerOp, (ratio-1)*100)
+		}
+	}
+	var missing []string
+	for k := range baseBy {
+		if _, ok := curBy[k]; !ok {
+			missing = append(missing, k)
+		}
+	}
+	sort.Strings(missing)
+	for _, k := range missing {
+		fmt.Fprintf(w, "missing   %s (in baseline, not in current run)\n", k)
+	}
+	fmt.Fprintf(w, "benchdiff: %d compared, %d regressed (tolerance %.0f%%)\n",
+		len(cur.Benchmarks), regressions, tolerance*100)
+	return regressions, nil
+}
+
+func sameEnvironment(a, b *Report) bool {
+	return a.Goos == b.Goos && a.Goarch == b.Goarch && a.CPU == b.CPU
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func report(ns map[string]float64) *Report {
+	r := &Report{Goos: "linux", Goarch: "amd64", CPU: "test"}
+	for name, v := range ns {
+		r.Benchmarks = append(r.Benchmarks, Benchmark{Name: name, Package: "p", NsPerOp: v})
+	}
+	return r
+}
+
+func TestDiffFlagsOnlyRegressions(t *testing.T) {
+	base := report(map[string]float64{"A": 100, "B": 100, "C": 100, "Gone": 50})
+	cur := report(map[string]float64{"A": 129, "B": 131, "C": 50, "New": 10})
+	var out strings.Builder
+	n, err := diff(&out, base, cur, 0.30, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("regressions = %d, want 1 (only B is beyond 30%%)\n%s", n, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{"REGRESSED p.B", "improved  p.C", "new       p.New", "missing   p.Gone"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("output missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "p.A ") && strings.Contains(text, "REGRESSED p.A") {
+		t.Fatalf("A within tolerance was flagged:\n%s", text)
+	}
+}
+
+func TestDiffSkipsCrossEnvironment(t *testing.T) {
+	base := report(map[string]float64{"A": 100})
+	cur := report(map[string]float64{"A": 1000})
+	cur.CPU = "other"
+	var out strings.Builder
+	n, err := diff(&out, base, cur, 0.30, false)
+	if err != nil || n != 0 {
+		t.Fatalf("cross-environment diff = %d, %v (want skip)", n, err)
+	}
+	if !strings.Contains(out.String(), "skipping comparison") {
+		t.Fatalf("no skip warning:\n%s", out.String())
+	}
+	// -strict forces the comparison.
+	out.Reset()
+	n, err = diff(&out, base, cur, 0.30, true)
+	if err != nil || n != 1 {
+		t.Fatalf("strict cross-environment diff = %d, %v (want 1 regression)", n, err)
+	}
+}
+
+func TestDiffRejectsNegativeTolerance(t *testing.T) {
+	if _, err := diff(&strings.Builder{}, report(nil), report(nil), -0.1, false); err == nil {
+		t.Fatal("negative tolerance accepted")
+	}
+}

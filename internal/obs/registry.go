@@ -85,9 +85,11 @@ type Registry struct {
 
 	// viewobject: instantiation metrics.
 	Instantiations Counter   // Instantiate / InstantiateByKey calls
-	TuplesScanned  Counter   // tuples read while assembling instances
+	TuplesScanned  Counter   // stored tuples visited while assembling instances
 	InstNodes      Counter   // instance nodes assembled
+	BatchedLookups Counter   // level-at-a-time batched child fetches issued
 	NodeFanOut     Histogram // components per (parent, child-node) pair
+	LevelFanOut    Histogram // instance nodes per assembly level
 	InstantiateNs  Histogram // instantiation latency
 
 	// vupdate: §5 update-pipeline metrics.
@@ -115,6 +117,7 @@ func NewRegistry() *Registry {
 	r.CommitNs.init(DurationBounds)
 	r.ReadTxLag.init(CountBounds)
 	r.NodeFanOut.init(CountBounds)
+	r.LevelFanOut.init(CountBounds)
 	r.InstantiateNs.init(DurationBounds)
 	for i := range r.StepNs {
 		r.StepNs[i].init(DurationBounds)

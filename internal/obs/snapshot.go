@@ -39,7 +39,9 @@ func (r *Registry) Snapshot() Snapshot {
 	c("viewobject.instantiate.calls", &r.Instantiations)
 	c("viewobject.instantiate.tuples_scanned", &r.TuplesScanned)
 	c("viewobject.instantiate.nodes", &r.InstNodes)
+	c("viewobject.instantiate.batched_lookups", &r.BatchedLookups)
 	h("viewobject.instantiate.fanout", &r.NodeFanOut)
+	h("viewobject.instantiate.level_fanout", &r.LevelFanOut)
 	h("viewobject.instantiate.ns", &r.InstantiateNs)
 
 	c("vupdate.updates.committed", &r.UpdatesCommitted)

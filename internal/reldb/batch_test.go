@@ -1,0 +1,319 @@
+package reldb
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Regression for the order-sensitive index selection bug: an index built
+// over the same attributes in a different order must still serve the
+// lookup (no full-scan fallback), with vals permuted into the index's
+// attribute order.
+func TestMatchEqualUsesOrderPermutedIndex(t *testing.T) {
+	s := MustSchema("R", []Attribute{
+		{Name: "ID", Type: KindInt},
+		{Name: "A", Type: KindString},
+		{Name: "B", Type: KindInt},
+	}, []string{"ID"})
+	r := NewRelation(s)
+	for i := int64(0); i < 40; i++ {
+		tup := Tuple{Int(i), String(fmt.Sprintf("a%d", i%4)), Int(i % 2)}
+		if err := r.Insert(tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.CreateIndex("ab", []string{"A", "B"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Query in the reversed attribute order.
+	var st MatchStats
+	got, err := r.MatchEqualStats([]string{"B", "A"}, Tuple{Int(1), String("a1")}, &st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Scans != 0 {
+		t.Fatalf("permuted lookup fell back to a scan (stats %+v)", st)
+	}
+	if st.Probes != 1 {
+		t.Fatalf("permuted lookup made %d probes, want 1", st.Probes)
+	}
+	// Same query via a scan on an index-less twin must agree.
+	r2 := NewRelation(s)
+	r.Scan(func(tup Tuple) bool {
+		if err := r2.Insert(tup); err != nil {
+			t.Fatal(err)
+		}
+		return true
+	})
+	var st2 MatchStats
+	want, err := r2.MatchEqualStats([]string{"B", "A"}, Tuple{Int(1), String("a1")}, &st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Scans != 1 {
+		t.Fatalf("index-less twin should scan (stats %+v)", st2)
+	}
+	if len(got) != len(want) || len(got) == 0 {
+		t.Fatalf("index path: %d rows, scan path: %d rows", len(got), len(want))
+	}
+	for i := range got {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("row %d differs: index %v, scan %v", i, got[i], want[i])
+		}
+	}
+
+	if !r.HasIndexOn([]string{"B", "A"}) || !r.HasIndexOn([]string{"A", "B"}) {
+		t.Fatal("HasIndexOn must match attribute sets order-insensitively")
+	}
+	if r.HasIndexOn([]string{"A"}) || r.HasIndexOn([]string{"Nope"}) {
+		t.Fatal("HasIndexOn matched a non-covered attribute set")
+	}
+}
+
+// LookupIndex must reject values that cannot match the indexed
+// attributes instead of silently encoding to a miss.
+func TestLookupIndexValidatesValues(t *testing.T) {
+	r := newGradesRel(t)
+	if err := r.Insert(grade("CS101", 1, "A")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CreateIndex("byCourse", []string{"CourseID"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CreateIndex("byGrade", []string{"Grade"}); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong kind: CourseID is a string.
+	if _, err := r.LookupIndex("byCourse", Tuple{Int(7)}); err == nil {
+		t.Fatal("wrong-typed lookup value accepted")
+	}
+	// Null probing a key attribute.
+	if _, err := r.LookupIndex("byCourse", Tuple{Null()}); err == nil {
+		t.Fatal("null lookup on key attribute accepted")
+	}
+	// Null probing a nullable non-key attribute is a legitimate probe.
+	if _, err := r.LookupIndex("byGrade", Tuple{Null()}); err != nil {
+		t.Fatalf("null lookup on nullable attribute rejected: %v", err)
+	}
+	// Valid lookups still work.
+	got, err := r.LookupIndex("byCourse", Tuple{String("CS101")})
+	if err != nil || len(got) != 1 {
+		t.Fatalf("valid lookup = %d rows, %v", len(got), err)
+	}
+	// MatchEqual applies the same discipline.
+	if _, err := r.MatchEqual([]string{"Grade"}, Tuple{Int(3)}); err == nil {
+		t.Fatal("MatchEqual wrong-typed value accepted")
+	}
+	if _, err := r.MatchEqualBatch([]string{"Grade"}, []Tuple{{String("A")}, {Int(3)}}); err == nil {
+		t.Fatal("MatchEqualBatch wrong-typed value accepted")
+	}
+}
+
+func batchRel(t *testing.T, rows int) *Relation {
+	t.Helper()
+	r := newGradesRel(t)
+	for pid := int64(1); pid <= int64(rows); pid++ {
+		course := fmt.Sprintf("C%d", pid%5)
+		if err := r.Insert(grade(course, pid, "A")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func checkBatch(t *testing.T, r *Relation, st MatchStats) {
+	t.Helper()
+	valSets := []Tuple{
+		{String("C1")},
+		{String("C3")},
+		{String("C1")},   // duplicate: must collapse into one probe
+		{String("nope")}, // no matches: absent from the result
+	}
+	got, err := r.MatchEqualBatchStats([]string{"CourseID"}, valSets, &st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("batch returned %d buckets, want 2", len(got))
+	}
+	for _, course := range []string{"C1", "C3"} {
+		key := EncodeValues(String(course))
+		bucket := got[key]
+		want, err := r.MatchEqual([]string{"CourseID"}, Tuple{String(course)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(bucket) != len(want) || len(bucket) == 0 {
+			t.Fatalf("%s: batch %d rows, single %d rows", course, len(bucket), len(want))
+		}
+		for i := range bucket {
+			if !bucket[i].Equal(want[i]) {
+				t.Fatalf("%s row %d: batch %v, single %v (key-order mismatch)", course, i, bucket[i], want[i])
+			}
+		}
+	}
+	if _, ok := got[EncodeValues(String("nope"))]; ok {
+		t.Fatal("empty bucket present in batch result")
+	}
+}
+
+func TestMatchEqualBatchScanPath(t *testing.T) {
+	r := batchRel(t, 50)
+	var st MatchStats
+	valSets := []Tuple{{String("C1")}, {String("C3")}, {String("C1")}, {String("nope")}}
+	if _, err := r.MatchEqualBatchStats([]string{"CourseID"}, valSets, &st); err != nil {
+		t.Fatal(err)
+	}
+	// One shared scan for the whole batch, not one per value set.
+	if st.Scans != 1 || st.Probes != 0 {
+		t.Fatalf("scan-path stats = %+v, want exactly one shared scan", st)
+	}
+	if st.Scanned != r.Count() {
+		t.Fatalf("scan path visited %d tuples, want %d", st.Scanned, r.Count())
+	}
+	checkBatch(t, r, MatchStats{})
+}
+
+func TestMatchEqualBatchIndexPath(t *testing.T) {
+	r := batchRel(t, 50)
+	if err := r.CreateIndex("byCourse", []string{"CourseID"}); err != nil {
+		t.Fatal(err)
+	}
+	var st MatchStats
+	valSets := []Tuple{{String("C1")}, {String("C3")}, {String("C1")}, {String("nope")}}
+	if _, err := r.MatchEqualBatchStats([]string{"CourseID"}, valSets, &st); err != nil {
+		t.Fatal(err)
+	}
+	// One probe per distinct value set (3 distinct), no scans.
+	if st.Scans != 0 || st.Probes != 3 {
+		t.Fatalf("index-path stats = %+v, want 3 probes and no scans", st)
+	}
+	checkBatch(t, r, MatchStats{})
+}
+
+func TestMatchEqualBatchPointLookupPath(t *testing.T) {
+	r := batchRel(t, 10)
+	var st MatchStats
+	// Whole primary key, in permuted order: point lookups.
+	valSets := []Tuple{
+		{Int(3), String("C3")},
+		{Int(4), String("C4")},
+		{Int(999), String("C1")}, // miss
+	}
+	got, err := r.MatchEqualBatchStats([]string{"PID", "CourseID"}, valSets, &st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Scans != 0 || st.Probes != 3 {
+		t.Fatalf("point-path stats = %+v, want 3 probes and no scans", st)
+	}
+	if len(got) != 2 {
+		t.Fatalf("point path returned %d buckets, want 2", len(got))
+	}
+	hit := got[EncodeValues(Int(3), String("C3"))]
+	if len(hit) != 1 || !hit[0].Equal(grade("C3", 3, "A")) {
+		t.Fatalf("point lookup bucket = %v", hit)
+	}
+}
+
+func TestMatchEqualBatchEmptyAndErrors(t *testing.T) {
+	r := batchRel(t, 10)
+	got, err := r.MatchEqualBatch([]string{"CourseID"}, nil)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty batch = %v, %v", got, err)
+	}
+	if _, err := r.MatchEqualBatch([]string{"Nope"}, []Tuple{{String("x")}}); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+	if _, err := r.MatchEqualBatch([]string{"CourseID"}, []Tuple{{String("x"), Int(1)}}); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	if _, err := r.MatchEqualBatch([]string{"CourseID", "CourseID"}, []Tuple{{String("x"), String("x")}}); err == nil {
+		t.Fatal("duplicate attributes accepted")
+	}
+}
+
+// A Replace that changes the primary key must move the row between the
+// non-key index's buckets exactly once (no stale entry under the old
+// encoded key, none duplicated under the new one).
+func TestReplaceKeyChangeMaintainsNonKeyIndex(t *testing.T) {
+	r := newGradesRel(t)
+	if err := r.CreateIndex("byGrade", []string{"Grade"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Insert(grade("CS101", 1, "A")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Insert(grade("CS101", 2, "A")); err != nil {
+		t.Fatal(err)
+	}
+	// Key change, indexed attribute unchanged: same bucket, new row key.
+	if err := r.Replace(Tuple{String("CS101"), Int(1)}, grade("EE201", 7, "A")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.LookupIndex("byGrade", Tuple{String("A")})
+	if err != nil || len(got) != 2 {
+		t.Fatalf("bucket A = %d rows, %v", len(got), err)
+	}
+	if !got[0].Equal(grade("CS101", 2, "A")) || !got[1].Equal(grade("EE201", 7, "A")) {
+		t.Fatalf("bucket A rows = %v", got)
+	}
+	// Key change and bucket change together.
+	if err := r.Replace(Tuple{String("EE201"), Int(7)}, grade("ME301", 9, "B")); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := r.LookupIndex("byGrade", Tuple{String("A")})
+	b, _ := r.LookupIndex("byGrade", Tuple{String("B")})
+	if len(a) != 1 || len(b) != 1 || !b[0].Equal(grade("ME301", 9, "B")) {
+		t.Fatalf("buckets after move: A=%v B=%v", a, b)
+	}
+}
+
+// Mutating a COW clone's index must leave the original's buckets
+// untouched — the index analogue of TestRelationCloneIsDeep, via the
+// transaction layer a reader actually races with.
+func TestTxCloneIndexIndependence(t *testing.T) {
+	db := NewDatabase()
+	db.MustCreateRelation(gradesSchema(t))
+	rel := db.MustRelation("GRADES")
+	if err := rel.CreateIndex("byGrade", []string{"Grade"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rel.Insert(grade("CS101", 1, "A")); err != nil {
+		t.Fatal(err)
+	}
+
+	snapshot := db.MustRelation("GRADES")
+	tx := db.Begin()
+	if err := tx.Insert("GRADES", grade("CS101", 2, "A")); err != nil {
+		t.Fatal(err)
+	}
+	// The committed snapshot's bucket is untouched while the Tx clone has
+	// the extra row.
+	got, err := snapshot.LookupIndex("byGrade", Tuple{String("A")})
+	if err != nil || len(got) != 1 {
+		t.Fatalf("committed bucket = %d rows, %v (clone mutation leaked)", len(got), err)
+	}
+	txRel, err := tx.Relation("GRADES")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inTx, err := txRel.LookupIndex("byGrade", Tuple{String("A")})
+	if err != nil || len(inTx) != 2 {
+		t.Fatalf("tx bucket = %d rows, %v", len(inTx), err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// The pre-commit snapshot still answers from its own buckets.
+	got, err = snapshot.LookupIndex("byGrade", Tuple{String("A")})
+	if err != nil || len(got) != 1 {
+		t.Fatalf("snapshot bucket after commit = %d rows, %v", len(got), err)
+	}
+	// The new head sees both.
+	head, _ := db.MustRelation("GRADES").LookupIndex("byGrade", Tuple{String("A")})
+	if len(head) != 2 {
+		t.Fatalf("head bucket = %d rows", len(head))
+	}
+}

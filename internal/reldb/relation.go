@@ -249,18 +249,55 @@ func (r *Relation) IndexNames() []string {
 	return names
 }
 
+// checkLookupVals validates lookup values against the attributes they
+// probe: arity, value kinds (per the same assignability rule as
+// CheckTuple), and nulls (allowed only where the attribute is nullable).
+// A wrong-typed value can never match a stored tuple, so accepting it
+// would silently return an empty result where Select and CheckTuple
+// report an error.
+func (r *Relation) checkLookupVals(what string, idx []int, vals Tuple) error {
+	if len(vals) != len(idx) {
+		return fmt.Errorf("reldb: %s: %s wants %d values, got %d",
+			r.Name(), what, len(idx), len(vals))
+	}
+	for i, j := range idx {
+		a := r.schema.attrs[j]
+		v := vals[i]
+		if v.IsNull() {
+			if r.schema.isKey[j] || !a.Nullable {
+				return fmt.Errorf("reldb: %s: %s: attribute %s cannot be null",
+					r.Name(), what, a.Name)
+			}
+			continue
+		}
+		if !kindAssignable(a.Type, v.Kind()) {
+			return fmt.Errorf("reldb: %s: %s: attribute %s has kind %s, want %s",
+				r.Name(), what, a.Name, v.Kind(), a.Type)
+		}
+	}
+	return nil
+}
+
 // LookupIndex returns the tuples whose indexed attributes equal vals, in
-// primary-key order. It fails with ErrNoSuchIndex for unknown indexes.
+// primary-key order. It fails with ErrNoSuchIndex for unknown indexes and
+// with a validation error when vals do not fit the indexed attributes.
 func (r *Relation) LookupIndex(name string, vals Tuple) ([]Tuple, error) {
 	ix, ok := r.indexes[name]
 	if !ok {
 		return nil, fmt.Errorf("reldb: %s: index %s: %w", r.Name(), name, ErrNoSuchIndex)
 	}
-	if len(vals) != len(ix.attrs) {
-		return nil, fmt.Errorf("reldb: %s: index %s wants %d values, got %d",
-			r.Name(), name, len(ix.attrs), len(vals))
+	if err := r.checkLookupVals("index "+name, ix.attrs, vals); err != nil {
+		return nil, err
 	}
-	bucket := ix.buckets[EncodeValues(vals...)]
+	return r.probeBucket(ix, EncodeValues(vals...)), nil
+}
+
+// probeBucket materializes one index bucket in primary-key order.
+func (r *Relation) probeBucket(ix *secondaryIndex, key string) []Tuple {
+	bucket := ix.buckets[key]
+	if len(bucket) == 0 {
+		return nil
+	}
 	eks := make([]string, 0, len(bucket))
 	for ek := range bucket {
 		eks = append(eks, ek)
@@ -270,32 +307,115 @@ func (r *Relation) LookupIndex(name string, vals Tuple) ([]Tuple, error) {
 	for i, ek := range eks {
 		out[i] = r.rows[ek].Clone()
 	}
-	return out, nil
+	return out
 }
 
-// MatchEqual returns the tuples whose attributes attrNames equal vals,
-// using a secondary index over exactly those attributes if one exists and
-// falling back to a scan otherwise. Results are in primary-key order.
-func (r *Relation) MatchEqual(attrNames []string, vals Tuple) ([]Tuple, error) {
+// MatchStats accumulates the cost of MatchEqual-family lookups, so
+// callers (the view-object assembly in particular) can attribute how
+// many stored tuples a lookup had to visit.
+type MatchStats struct {
+	// Scanned counts tuples visited: probed bucket entries for indexed
+	// lookups, the whole relation for scan fallbacks.
+	Scanned int
+	// Probes counts point lookups and index-bucket probes.
+	Probes int
+	// Scans counts full-relation scan fallbacks.
+	Scans int
+}
+
+func (st *MatchStats) addProbe(visited int) {
+	if st != nil {
+		st.Probes++
+		st.Scanned += visited
+	}
+}
+
+func (st *MatchStats) addScan(visited int) {
+	if st != nil {
+		st.Scans++
+		st.Scanned += visited
+	}
+}
+
+// lookupIndices resolves attrNames and rejects duplicates: the lookup
+// paths compare attribute sets, and a duplicated name (e.g. ["id","id"]
+// against a two-column key) would falsely pass sameIntSet and build a
+// key with a hole.
+func (r *Relation) lookupIndices(what string, attrNames []string) ([]int, error) {
 	idx, err := r.schema.Indices(attrNames)
 	if err != nil {
 		return nil, err
 	}
-	if len(vals) != len(idx) {
-		return nil, fmt.Errorf("reldb: %s: MatchEqual wants %d values, got %d",
-			r.Name(), len(idx), len(vals))
-	}
-	// Duplicate attributes are rejected: the point-lookup fast path below
-	// compares attribute sets, and a duplicated name (e.g. ["id","id"]
-	// against a two-column key) would falsely pass sameIntSet and build a
-	// key with a hole.
 	seen := make(map[int]struct{}, len(idx))
 	for _, j := range idx {
 		if _, dup := seen[j]; dup {
-			return nil, fmt.Errorf("reldb: %s: MatchEqual: duplicate attribute %s",
-				r.Name(), r.schema.Attr(j).Name)
+			return nil, fmt.Errorf("reldb: %s: %s: duplicate attribute %s",
+				r.Name(), what, r.schema.Attr(j).Name)
 		}
 		seen[j] = struct{}{}
+	}
+	return idx, nil
+}
+
+// findIndex returns a secondary index covering exactly the attribute set
+// idx — in any order — together with the permutation perm such that the
+// index's i-th attribute corresponds to the caller's perm[i]-th value.
+// When several indexes cover the set, the lexicographically first name
+// wins (deterministic selection).
+func (r *Relation) findIndex(idx []int) (*secondaryIndex, []int) {
+	var best *secondaryIndex
+	var bestName string
+	for name, ix := range r.indexes {
+		if !sameIntSet(ix.attrs, idx) {
+			continue
+		}
+		if best == nil || name < bestName {
+			best, bestName = ix, name
+		}
+	}
+	if best == nil {
+		return nil, nil
+	}
+	perm := make([]int, len(best.attrs))
+	for i, a := range best.attrs {
+		for j, b := range idx {
+			if a == b {
+				perm[i] = j
+				break
+			}
+		}
+	}
+	return best, perm
+}
+
+// HasIndexOn reports whether a secondary index exists over exactly the
+// named attribute set, in any order.
+func (r *Relation) HasIndexOn(attrNames []string) bool {
+	idx, err := r.lookupIndices("HasIndexOn", attrNames)
+	if err != nil {
+		return false
+	}
+	ix, _ := r.findIndex(idx)
+	return ix != nil
+}
+
+// MatchEqual returns the tuples whose attributes attrNames equal vals,
+// using a secondary index over those attributes (in any order) if one
+// exists and falling back to a scan otherwise. Results are in
+// primary-key order.
+func (r *Relation) MatchEqual(attrNames []string, vals Tuple) ([]Tuple, error) {
+	return r.MatchEqualStats(attrNames, vals, nil)
+}
+
+// MatchEqualStats is MatchEqual that additionally accumulates lookup
+// cost into st (which may be nil).
+func (r *Relation) MatchEqualStats(attrNames []string, vals Tuple, st *MatchStats) ([]Tuple, error) {
+	idx, err := r.lookupIndices("MatchEqual", attrNames)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.checkLookupVals("MatchEqual", idx, vals); err != nil {
+		return nil, err
 	}
 	// Equality on exactly the primary-key attributes is a point lookup.
 	if sameIntSet(idx, r.schema.key) {
@@ -309,14 +429,23 @@ func (r *Relation) MatchEqual(attrNames []string, vals Tuple) ([]Tuple, error) {
 			}
 		}
 		if t, ok := r.Get(key); ok {
+			st.addProbe(1)
 			return []Tuple{t}, nil
 		}
+		st.addProbe(0)
 		return nil, nil
 	}
-	for name, ix := range r.indexes {
-		if equalIntSlices(ix.attrs, idx) {
-			return r.LookupIndex(name, vals)
+	if ix, perm := r.findIndex(idx); ix != nil {
+		// Permute vals into the index's attribute order (mirroring the
+		// primary-key permutation above), so an index built over the same
+		// attributes in a different order still serves the lookup.
+		pv := make(Tuple, len(perm))
+		for i, j := range perm {
+			pv[i] = vals[j]
 		}
+		out := r.probeBucket(ix, EncodeValues(pv...))
+		st.addProbe(len(out))
+		return out, nil
 	}
 	var out []Tuple
 	r.Scan(func(t Tuple) bool {
@@ -328,6 +457,105 @@ func (r *Relation) MatchEqual(attrNames []string, vals Tuple) ([]Tuple, error) {
 		out = append(out, t.Clone())
 		return true
 	})
+	st.addScan(r.Count())
+	return out, nil
+}
+
+// MatchEqualBatch answers many MatchEqual probes over the same attribute
+// list in one pass. The result maps the encoded form of each value set
+// (EncodeValues in the given attribute order) to the matching tuples in
+// primary-key order; value sets with no matches are absent. Duplicate
+// value sets collapse into one probe. With an index (or a primary-key
+// match) the batch costs one probe per distinct value set; without one
+// it costs a single shared scan that buckets every value set at once —
+// never one scan per value set.
+func (r *Relation) MatchEqualBatch(attrNames []string, valSets []Tuple) (map[string][]Tuple, error) {
+	return r.MatchEqualBatchStats(attrNames, valSets, nil)
+}
+
+// MatchEqualBatchStats is MatchEqualBatch that additionally accumulates
+// lookup cost into st (which may be nil).
+func (r *Relation) MatchEqualBatchStats(attrNames []string, valSets []Tuple, st *MatchStats) (map[string][]Tuple, error) {
+	idx, err := r.lookupIndices("MatchEqualBatch", attrNames)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]Tuple, len(valSets))
+	if len(valSets) == 0 {
+		return out, nil
+	}
+	// Validate and deduplicate the probe set.
+	type probe struct {
+		key  string
+		vals Tuple
+	}
+	probes := make([]probe, 0, len(valSets))
+	distinct := make(map[string]bool, len(valSets))
+	for _, vs := range valSets {
+		if err := r.checkLookupVals("MatchEqualBatch", idx, vs); err != nil {
+			return nil, err
+		}
+		k := EncodeValues(vs...)
+		if distinct[k] {
+			continue
+		}
+		distinct[k] = true
+		probes = append(probes, probe{key: k, vals: vs})
+	}
+	// Point lookups on the primary key: one Get per distinct value set.
+	if sameIntSet(idx, r.schema.key) {
+		for _, p := range probes {
+			key := make(Tuple, len(r.schema.key))
+			for i, k := range r.schema.key {
+				for j, a := range idx {
+					if a == k {
+						key[i] = p.vals[j]
+						break
+					}
+				}
+			}
+			if t, ok := r.Get(key); ok {
+				st.addProbe(1)
+				out[p.key] = []Tuple{t}
+			} else {
+				st.addProbe(0)
+			}
+		}
+		return out, nil
+	}
+	// Indexed: one bucket probe per distinct value set.
+	if ix, perm := r.findIndex(idx); ix != nil {
+		pv := make(Tuple, len(perm))
+		for _, p := range probes {
+			for i, j := range perm {
+				pv[i] = p.vals[j]
+			}
+			matches := r.probeBucket(ix, EncodeValues(pv...))
+			st.addProbe(len(matches))
+			if len(matches) > 0 {
+				out[p.key] = matches
+			}
+		}
+		return out, nil
+	}
+	// No index: one shared scan buckets every value set at once. The scan
+	// is in primary-key order, so each bucket comes out key-ordered. The
+	// probe keys are encodings of the lookup values in attrNames order, so
+	// encoding each row's attrNames projection the same way makes the
+	// bucket assignment a map hit.
+	var enc []byte
+	r.Scan(func(t Tuple) bool {
+		enc = enc[:0]
+		for _, j := range idx {
+			enc = AppendKey(enc, t[j])
+		}
+		if distinct[string(enc)] {
+			k := string(enc)
+			out[k] = append(out[k], t.Clone())
+		}
+		return true
+	})
+	st.addScan(r.Count())
 	return out, nil
 }
 

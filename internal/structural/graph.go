@@ -52,11 +52,53 @@ func (g *Graph) AddConnection(c *Connection) error {
 	if _, dup := g.byName[c.Name]; dup {
 		return fmt.Errorf("structural: duplicate connection name %q", c.Name)
 	}
+	if err := g.ensureEdgeIndexes(c); err != nil {
+		return err
+	}
 	g.byName[c.Name] = c
 	g.conns = append(g.conns, c)
 	g.out[c.From] = append(g.out[c.From], c)
 	g.in[c.To] = append(g.in[c.To], c)
 	return nil
+}
+
+// ensureEdgeIndexes registers a secondary index on each side's connecting
+// attributes so that edge traversal — ConnectedVia and the batched level
+// fetch — probes instead of scanning. Both directions get one, because
+// instantiation crosses connections forward (ownership children) and
+// inverse (reference parents) alike. Sides whose attribute set is the
+// whole primary key are skipped: MatchEqual serves those with a point
+// lookup already. Index creation here relies on the same setup-phase
+// discipline as the rest of schema wiring: connections are added before
+// any concurrent access to the database starts.
+func (g *Graph) ensureEdgeIndexes(c *Connection) error {
+	if err := g.ensureEdgeIndex(c.To, c.ToAttrs, "conn_"+c.Name+"_to"); err != nil {
+		return err
+	}
+	return g.ensureEdgeIndex(c.From, c.FromAttrs, "conn_"+c.Name+"_from")
+}
+
+func (g *Graph) ensureEdgeIndex(relName string, attrs []string, idxName string) error {
+	rel, err := g.db.Relation(relName)
+	if err != nil {
+		return err
+	}
+	if attrSetKind(rel.Schema(), attrs) == wholeKey {
+		return nil
+	}
+	seen := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
+		if seen[a] {
+			// Duplicate attributes cannot be indexed; the lookup paths
+			// reject them too, so traversal falls back to a scan.
+			return nil
+		}
+		seen[a] = true
+	}
+	if rel.HasIndexOn(attrs) {
+		return nil
+	}
+	return rel.CreateIndex(idxName, attrs)
 }
 
 // MustAddConnection is AddConnection that panics on error (fixtures).

@@ -19,6 +19,12 @@ type Resolver interface {
 // the edge, resolving relations through res. A null connecting value on
 // the source side connects to nothing.
 func ConnectedVia(res Resolver, e Edge, tuple reldb.Tuple) ([]reldb.Tuple, error) {
+	return ConnectedViaStats(res, e, tuple, nil)
+}
+
+// ConnectedViaStats is ConnectedVia that additionally accumulates lookup
+// cost into st (which may be nil).
+func ConnectedViaStats(res Resolver, e Edge, tuple reldb.Tuple, st *reldb.MatchStats) ([]reldb.Tuple, error) {
 	srcRel, err := res.Relation(e.Source())
 	if err != nil {
 		return nil, err
@@ -38,7 +44,7 @@ func ConnectedVia(res Resolver, e Edge, tuple reldb.Tuple) ([]reldb.Tuple, error
 	if err != nil {
 		return nil, err
 	}
-	matches, err := tgtRel.MatchEqual(e.TargetAttrs(), vals)
+	matches, err := tgtRel.MatchEqualStats(e.TargetAttrs(), vals, st)
 	if err != nil {
 		return nil, err
 	}

@@ -157,21 +157,11 @@ func New() (*reldb.Database, *structural.Graph) {
 		FromAttrs: []string{"PID"}, ToAttrs: []string{"PID"},
 	})
 
-	// Secondary indexes on connecting attributes so connection traversal
-	// is a hash lookup instead of a scan.
-	mustIndex(db, People, "byDept", "DeptName")
-	mustIndex(db, Courses, "byDept", "DeptName")
-	mustIndex(db, Curriculum, "byCourse", "CourseID")
-	mustIndex(db, Grades, "byCourse", "CourseID")
-	mustIndex(db, Grades, "byStudent", "PID")
+	// Connection traversal is a hash lookup instead of a scan: adding each
+	// connection above registered a secondary index over its connecting
+	// attributes wherever they are not already the target's whole key.
 
 	return db, g
-}
-
-func mustIndex(db *reldb.Database, rel, name string, attrs ...string) {
-	if err := db.MustRelation(rel).CreateIndex(name, attrs); err != nil {
-		panic(err)
-	}
 }
 
 // Seed loads the paper's illustrative instance: three departments, a mix

@@ -2,12 +2,24 @@ package viewobject
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"penguin/internal/obs"
 	"penguin/internal/reldb"
 	"penguin/internal/structural"
 )
+
+// naiveAssembly selects the parent-at-a-time assembly path instead of the
+// level-at-a-time batched one. It exists so differential tests can prove
+// the two paths produce identical instances; the batched path is the
+// default and the one production callers get.
+var naiveAssembly atomic.Bool
+
+// SetNaiveAssembly switches instance assembly to the naive
+// parent-at-a-time path (true) or the batched level-at-a-time path
+// (false, the default), returning the previous setting. Tests only.
+func SetNaiveAssembly(on bool) bool { return naiveAssembly.Swap(on) }
 
 // Query is a declarative request over a view object (the paper's query
 // model, §3). It combines a selection on the pivot relation, existential
@@ -53,23 +65,43 @@ func Instantiate(res structural.Resolver, def *Definition, q Query) ([]*Instance
 	if err != nil {
 		return nil, err
 	}
-	var pivotPred reldb.Expr
-	if q.PivotPred != nil {
-		pivotPred = q.PivotPred
-	}
-	pivots, err := pivotRel.Select(pivotPred)
+	pivots, err := pivotRel.Select(q.PivotPred)
 	if err != nil {
 		return nil, fmt.Errorf("viewobject: %s: pivot selection: %w", def.Name, err)
 	}
 	// The pivot selection scans the whole relation regardless of how many
-	// tuples qualify.
+	// tuples qualify. Counted only on success: an errored Select did not
+	// complete the scan.
 	obs.Default.TuplesScanned.Add(int64(pivotRel.Count()))
-	var out []*Instance
-	for _, pt := range pivots {
-		inst, err := assembleInstance(res, def, pt)
-		if err != nil {
+	var instances []*Instance
+	if naiveAssembly.Load() {
+		for _, pt := range pivots {
+			inst, err := assembleInstance(res, def, pt)
+			if err != nil {
+				return nil, err
+			}
+			instances = append(instances, inst)
+		}
+	} else {
+		// Batched: create every root first, then fill the whole forest
+		// level-at-a-time so all pivots' children at the same definition
+		// node come from one batched fetch.
+		roots := make([]*InstNode, 0, len(pivots))
+		for _, pt := range pivots {
+			inst, err := NewInstance(def, pt)
+			if err != nil {
+				return nil, err
+			}
+			obs.Default.InstNodes.Inc() // the root component
+			instances = append(instances, inst)
+			roots = append(roots, inst.root)
+		}
+		if err := fillLevel(res, def, roots); err != nil {
 			return nil, err
 		}
+	}
+	var out []*Instance
+	for _, inst := range instances {
 		keep, err := inst.matches(q)
 		if err != nil {
 			return nil, err
@@ -119,19 +151,116 @@ func assembleInstance(res structural.Resolver, def *Definition, pivotTuple reldb
 		return nil, err
 	}
 	obs.Default.InstNodes.Inc() // the root component
-	if err := fillChildren(res, def, inst.root); err != nil {
+	if naiveAssembly.Load() {
+		if err := fillChildren(res, def, inst.root); err != nil {
+			return nil, err
+		}
+		return inst, nil
+	}
+	if err := fillLevel(res, def, []*InstNode{inst.root}); err != nil {
 		return nil, err
 	}
 	return inst, nil
 }
 
-func fillChildren(res structural.Resolver, def *Definition, in *InstNode) error {
-	for _, child := range in.node.Children {
-		targets, err := TraversePath(res, in.tuple, child.Path)
+// fillLevel assembles the components below parents level-at-a-time. All
+// parents sit at the same definition node; for each child node, the
+// connecting paths of every parent are crossed together (one batched
+// lookup per path edge for the whole level) and the results distributed
+// back, preserving the per-parent key ordering and dedup semantics of the
+// naive path. The freshly built level then recurses as one batch.
+func fillLevel(res structural.Resolver, def *Definition, parents []*InstNode) error {
+	if len(parents) == 0 {
+		return nil
+	}
+	for _, child := range parents[0].node.Children {
+		var st reldb.MatchStats
+		perParent, err := traverseLevel(res, parents, child.Path, &st)
 		if err != nil {
 			return fmt.Errorf("viewobject: %s: node %s: %w", def.Name, child.ID, err)
 		}
-		obs.Default.TuplesScanned.Add(int64(len(targets)))
+		obs.Default.TuplesScanned.Add(int64(st.Scanned))
+		var level []*InstNode
+		for i, p := range parents {
+			targets := perParent[i]
+			obs.Default.NodeFanOut.Observe(int64(len(targets)))
+			for _, tt := range targets {
+				cn, err := p.AddChild(def, child.ID, tt)
+				if err != nil {
+					return err
+				}
+				obs.Default.InstNodes.Inc()
+				level = append(level, cn)
+			}
+		}
+		obs.Default.LevelFanOut.Observe(int64(len(level)))
+		if err := fillLevel(res, def, level); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// traverseLevel follows one connection path for many source nodes at
+// once. The result is aligned with parents: out[i] holds the distinct
+// tuples parents[i] reaches at the far end, in the same order the naive
+// TraversePath would produce (per-step key order, first-seen dedup).
+// Each edge costs one batched lookup for the whole level.
+func traverseLevel(res structural.Resolver, parents []*InstNode, path []structural.Edge, st *reldb.MatchStats) ([][]reldb.Tuple, error) {
+	frontiers := make([][]reldb.Tuple, len(parents))
+	for i, p := range parents {
+		frontiers[i] = []reldb.Tuple{p.tuple}
+	}
+	for _, e := range path {
+		// Flatten the per-parent frontiers, remembering each parent's
+		// segment so results can be distributed back.
+		var flat []reldb.Tuple
+		offs := make([]int, len(parents)+1)
+		for i, fr := range frontiers {
+			offs[i] = len(flat)
+			flat = append(flat, fr...)
+		}
+		offs[len(parents)] = len(flat)
+		if len(flat) == 0 {
+			break
+		}
+		results, err := structural.ConnectedViaBatchStats(res, e, flat, st)
+		if err != nil {
+			return nil, err
+		}
+		obs.Default.BatchedLookups.Inc()
+		tgtRel, err := res.Relation(e.Target())
+		if err != nil {
+			return nil, err
+		}
+		tgtSchema := tgtRel.Schema()
+		for i := range parents {
+			seen := make(map[string]bool)
+			var next []reldb.Tuple
+			for _, matches := range results[offs[i]:offs[i+1]] {
+				for _, mt := range matches {
+					ek := tgtSchema.EncodeKeyOf(mt)
+					if seen[ek] {
+						continue
+					}
+					seen[ek] = true
+					next = append(next, mt)
+				}
+			}
+			frontiers[i] = next
+		}
+	}
+	return frontiers, nil
+}
+
+func fillChildren(res structural.Resolver, def *Definition, in *InstNode) error {
+	for _, child := range in.node.Children {
+		var st reldb.MatchStats
+		targets, err := traversePath(res, in.tuple, child.Path, &st)
+		if err != nil {
+			return fmt.Errorf("viewobject: %s: node %s: %w", def.Name, child.ID, err)
+		}
+		obs.Default.TuplesScanned.Add(int64(st.Scanned))
 		obs.Default.NodeFanOut.Observe(int64(len(targets)))
 		for _, tt := range targets {
 			cn, err := in.AddChild(def, child.ID, tt)
@@ -152,6 +281,10 @@ func fillChildren(res structural.Resolver, def *Definition, in *InstNode) error 
 // each step. Intermediate relations contribute join steps only; their
 // tuples are not returned.
 func TraversePath(res structural.Resolver, start reldb.Tuple, path []structural.Edge) ([]reldb.Tuple, error) {
+	return traversePath(res, start, path, nil)
+}
+
+func traversePath(res structural.Resolver, start reldb.Tuple, path []structural.Edge, st *reldb.MatchStats) ([]reldb.Tuple, error) {
 	frontier := []reldb.Tuple{start}
 	for _, e := range path {
 		tgtRel, err := res.Relation(e.Target())
@@ -162,7 +295,7 @@ func TraversePath(res structural.Resolver, start reldb.Tuple, path []structural.
 		seen := make(map[string]bool)
 		var next []reldb.Tuple
 		for _, ft := range frontier {
-			matches, err := structural.ConnectedVia(res, e, ft)
+			matches, err := structural.ConnectedViaStats(res, e, ft, st)
 			if err != nil {
 				return nil, err
 			}

@@ -101,10 +101,9 @@ func BuildTree(spec TreeSpec) (*Workload, error) {
 				From: f.name, To: childName,
 				FromAttrs: f.keyAttr, ToAttrs: f.keyAttr,
 			}
+			// AddConnection registers the edge index over f.keyAttr on the
+			// child, so traversal probes instead of scanning.
 			if err := g.AddConnection(conn); err != nil {
-				return nil, err
-			}
-			if err := db.MustRelation(childName).CreateIndex("byParent", f.keyAttr); err != nil {
 				return nil, err
 			}
 			childNode := &viewobject.Node{
@@ -131,9 +130,6 @@ func BuildTree(spec TreeSpec) (*Workload, error) {
 			FromAttrs: []string{"K0"}, ToAttrs: []string{"K0"},
 		}
 		if err := g.AddConnection(conn); err != nil {
-			return nil, err
-		}
-		if err := db.MustRelation(name).CreateIndex("byPivot", []string{"K0"}); err != nil {
 			return nil, err
 		}
 		rootNode.Children = append(rootNode.Children, &viewobject.Node{
