@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_TOLERANCE ?= 0.30
 
-.PHONY: build test race vet bench bench-smoke bench-baseline bench-diff verify
+.PHONY: build test race vet bench bench-smoke bench-baseline bench-diff metrics-lint verify
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,13 @@ bench-baseline:
 bench-diff:
 	$(GO) test -bench=. -benchtime=0.3s -run='^$$' ./... | $(GO) run ./cmd/bench2json | $(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json -tolerance $(BENCH_TOLERANCE)
 
+# metrics-lint drives a real concurrent workload and validates that the
+# live registry renders as well-formed Prometheus text exposition
+# (grammar, cumulative buckets ending in +Inf, per-object and
+# per-relation series present).
+metrics-lint:
+	$(GO) test -run '^TestMetricsLint$$' -count=1 ./internal/workload
+
 # verify is the full gate: compile everything, vet, then run the whole
 # suite (including the concurrent stress tests) under the race detector.
-verify: build vet race
+verify: build vet race metrics-lint

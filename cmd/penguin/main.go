@@ -8,6 +8,7 @@
 //	penguin                   # start with the seeded university database
 //	penguin -empty            # start with an empty database (RQL only)
 //	penguin -load snapshot.db # load a snapshot written by .save
+//	penguin -metrics-addr :9090 # additionally serve Prometheus metrics at /metrics
 //
 // Commands:
 //
@@ -24,6 +25,7 @@
 //	.dialog NAME              run the translator-selection dialog
 //	.figures                  regenerate the paper's figures
 //	.stats                    dump engine metrics (counters and histograms)
+//	.prom                     dump engine metrics in Prometheus exposition format
 //	.trace [N]                show the last N trace events (default 20)
 //	.save FILE / .load FILE   snapshot the database
 //	.help / .quit
@@ -76,6 +78,7 @@ func (sh *shell) errorf(format string, args ...any) {
 func main() {
 	empty := flag.Bool("empty", false, "start with an empty database instead of the seeded university")
 	load := flag.String("load", "", "load a database snapshot")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics at http://ADDR/metrics (e.g. :9090)")
 	flag.Parse()
 
 	sh := &shell{
@@ -87,6 +90,14 @@ func main() {
 		ring:     obs.NewRing(256),
 	}
 	obs.Default.SetSink(sh.ring)
+	if *metricsAddr != "" {
+		ln, err := obs.Serve(*metricsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer ln.Close()
+		fmt.Printf("metrics: http://%s/metrics\n", ln.Addr())
+	}
 	switch {
 	case *load != "":
 		f, err := os.Open(*load)
@@ -324,6 +335,10 @@ func (sh *shell) command(line string) bool {
 		if err := obs.WriteText(sh.out, obs.Capture()); err != nil {
 			sh.errorf("error: %v", err)
 		}
+	case ".prom":
+		if err := obs.WriteProm(sh.out, obs.Capture()); err != nil {
+			sh.errorf("error: %v", err)
+		}
 	case ".trace":
 		n := 20
 		if len(args) >= 1 {
@@ -450,6 +465,7 @@ Dot-commands:
   .dialog NAME          choose a translator interactively
   .figures              regenerate the paper's figures
   .stats                dump engine metrics (counters and histograms)
+  .prom                 dump engine metrics in Prometheus exposition format
   .trace [N]            show the last N trace events (default 20)
   .save FILE .load FILE .quit
 `)

@@ -279,3 +279,26 @@ func TestShellPreview(t *testing.T) {
 		t.Fatalf("missing-translator output:\n%s", text)
 	}
 }
+
+// .prom renders the live registry as Prometheus text exposition: lint-
+// clean, with the per-object update-pipeline series split by view-object
+// name.
+func TestShellProm(t *testing.T) {
+	sh, out := testShell(t)
+	run(t, sh, out, ".delete omega CS445")
+
+	text := run(t, sh, out, ".prom")
+	if err := obs.CheckExposition(text); err != nil {
+		t.Fatalf(".prom output fails exposition lint: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		"# TYPE reldb_tx_commits counter",
+		"# TYPE vupdate_step_translate_ns histogram",
+		`vupdate_updates_committed{object="omega"}`,
+		`le="+Inf"`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf(".prom missing %q:\n%s", want, text)
+		}
+	}
+}

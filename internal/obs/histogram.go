@@ -150,19 +150,48 @@ func (st HistogramStat) Mean() float64 {
 }
 
 // Sub returns the difference of two stats of the same histogram
-// (bucket-wise; used for before/after deltas).
+// (bucket-wise; used for before/after deltas). Two shapes of prev are
+// handled explicitly:
+//
+//   - A zero-value prev (nil Bounds and Buckets — e.g. the stat of a
+//     metric absent from an older Snapshot) subtracts nothing: the
+//     result equals st, bucket for bucket.
+//   - A prev whose bucket shape differs from st's (a Snapshot taken
+//     from a registry with different bounds) cannot be subtracted
+//     bucket-wise; Sub subtracts Count and Sum only and keeps st's raw
+//     buckets, leaving the caller a self-consistent stat of st's shape
+//     rather than a silent partial subtraction.
+//
+// Pinned by TestHistogramStatSubShapes.
 func (st HistogramStat) Sub(prev HistogramStat) HistogramStat {
 	out := HistogramStat{
 		Count:  st.Count - prev.Count,
 		Sum:    st.Sum - prev.Sum,
 		Bounds: st.Bounds,
 	}
-	out.Buckets = make([]int64, len(st.Buckets))
-	for i := range st.Buckets {
-		out.Buckets[i] = st.Buckets[i]
-		if i < len(prev.Buckets) {
-			out.Buckets[i] -= prev.Buckets[i]
-		}
+	out.Buckets = append([]int64(nil), st.Buckets...)
+	if len(prev.Buckets) == 0 {
+		return out // zero-value prev: nothing to subtract
+	}
+	if !sameBounds(st.Bounds, prev.Bounds) || len(st.Buckets) != len(prev.Buckets) {
+		return out // shape mismatch: bucket-wise subtraction is meaningless
+	}
+	for i := range out.Buckets {
+		out.Buckets[i] -= prev.Buckets[i]
 	}
 	return out
+}
+
+// sameBounds reports whether two bound sets describe the same bucket
+// layout.
+func sameBounds(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

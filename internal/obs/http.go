@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+)
+
+// promContentType is the content type of text exposition format 0.0.4.
+const promContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler returns an http.Handler that serves the Default registry as
+// Prometheus text exposition — the body of a /metrics endpoint.
+func Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", promContentType)
+		_ = WriteProm(w, Capture())
+	})
+}
+
+// Serve starts an HTTP listener on addr exposing the Default registry
+// at /metrics for a real scraper. It returns the live listener (its
+// Addr carries the resolved port for ":0" addresses); Close it to stop
+// serving. The serving goroutine exits when the listener closes.
+func Serve(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler())
+	go func() {
+		srv := &http.Server{Handler: mux}
+		_ = srv.Serve(ln)
+	}()
+	return ln, nil
+}

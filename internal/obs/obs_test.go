@@ -228,15 +228,120 @@ func TestSnapshotSubAndWriteText(t *testing.T) {
 			t.Errorf("WriteText missing %q:\n%s", want, text)
 		}
 	}
-	// Lines are sorted (expvar-style stable rendering).
+	// Metric blocks come out in sorted name order (bucket lines within a
+	// block are bound-ordered, not lexicographic — see
+	// TestWriteTextBucketOrdering).
 	lines := strings.Split(strings.TrimSpace(text), "\n")
-	for i := 1; i < len(lines); i++ {
-		if lines[i] < lines[i-1] {
-			t.Fatalf("output unsorted at line %d: %q < %q", i, lines[i], lines[i-1])
+	var metrics []string
+	for _, l := range lines {
+		name := strings.SplitN(l, " ", 2)[0]
+		name = strings.SplitN(name, "{", 2)[0]
+		for _, suffix := range []string{".count", ".sum", ".mean"} {
+			name = strings.TrimSuffix(name, suffix)
+		}
+		if i := strings.Index(name, ".le_"); i >= 0 {
+			name = name[:i]
+		}
+		if len(metrics) == 0 || metrics[len(metrics)-1] != name {
+			metrics = append(metrics, name)
+		}
+	}
+	for i := 1; i < len(metrics); i++ {
+		if metrics[i] < metrics[i-1] {
+			t.Fatalf("metric blocks unsorted: %q after %q", metrics[i], metrics[i-1])
 		}
 	}
 	if !strings.Contains(delta.Summary(), "commits=1") {
 		t.Errorf("summary line: %s", delta.Summary())
+	}
+}
+
+// WriteText renders a histogram's bucket lines in ascending numeric bound
+// order with cumulative counts. An earlier revision sorted all lines
+// lexicographically — putting le_16 before le_2 — and printed raw
+// per-bucket counts under the cumulative-sounding le_ names.
+func TestWriteTextBucketOrdering(t *testing.T) {
+	r := NewRegistry()
+	// CountBounds buckets: lands in ≤2, ≤4, ≤16, and +Inf.
+	for _, v := range []int64{2, 3, 12, 5000} {
+		r.ReadTxLag.Observe(v)
+	}
+	var b strings.Builder
+	if err := WriteText(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var le []string
+	for _, l := range strings.Split(strings.TrimSpace(b.String()), "\n") {
+		if strings.HasPrefix(l, "reldb.readtx.lag_generations.le_") {
+			le = append(le, l)
+		}
+	}
+	want := []string{
+		"reldb.readtx.lag_generations.le_2 1",
+		"reldb.readtx.lag_generations.le_4 2",
+		"reldb.readtx.lag_generations.le_8 2",
+		"reldb.readtx.lag_generations.le_16 3",
+		"reldb.readtx.lag_generations.le_64 3",
+		"reldb.readtx.lag_generations.le_256 3",
+		"reldb.readtx.lag_generations.le_1024 3",
+		"reldb.readtx.lag_generations.le_inf 4",
+	}
+	if len(le) != len(want) {
+		t.Fatalf("le_ lines = %v, want %v", le, want)
+	}
+	for i := range want {
+		if le[i] != want[i] {
+			t.Errorf("le line %d = %q, want %q", i, le[i], want[i])
+		}
+	}
+	// le_0 and le_1 (cumulative count still zero) are skipped; le_inf
+	// equals the total count.
+	if strings.Contains(b.String(), "lag_generations.le_0") || strings.Contains(b.String(), "lag_generations.le_1 ") {
+		t.Error("leading zero-cumulative buckets should be skipped")
+	}
+}
+
+// HistogramStat.Sub handles a zero-value prev (metric absent from the
+// older snapshot) and a bucket-shape mismatch explicitly.
+func TestHistogramStatSubShapes(t *testing.T) {
+	h := NewHistogram(CountBounds)
+	h.Observe(1)
+	h.Observe(100)
+	cur := h.Stat()
+
+	d := cur.Sub(HistogramStat{})
+	if d.Count != 2 || d.Sum != 101 {
+		t.Fatalf("zero-prev delta = %+v", d)
+	}
+	for i := range d.Buckets {
+		if d.Buckets[i] != cur.Buckets[i] {
+			t.Fatalf("zero-prev buckets = %v, want %v", d.Buckets, cur.Buckets)
+		}
+	}
+
+	h.Observe(2)
+	d = h.Stat().Sub(cur)
+	if d.Count != 1 || d.Sum != 2 {
+		t.Fatalf("same-shape delta = %+v", d)
+	}
+	var total int64
+	for _, n := range d.Buckets {
+		total += n
+	}
+	if total != 1 {
+		t.Fatalf("same-shape bucket delta = %v, want one increment", d.Buckets)
+	}
+
+	// Mismatched bounds: Count/Sum subtract, st's raw buckets survive.
+	mismatched := HistogramStat{Count: 1, Sum: 1, Bounds: []int64{5}, Buckets: []int64{1, 0}}
+	d = cur.Sub(mismatched)
+	if d.Count != 1 || d.Sum != 100 {
+		t.Fatalf("mismatched-shape delta = %+v", d)
+	}
+	for i := range d.Buckets {
+		if d.Buckets[i] != cur.Buckets[i] {
+			t.Fatalf("mismatched-shape buckets = %v, want %v (st's raw buckets)", d.Buckets, cur.Buckets)
+		}
 	}
 }
 

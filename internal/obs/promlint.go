@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CheckExposition validates Prometheus text-exposition output: every
+// line must match the text-format grammar, every sample must belong to
+// a family declared by a preceding `# TYPE` line, no series may repeat,
+// and every histogram series must have monotone non-decreasing
+// cumulative buckets ending in a `+Inf` bucket equal to its `_count`.
+// It is the check behind `make metrics-lint` and the exposition-format
+// tests; WriteProm output must always pass.
+func CheckExposition(text string) error {
+	var (
+		types     = map[string]string{} // family → counter|histogram
+		seen      = map[string]bool{}   // full series key → emitted
+		buckets   = map[string][]promBucket{}
+		counts    = map[string]float64{}
+		sums      = map[string]bool{}
+		histogram = map[string]bool{} // histogram family keys seen via samples
+	)
+	for i, line := range strings.Split(text, "\n") {
+		lineNo := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			m := typeLineRe.FindStringSubmatch(line)
+			if m == nil {
+				if strings.HasPrefix(line, "# HELP ") {
+					continue
+				}
+				return fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			name, kind := m[1], m[2]
+			if _, dup := types[name]; dup {
+				return fmt.Errorf("line %d: duplicate # TYPE for %s", lineNo, name)
+			}
+			types[name] = kind
+			continue
+		}
+		name, labels, value, err := parseSampleLine(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		family, suffix := name, ""
+		for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, sfx)
+			if base != name && types[base] == "histogram" {
+				family, suffix = base, sfx
+				break
+			}
+		}
+		kind, declared := types[family]
+		if !declared {
+			return fmt.Errorf("line %d: sample %s has no preceding # TYPE", lineNo, name)
+		}
+		if kind == "histogram" && suffix == "" {
+			return fmt.Errorf("line %d: bare sample %s under histogram family", lineNo, name)
+		}
+		seriesKey := name + "{" + canonicalLabels(labels) + "}"
+		if seen[seriesKey] {
+			return fmt.Errorf("line %d: duplicate series %s", lineNo, seriesKey)
+		}
+		seen[seriesKey] = true
+		if kind == "counter" && value < 0 {
+			return fmt.Errorf("line %d: counter %s has negative value %g", lineNo, name, value)
+		}
+		if kind != "histogram" {
+			continue
+		}
+		// Key the histogram series by its labels minus le.
+		le, rest := splitLE(labels)
+		hkey := family + "{" + canonicalLabels(rest) + "}"
+		histogram[hkey] = true
+		switch suffix {
+		case "_bucket":
+			if le == "" {
+				return fmt.Errorf("line %d: %s_bucket sample without le label", lineNo, family)
+			}
+			buckets[hkey] = append(buckets[hkey], promBucket{le: le, value: value, line: lineNo})
+		case "_count":
+			counts[hkey] = value
+		case "_sum":
+			sums[hkey] = true
+		}
+	}
+
+	// Per-series histogram invariants.
+	hkeys := make([]string, 0, len(histogram))
+	for k := range histogram {
+		hkeys = append(hkeys, k)
+	}
+	sort.Strings(hkeys)
+	for _, hkey := range hkeys {
+		bs := buckets[hkey]
+		if len(bs) == 0 {
+			return fmt.Errorf("histogram series %s has no _bucket samples", hkey)
+		}
+		sort.SliceStable(bs, func(i, j int) bool { return leBound(bs[i].le) < leBound(bs[j].le) })
+		for i := 1; i < len(bs); i++ {
+			if bs[i].value < bs[i-1].value {
+				return fmt.Errorf("histogram series %s: bucket le=%s count %g < le=%s count %g (not cumulative)",
+					hkey, bs[i].le, bs[i].value, bs[i-1].le, bs[i-1].value)
+			}
+		}
+		last := bs[len(bs)-1]
+		if last.le != "+Inf" {
+			return fmt.Errorf("histogram series %s: last bucket is le=%s, want +Inf", hkey, last.le)
+		}
+		count, ok := counts[hkey]
+		if !ok {
+			return fmt.Errorf("histogram series %s has no _count sample", hkey)
+		}
+		if last.value != count {
+			return fmt.Errorf("histogram series %s: +Inf bucket %g != _count %g", hkey, last.value, count)
+		}
+		if !sums[hkey] {
+			return fmt.Errorf("histogram series %s has no _sum sample", hkey)
+		}
+	}
+	return nil
+}
+
+type promBucket struct {
+	le    string
+	value float64
+	line  int
+}
+
+// leBound orders bucket bounds numerically with +Inf last.
+func leBound(le string) float64 {
+	if le == "+Inf" {
+		return inf
+	}
+	f, err := strconv.ParseFloat(le, 64)
+	if err != nil {
+		return inf
+	}
+	return f
+}
+
+var inf = func() float64 { f, _ := strconv.ParseFloat("+Inf", 64); return f }()
+
+var (
+	typeLineRe  = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
+	sampleRe    = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})? (-?[0-9]+(?:\.[0-9]+)?(?:[eE][-+]?[0-9]+)?|[-+]Inf|NaN)(?: [0-9]+)?$`)
+	labelPairRe = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"(?:,|$)`)
+)
+
+// parseSampleLine splits a sample into name, label pairs, and value.
+func parseSampleLine(line string) (name string, labels [][2]string, value float64, err error) {
+	m := sampleRe.FindStringSubmatch(line)
+	if m == nil {
+		return "", nil, 0, fmt.Errorf("malformed sample line %q", line)
+	}
+	name = m[1]
+	rest := m[2]
+	for rest != "" {
+		lm := labelPairRe.FindStringSubmatch(rest)
+		if lm == nil {
+			return "", nil, 0, fmt.Errorf("malformed labels in %q", line)
+		}
+		labels = append(labels, [2]string{lm[1], lm[2]})
+		rest = rest[len(lm[0]):]
+	}
+	value, err = strconv.ParseFloat(m[3], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value in %q: %w", line, err)
+	}
+	return name, labels, value, nil
+}
+
+// canonicalLabels renders label pairs sorted by key, for series identity.
+func canonicalLabels(labels [][2]string) string {
+	sorted := append([][2]string(nil), labels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i][0] < sorted[j][0] })
+	parts := make([]string, len(sorted))
+	for i, kv := range sorted {
+		parts[i] = kv[0] + "=" + strconv.Quote(kv[1])
+	}
+	return strings.Join(parts, ",")
+}
+
+// splitLE extracts the le label from a pair list, returning it and the
+// remaining pairs.
+func splitLE(labels [][2]string) (le string, rest [][2]string) {
+	for _, kv := range labels {
+		if kv[0] == "le" {
+			le = kv[1]
+			continue
+		}
+		rest = append(rest, kv)
+	}
+	return le, rest
+}

@@ -69,10 +69,32 @@ func RejectReasonName(i int) string {
 	return rejectReasonNames[i]
 }
 
+// Label-dimension capacities for the Default registry. Small on
+// purpose: labels exist to attribute cost in mixed workloads, not to
+// enumerate unbounded populations; overflow collapses into OtherLabel.
+const (
+	// ObjectLabelCap bounds distinct view-object names.
+	ObjectLabelCap = 16
+	// RelationLabelCap bounds distinct relation names.
+	RelationLabelCap = 64
+)
+
+// DefaultReadTxLagAlert is the generation lag at which a closing ReadTx
+// counts as a stale close (reldb.readtx.stale_closes) and emits a trace
+// event. Tune with SetReadTxLagAlert; 0 disables.
+const DefaultReadTxLagAlert = 64
+
 // Registry is the engine-wide metric set. All fields are safe for
 // concurrent use; the engine packages write into the package-level
 // Default registry. Construct extra registries with NewRegistry (tests).
 type Registry struct {
+	// Label dimensions. Values are interned at registration time:
+	// relation names when a schema is created (reldb.NewRelation),
+	// view-object names when a definition is built
+	// (viewobject.NewDefinition).
+	Objects   *LabelSet // "object" — view-object names
+	Relations *LabelSet // "relation" — base-relation names
+
 	// reldb: transaction and snapshot metrics.
 	Commits        Counter   // write transactions committed
 	EmptyCommits   Counter   // commits that published no writes
@@ -80,8 +102,16 @@ type Registry struct {
 	TxDoneHits     Counter   // operations attempted on a finished Tx/ReadTx
 	RelationClones Counter   // copy-on-write relation clones
 	ReadTxBegins   Counter   // read transactions opened
+	StaleCloses    Counter   // ReadTx closes at or past the lag-alert threshold
 	CommitNs       Histogram // write-transaction latency, Begin→Commit
 	ReadTxLag      Histogram // ReadTx generation lag observed at Close
+
+	// reldb: per-relation lookup cost (MatchStats attribution). Each
+	// MatchEqual-family lookup charges the relation that served it, so a
+	// missing index shows up against the relation that pays for it.
+	RelScanned *CounterVec // tuples visited, by relation
+	RelProbes  *CounterVec // point lookups and index-bucket probes, by relation
+	RelScans   *CounterVec // full-relation scan fallbacks, by relation
 
 	// viewobject: instantiation metrics.
 	Instantiations Counter   // Instantiate / InstantiateByKey calls
@@ -92,6 +122,16 @@ type Registry struct {
 	LevelFanOut    Histogram // instance nodes per assembly level
 	InstantiateNs  Histogram // instantiation latency
 
+	// viewobject: the same instantiation metrics split by view object.
+	// Each labeled family partitions its aggregate exactly: every
+	// increment lands in some slot (the overflow slot catches names past
+	// ObjectLabelCap), so summing a family over its labels reproduces the
+	// aggregate counter above.
+	InstCallsByObject     *CounterVec
+	InstTuplesByObject    *CounterVec
+	InstNodesByObject     *CounterVec
+	InstantiateNsByObject *HistogramVec
+
 	// vupdate: §5 update-pipeline metrics.
 	UpdatesCommitted Counter                   // translations that committed
 	UpdatesRejected  Counter                   // translations that rolled back with a rejection
@@ -99,21 +139,33 @@ type Registry struct {
 	Ops              [NumOpKinds]Counter       // emitted DBOps by OpKind
 	Rejects          [NumRejectReasons]Counter // rejections by Reason
 
+	// vupdate: the same pipeline metrics split by view object.
+	CommittedByObject *CounterVec
+	RejectedByObject  *CounterVec
+	StepNsByObject    [NumSteps]*HistogramVec
+	OpsByObject       [NumOpKinds]*CounterVec
+	RejectsByObject   [NumRejectReasons]*CounterVec
+
 	// keller: flat-view baseline metrics (for E-benchmark comparisons).
 	KellerMaterializeNs Histogram // view materialization latency
 	KellerTranslateNs   Histogram // flat-view update translation latency
 	KellerOps           Counter   // primitive ops emitted by the baseline
 
-	sink atomic.Pointer[sinkBox]
+	lagAlert atomic.Int64
+	sink     atomic.Pointer[sinkBox]
 }
 
 // sinkBox wraps a Sink so a nil interface and "no sink" are the same
 // single atomic-pointer load on the hot path.
 type sinkBox struct{ s Sink }
 
-// NewRegistry creates a registry with every histogram initialized.
+// NewRegistry creates a registry with every histogram, label dimension,
+// and labeled family initialized.
 func NewRegistry() *Registry {
-	r := &Registry{}
+	r := &Registry{
+		Objects:   NewLabelSet("object", ObjectLabelCap),
+		Relations: NewLabelSet("relation", RelationLabelCap),
+	}
 	r.CommitNs.init(DurationBounds)
 	r.ReadTxLag.init(CountBounds)
 	r.NodeFanOut.init(CountBounds)
@@ -124,8 +176,40 @@ func NewRegistry() *Registry {
 	}
 	r.KellerMaterializeNs.init(DurationBounds)
 	r.KellerTranslateNs.init(DurationBounds)
+
+	r.RelScanned = NewCounterVec(r.Relations)
+	r.RelProbes = NewCounterVec(r.Relations)
+	r.RelScans = NewCounterVec(r.Relations)
+
+	r.InstCallsByObject = NewCounterVec(r.Objects)
+	r.InstTuplesByObject = NewCounterVec(r.Objects)
+	r.InstNodesByObject = NewCounterVec(r.Objects)
+	r.InstantiateNsByObject = NewHistogramVec(r.Objects, DurationBounds)
+
+	r.CommittedByObject = NewCounterVec(r.Objects)
+	r.RejectedByObject = NewCounterVec(r.Objects)
+	for i := range r.StepNsByObject {
+		r.StepNsByObject[i] = NewHistogramVec(r.Objects, DurationBounds)
+	}
+	for i := range r.OpsByObject {
+		r.OpsByObject[i] = NewCounterVec(r.Objects)
+	}
+	for i := range r.RejectsByObject {
+		r.RejectsByObject[i] = NewCounterVec(r.Objects)
+	}
+
+	r.lagAlert.Store(DefaultReadTxLagAlert)
 	return r
 }
+
+// SetReadTxLagAlert sets the generation-lag threshold at which a closing
+// ReadTx counts as stale (n <= 0 disables the alert) and returns the
+// previous threshold.
+func (r *Registry) SetReadTxLagAlert(n int64) int64 { return r.lagAlert.Swap(n) }
+
+// ReadTxLagAlert returns the current stale-close threshold (0 when
+// disabled).
+func (r *Registry) ReadTxLagAlert() int64 { return r.lagAlert.Load() }
 
 // Default is the registry the engine packages write into.
 var Default = NewRegistry()

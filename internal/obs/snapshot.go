@@ -16,16 +16,53 @@ type Snapshot struct {
 	// Histograms maps metric name → stat. Latency histograms use the
 	// "_ns" suffix and record nanoseconds.
 	Histograms map[string]HistogramStat
+	// LabeledCounters maps metric name → one-dimension labeled series.
+	// A name present here may also be present in Counters: the labeled
+	// family partitions the aggregate (overflow included), so summing
+	// its values reproduces the flat counter.
+	LabeledCounters map[string]LabeledCounter
+	// LabeledHistograms is the histogram equivalent of LabeledCounters.
+	LabeledHistograms map[string]LabeledHistogram
+}
+
+// LabeledCounter is one counter family split by a single label
+// dimension. Zero-valued label slots are omitted at capture.
+type LabeledCounter struct {
+	// Label is the label key ("object", "relation").
+	Label string
+	// Values maps label value → count.
+	Values map[string]int64
+}
+
+// LabeledHistogram is one histogram family split by a single label
+// dimension. Slots that never observed are omitted at capture.
+type LabeledHistogram struct {
+	// Label is the label key ("object", "relation").
+	Label string
+	// Values maps label value → stat.
+	Values map[string]HistogramStat
 }
 
 // Snapshot captures the registry.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
-		Counters:   make(map[string]int64, 32),
-		Histograms: make(map[string]HistogramStat, 16),
+		Counters:          make(map[string]int64, 32),
+		Histograms:        make(map[string]HistogramStat, 16),
+		LabeledCounters:   make(map[string]LabeledCounter, 16),
+		LabeledHistograms: make(map[string]LabeledHistogram, 8),
 	}
 	c := func(name string, ctr *Counter) { s.Counters[name] = ctr.Load() }
 	h := func(name string, hist *Histogram) { s.Histograms[name] = hist.Stat() }
+	lc := func(name string, v *CounterVec) {
+		if vals := v.StatByLabel(); len(vals) > 0 {
+			s.LabeledCounters[name] = LabeledCounter{Label: v.Set().Key(), Values: vals}
+		}
+	}
+	lh := func(name string, v *HistogramVec) {
+		if vals := v.StatByLabel(); len(vals) > 0 {
+			s.LabeledHistograms[name] = LabeledHistogram{Label: v.Set().Key(), Values: vals}
+		}
+	}
 
 	c("reldb.tx.commits", &r.Commits)
 	c("reldb.tx.empty_commits", &r.EmptyCommits)
@@ -33,8 +70,12 @@ func (r *Registry) Snapshot() Snapshot {
 	c("reldb.tx.txdone_hits", &r.TxDoneHits)
 	c("reldb.relation.clones", &r.RelationClones)
 	c("reldb.readtx.begins", &r.ReadTxBegins)
+	c("reldb.readtx.stale_closes", &r.StaleCloses)
 	h("reldb.tx.commit_ns", &r.CommitNs)
 	h("reldb.readtx.lag_generations", &r.ReadTxLag)
+	lc("reldb.relation.scanned", r.RelScanned)
+	lc("reldb.relation.probes", r.RelProbes)
+	lc("reldb.relation.scans", r.RelScans)
 
 	c("viewobject.instantiate.calls", &r.Instantiations)
 	c("viewobject.instantiate.tuples_scanned", &r.TuplesScanned)
@@ -43,17 +84,26 @@ func (r *Registry) Snapshot() Snapshot {
 	h("viewobject.instantiate.fanout", &r.NodeFanOut)
 	h("viewobject.instantiate.level_fanout", &r.LevelFanOut)
 	h("viewobject.instantiate.ns", &r.InstantiateNs)
+	lc("viewobject.instantiate.calls", r.InstCallsByObject)
+	lc("viewobject.instantiate.tuples_scanned", r.InstTuplesByObject)
+	lc("viewobject.instantiate.nodes", r.InstNodesByObject)
+	lh("viewobject.instantiate.ns", r.InstantiateNsByObject)
 
 	c("vupdate.updates.committed", &r.UpdatesCommitted)
 	c("vupdate.updates.rejected", &r.UpdatesRejected)
+	lc("vupdate.updates.committed", r.CommittedByObject)
+	lc("vupdate.updates.rejected", r.RejectedByObject)
 	for i := Step(0); i < NumSteps; i++ {
 		h("vupdate.step."+stepNames[i]+"_ns", &r.StepNs[i])
+		lh("vupdate.step."+stepNames[i]+"_ns", r.StepNsByObject[i])
 	}
 	for i := 0; i < NumOpKinds; i++ {
 		c("vupdate.ops."+opNames[i], &r.Ops[i])
+		lc("vupdate.ops."+opNames[i], r.OpsByObject[i])
 	}
 	for i := 0; i < NumRejectReasons; i++ {
 		c("vupdate.reject."+rejectReasonNames[i], &r.Rejects[i])
+		lc("vupdate.reject."+rejectReasonNames[i], r.RejectsByObject[i])
 	}
 
 	h("keller.materialize_ns", &r.KellerMaterializeNs)
@@ -71,12 +121,26 @@ func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
 // Histogram returns a histogram stat by name (zero stat when absent).
 func (s Snapshot) Histogram(name string) HistogramStat { return s.Histograms[name] }
 
+// LabeledCounterValue returns one series of a labeled counter family
+// (0 when the family or the label value is absent).
+func (s Snapshot) LabeledCounterValue(name, labelValue string) int64 {
+	return s.LabeledCounters[name].Values[labelValue]
+}
+
+// LabeledHistogramValue returns one series of a labeled histogram
+// family (zero stat when absent).
+func (s Snapshot) LabeledHistogramValue(name, labelValue string) HistogramStat {
+	return s.LabeledHistograms[name].Values[labelValue]
+}
+
 // Sub returns the metric-wise difference s − prev: the activity between
 // two snapshots of the same registry.
 func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	out := Snapshot{
-		Counters:   make(map[string]int64, len(s.Counters)),
-		Histograms: make(map[string]HistogramStat, len(s.Histograms)),
+		Counters:          make(map[string]int64, len(s.Counters)),
+		Histograms:        make(map[string]HistogramStat, len(s.Histograms)),
+		LabeledCounters:   make(map[string]LabeledCounter, len(s.LabeledCounters)),
+		LabeledHistograms: make(map[string]LabeledHistogram, len(s.LabeledHistograms)),
 	}
 	for k, v := range s.Counters {
 		out.Counters[k] = v - prev.Counters[k]
@@ -84,45 +148,139 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	for k, v := range s.Histograms {
 		out.Histograms[k] = v.Sub(prev.Histograms[k])
 	}
+	for k, fam := range s.LabeledCounters {
+		pf := prev.LabeledCounters[k]
+		d := LabeledCounter{Label: fam.Label, Values: make(map[string]int64, len(fam.Values))}
+		for lv, n := range fam.Values {
+			if n -= pf.Values[lv]; n != 0 {
+				d.Values[lv] = n
+			}
+		}
+		if len(d.Values) > 0 {
+			out.LabeledCounters[k] = d
+		}
+	}
+	for k, fam := range s.LabeledHistograms {
+		pf := prev.LabeledHistograms[k]
+		d := LabeledHistogram{Label: fam.Label, Values: make(map[string]HistogramStat, len(fam.Values))}
+		for lv, st := range fam.Values {
+			dst := st.Sub(pf.Values[lv])
+			if dst.Count != 0 || dst.Sum != 0 {
+				d.Values[lv] = dst
+			}
+		}
+		if len(d.Values) > 0 {
+			out.LabeledHistograms[k] = d
+		}
+	}
 	return out
 }
 
-// WriteText renders the snapshot as sorted "name value" lines —
-// expvar-compatible flat keys, histograms expanded into .count, .sum,
-// .mean, and one .le_* line per non-empty bucket:
+// WriteText renders the snapshot as "name value" lines — expvar-style
+// flat keys — grouped per metric and sorted by metric name. A counter is
+// one line; a histogram expands into .count, .sum, .mean, then one
+// .le_* line per bucket bound in ascending numeric order carrying the
+// cumulative count of observations ≤ that bound (Prometheus `le`
+// semantics), ending in .le_inf == .count. Bounds below the smallest
+// observation (cumulative count still zero) are skipped. Labeled series
+// follow their aggregate as name{label=value} lines, label values
+// sorted:
 //
 //	reldb.tx.commits 42
 //	reldb.tx.commit_ns.count 42
+//	reldb.tx.commit_ns.sum 774165
 //	reldb.tx.commit_ns.mean 18432.5
 //	reldb.tx.commit_ns.le_100000 40
-//	reldb.tx.commit_ns.le_inf 2
+//	reldb.tx.commit_ns.le_1000000 42
+//	reldb.tx.commit_ns.le_inf 42
+//	reldb.relation.scanned{relation=COURSES} 812
+//
+// Earlier revisions sorted the rendered lines lexicographically (which
+// put le_10 before le_2 and le_100000 before le_2500) and emitted raw
+// per-bucket counts under the cumulative-sounding le_ names; both are
+// fixed here and pinned by TestWriteTextBucketOrdering.
 func WriteText(w io.Writer, s Snapshot) error {
-	lines := make([]string, 0, len(s.Counters)+4*len(s.Histograms))
-	for name, v := range s.Counters {
-		lines = append(lines, fmt.Sprintf("%s %d", name, v))
-	}
-	for name, st := range s.Histograms {
-		lines = append(lines, fmt.Sprintf("%s.count %d", name, st.Count))
-		lines = append(lines, fmt.Sprintf("%s.sum %d", name, st.Sum))
-		lines = append(lines, fmt.Sprintf("%s.mean %.1f", name, st.Mean()))
-		for i, n := range st.Buckets {
-			if n == 0 {
-				continue
-			}
-			if i < len(st.Bounds) {
-				lines = append(lines, fmt.Sprintf("%s.le_%d %d", name, st.Bounds[i], n))
-			} else {
-				lines = append(lines, fmt.Sprintf("%s.le_inf %d", name, n))
+	names := make([]string, 0, len(s.Counters)+len(s.Histograms))
+	seen := make(map[string]bool)
+	for _, m := range []map[string]bool{namesOf(s.Counters), namesOf(s.Histograms),
+		namesOf(s.LabeledCounters), namesOf(s.LabeledHistograms)} {
+		for n := range m {
+			if !seen[n] {
+				seen[n] = true
+				names = append(names, n)
 			}
 		}
 	}
-	sort.Strings(lines)
+	sort.Strings(names)
+
+	var lines []string
+	for _, name := range names {
+		if v, ok := s.Counters[name]; ok {
+			lines = append(lines, fmt.Sprintf("%s %d", name, v))
+		}
+		if st, ok := s.Histograms[name]; ok {
+			lines = append(lines, textHistLines(name, st)...)
+		}
+		if fam, ok := s.LabeledCounters[name]; ok {
+			for _, lv := range sortedKeys(fam.Values) {
+				lines = append(lines, fmt.Sprintf("%s{%s=%s} %d", name, fam.Label, lv, fam.Values[lv]))
+			}
+		}
+		if fam, ok := s.LabeledHistograms[name]; ok {
+			for _, lv := range sortedKeys(fam.Values) {
+				series := fmt.Sprintf("%s{%s=%s}", name, fam.Label, lv)
+				lines = append(lines, textHistLines(series, fam.Values[lv])...)
+			}
+		}
+	}
 	for _, l := range lines {
 		if _, err := fmt.Fprintln(w, l); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// textHistLines expands one histogram series into its WriteText lines:
+// count, sum, mean, then cumulative le_* lines in bound order.
+func textHistLines(prefix string, st HistogramStat) []string {
+	lines := []string{
+		fmt.Sprintf("%s.count %d", prefix, st.Count),
+		fmt.Sprintf("%s.sum %d", prefix, st.Sum),
+		fmt.Sprintf("%s.mean %.1f", prefix, st.Mean()),
+	}
+	var cum int64
+	for i, n := range st.Buckets {
+		cum += n
+		if cum == 0 {
+			continue // below the smallest observation
+		}
+		if i < len(st.Bounds) {
+			lines = append(lines, fmt.Sprintf("%s.le_%d %d", prefix, st.Bounds[i], cum))
+		} else {
+			lines = append(lines, fmt.Sprintf("%s.le_inf %d", prefix, cum))
+		}
+	}
+	return lines
+}
+
+// namesOf collects a map's keys as a set (generic over the value type).
+func namesOf[V any](m map[string]V) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+// sortedKeys returns a map's keys sorted.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // Summary condenses the snapshot into one line for workload reports:

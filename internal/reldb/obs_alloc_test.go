@@ -130,3 +130,44 @@ func TestReadTxLagObserved(t *testing.T) {
 		t.Fatalf("readtx begins delta = %d, want 1", got)
 	}
 }
+
+// Every MatchEqual lookup attributes its cost to the relation it ran
+// against: the labeled reldb.relation.* families carry the same numbers
+// MatchStats accumulates, keyed by relation name.
+func TestPerRelationAttribution(t *testing.T) {
+	db := NewDatabase()
+	db.MustCreateRelation(MustSchema("ATTRIB", []Attribute{
+		{Name: "K", Type: KindInt},
+		{Name: "G", Type: KindInt},
+	}, []string{"K"}))
+	if err := db.RunInTx(func(tx *Tx) error {
+		for i := 0; i < 8; i++ {
+			if err := tx.Insert("ATTRIB", Tuple{Int(int64(i)), Int(int64(i % 2))}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rel := db.MustRelation("ATTRIB")
+
+	before := obs.Default.Snapshot()
+	var st MatchStats
+	if _, err := rel.MatchEqualStats([]string{"G"}, Tuple{Int(0)}, &st); err != nil {
+		t.Fatal(err)
+	}
+	delta := obs.Default.Snapshot().Sub(before)
+	if got := delta.LabeledCounterValue("reldb.relation.scanned", "ATTRIB"); got != int64(st.Scanned) {
+		t.Errorf("labeled scanned = %d, MatchStats says %d", got, st.Scanned)
+	}
+	probes := delta.LabeledCounterValue("reldb.relation.probes", "ATTRIB")
+	scans := delta.LabeledCounterValue("reldb.relation.scans", "ATTRIB")
+	if probes != int64(st.Probes) || scans != int64(st.Scans) {
+		t.Errorf("labeled probes/scans = %d/%d, MatchStats says %d/%d",
+			probes, scans, st.Probes, st.Scans)
+	}
+	if st.Scanned == 0 || probes+scans == 0 {
+		t.Errorf("lookup cost not attributed: stats=%+v probes=%d scans=%d", st, probes, scans)
+	}
+}

@@ -110,10 +110,26 @@ func (rtx *ReadTx) Fork() *Database {
 // Close ends the read transaction; further access fails with ErrTxDone.
 // Closing is idempotent and never blocks (no lock is held beyond the
 // momentary generation read). The first Close records how many commits
-// the snapshot fell behind (its staleness) into the ReadTxLag histogram.
+// the snapshot fell behind (its staleness) into the ReadTxLag histogram;
+// when that lag reaches the registry's alert threshold
+// (obs.SetReadTxLagAlert, default obs.DefaultReadTxLagAlert) the close
+// additionally counts into reldb.readtx.stale_closes and — with a trace
+// sink installed — emits a reldb.readtx.stale_close event, surfacing
+// long-lived forks that pin memory. Exactly one alert fires per stale
+// ReadTx, however many times Close is called.
 func (rtx *ReadTx) Close() {
 	if !rtx.done {
-		obs.Default.ReadTxLag.Observe(int64(rtx.db.Generation() - rtx.gen))
+		lag := int64(rtx.db.Generation() - rtx.gen)
+		obs.Default.ReadTxLag.Observe(lag)
+		if th := obs.Default.ReadTxLagAlert(); th > 0 && lag >= th {
+			obs.Default.StaleCloses.Inc()
+			if obs.Default.Tracing() {
+				obs.Default.Emit(obs.Event{
+					Name:   "reldb.readtx.stale_close",
+					Detail: fmt.Sprintf("lag=%d threshold=%d gen=%d", lag, th, rtx.gen),
+				})
+			}
+		}
 	}
 	rtx.done = true
 	rtx.rels = nil

@@ -4,8 +4,11 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
+
+	"penguin/internal/obs"
 )
 
 func snapDB(t *testing.T, rows int) *Database {
@@ -280,4 +283,72 @@ func TestWriteSnapshotDuringCommits(t *testing.T) {
 		}
 	}
 	wwg.Wait()
+}
+
+// A ReadTx (or fork) whose snapshot fell at least the alert threshold
+// behind fires the stale-close alert exactly once: one stale_closes
+// increment and — with a sink installed — one trace event, however many
+// times Close is called. Below-threshold closes never fire.
+func TestReadTxStaleCloseAlert(t *testing.T) {
+	db := snapDB(t, 1)
+	advance := func(id int64) {
+		t.Helper()
+		if err := db.RunInTx(func(tx *Tx) error {
+			return tx.Insert("R", Tuple{Int(id), String("w")})
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prev := obs.Default.SetReadTxLagAlert(2)
+	defer obs.Default.SetReadTxLagAlert(prev)
+	ring := obs.NewRing(8)
+	obs.Default.SetSink(ring)
+	defer obs.Default.SetSink(nil)
+
+	// One commit of lag: below the threshold, no alert.
+	fresh := db.BeginRead()
+	advance(100)
+	base := obs.Default.StaleCloses.Load()
+	fresh.Close()
+	if got := obs.Default.StaleCloses.Load(); got != base {
+		t.Fatalf("below-threshold close fired the alert: %d -> %d", base, got)
+	}
+
+	// Two commits of lag: at the threshold, exactly one alert.
+	stale := db.BeginRead()
+	advance(101)
+	advance(102)
+	base = obs.Default.StaleCloses.Load()
+	ringBase := ring.Len()
+	stale.Close()
+	if got := obs.Default.StaleCloses.Load(); got != base+1 {
+		t.Fatalf("stale close counted %d alerts, want 1", got-base)
+	}
+	if ring.Len() != ringBase+1 {
+		t.Fatalf("stale close emitted %d events, want 1", ring.Len()-ringBase)
+	}
+	evs := ring.Last(1)
+	if evs[0].Name != "reldb.readtx.stale_close" {
+		t.Fatalf("event name = %q", evs[0].Name)
+	}
+	if !strings.Contains(evs[0].Detail, "lag=2") || !strings.Contains(evs[0].Detail, "threshold=2") {
+		t.Fatalf("event detail = %q", evs[0].Detail)
+	}
+	// Close is idempotent: no second alert.
+	stale.Close()
+	if got := obs.Default.StaleCloses.Load(); got != base+1 {
+		t.Fatal("repeated Close fired the alert again")
+	}
+
+	// Threshold 0 disables alerting entirely.
+	obs.Default.SetReadTxLagAlert(0)
+	off := db.BeginRead()
+	advance(103)
+	advance(104)
+	advance(105)
+	base = obs.Default.StaleCloses.Load()
+	off.Close()
+	if got := obs.Default.StaleCloses.Load(); got != base {
+		t.Fatal("disabled threshold still fired the alert")
+	}
 }

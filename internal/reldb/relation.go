@@ -27,6 +27,10 @@ type Relation struct {
 	// gen is the commit generation that published this version (0 for a
 	// version never published by a transaction).
 	gen uint64
+	// obsSlot is the relation name's slot in obs.Default.Relations,
+	// interned at construction so the per-relation lookup-cost counters
+	// (reldb.relation.scanned and friends) stay allocation-free.
+	obsSlot int
 }
 
 type secondaryIndex struct {
@@ -36,12 +40,15 @@ type secondaryIndex struct {
 	buckets map[string]map[string]struct{}
 }
 
-// NewRelation creates an empty relation with the given schema.
+// NewRelation creates an empty relation with the given schema. The
+// schema's name is interned into the obs relation-label dimension here —
+// registration time — so every later labeled increment is slot-indexed.
 func NewRelation(schema *Schema) *Relation {
 	return &Relation{
 		schema:  schema,
 		rows:    make(map[string]Tuple),
 		indexes: make(map[string]*secondaryIndex),
+		obsSlot: obs.Default.Relations.Intern(schema.Name()),
 	}
 }
 
@@ -337,6 +344,25 @@ func (st *MatchStats) addScan(visited int) {
 	}
 }
 
+// obsProbe records one point lookup or index-bucket probe: into the
+// caller's MatchStats (may be nil) and into the per-relation labeled
+// counters, charging the relation that served the lookup. Slot-indexed
+// atomic adds — allocation-free.
+func (r *Relation) obsProbe(st *MatchStats, visited int) {
+	st.addProbe(visited)
+	obs.Default.RelProbes.At(r.obsSlot).Inc()
+	obs.Default.RelScanned.At(r.obsSlot).Add(int64(visited))
+}
+
+// obsScan records one full-relation scan fallback, likewise attributed
+// to the relation — a missing index shows up against the relation that
+// pays for it.
+func (r *Relation) obsScan(st *MatchStats, visited int) {
+	st.addScan(visited)
+	obs.Default.RelScans.At(r.obsSlot).Inc()
+	obs.Default.RelScanned.At(r.obsSlot).Add(int64(visited))
+}
+
 // lookupIndices resolves attrNames and rejects duplicates: the lookup
 // paths compare attribute sets, and a duplicated name (e.g. ["id","id"]
 // against a two-column key) would falsely pass sameIntSet and build a
@@ -429,10 +455,10 @@ func (r *Relation) MatchEqualStats(attrNames []string, vals Tuple, st *MatchStat
 			}
 		}
 		if t, ok := r.Get(key); ok {
-			st.addProbe(1)
+			r.obsProbe(st, 1)
 			return []Tuple{t}, nil
 		}
-		st.addProbe(0)
+		r.obsProbe(st, 0)
 		return nil, nil
 	}
 	if ix, perm := r.findIndex(idx); ix != nil {
@@ -444,7 +470,7 @@ func (r *Relation) MatchEqualStats(attrNames []string, vals Tuple, st *MatchStat
 			pv[i] = vals[j]
 		}
 		out := r.probeBucket(ix, EncodeValues(pv...))
-		st.addProbe(len(out))
+		r.obsProbe(st, len(out))
 		return out, nil
 	}
 	var out []Tuple
@@ -457,7 +483,7 @@ func (r *Relation) MatchEqualStats(attrNames []string, vals Tuple, st *MatchStat
 		out = append(out, t.Clone())
 		return true
 	})
-	st.addScan(r.Count())
+	r.obsScan(st, r.Count())
 	return out, nil
 }
 
@@ -515,10 +541,10 @@ func (r *Relation) MatchEqualBatchStats(attrNames []string, valSets []Tuple, st 
 				}
 			}
 			if t, ok := r.Get(key); ok {
-				st.addProbe(1)
+				r.obsProbe(st, 1)
 				out[p.key] = []Tuple{t}
 			} else {
-				st.addProbe(0)
+				r.obsProbe(st, 0)
 			}
 		}
 		return out, nil
@@ -531,7 +557,7 @@ func (r *Relation) MatchEqualBatchStats(attrNames []string, valSets []Tuple, st 
 				pv[i] = p.vals[j]
 			}
 			matches := r.probeBucket(ix, EncodeValues(pv...))
-			st.addProbe(len(matches))
+			r.obsProbe(st, len(matches))
 			if len(matches) > 0 {
 				out[p.key] = matches
 			}
@@ -555,7 +581,7 @@ func (r *Relation) MatchEqualBatchStats(attrNames []string, valSets []Tuple, st 
 		}
 		return true
 	})
-	st.addScan(r.Count())
+	r.obsScan(st, r.Count())
 	return out, nil
 }
 

@@ -20,6 +20,7 @@ import (
 	"sort"
 	"strings"
 
+	"penguin/internal/obs"
 	"penguin/internal/reldb"
 	"penguin/internal/structural"
 )
@@ -64,7 +65,16 @@ type Definition struct {
 	// a transaction (which holds the database lock) never needs to go
 	// through Database.Relation again.
 	schemas map[string]*reldb.Schema
+	// obsSlot is the object name's slot in obs.Default.Objects, interned
+	// at definition time so per-object metric increments (instantiation,
+	// §5 pipeline steps) are slot-indexed and allocation-free.
+	obsSlot int
 }
+
+// MetricSlot returns the object's slot in the obs.Default.Objects label
+// dimension — the index every per-object metric family (CounterVec /
+// HistogramVec over "object") is addressed with.
+func (d *Definition) MetricSlot() int { return d.obsSlot }
 
 // Graph returns the structural schema the object is defined over.
 func (d *Definition) Graph() *structural.Graph { return d.graph }
@@ -128,6 +138,7 @@ func NewDefinition(name string, g *structural.Graph, root *Node) (*Definition, e
 		Name: name, graph: g, root: root,
 		byID:    make(map[string]*Node),
 		schemas: make(map[string]*reldb.Schema),
+		obsSlot: obs.Default.Objects.Intern(name),
 	}
 	db := g.Database()
 

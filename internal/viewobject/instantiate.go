@@ -73,6 +73,7 @@ func Instantiate(res structural.Resolver, def *Definition, q Query) ([]*Instance
 	// tuples qualify. Counted only on success: an errored Select did not
 	// complete the scan.
 	obs.Default.TuplesScanned.Add(int64(pivotRel.Count()))
+	obs.Default.InstTuplesByObject.At(def.obsSlot).Add(int64(pivotRel.Count()))
 	var instances []*Instance
 	if naiveAssembly.Load() {
 		for _, pt := range pivots {
@@ -93,6 +94,7 @@ func Instantiate(res structural.Resolver, def *Definition, q Query) ([]*Instance
 				return nil, err
 			}
 			obs.Default.InstNodes.Inc() // the root component
+			obs.Default.InstNodesByObject.At(def.obsSlot).Inc()
 			instances = append(instances, inst)
 			roots = append(roots, inst.root)
 		}
@@ -111,7 +113,10 @@ func Instantiate(res structural.Resolver, def *Definition, q Query) ([]*Instance
 		}
 	}
 	obs.Default.Instantiations.Inc()
-	obs.Default.InstantiateNs.Observe(time.Since(start).Nanoseconds())
+	obs.Default.InstCallsByObject.At(def.obsSlot).Inc()
+	dur := time.Since(start).Nanoseconds()
+	obs.Default.InstantiateNs.Observe(dur)
+	obs.Default.InstantiateNsByObject.At(def.obsSlot).Observe(dur)
 	if obs.Default.Tracing() {
 		obs.Default.EmitSpan("viewobject.instantiate",
 			fmt.Sprintf("object=%s instances=%d", def.Name, len(out)), start)
@@ -129,6 +134,7 @@ func InstantiateByKey(res structural.Resolver, def *Definition, key reldb.Tuple)
 	}
 	pt, ok := pivotRel.Get(key)
 	obs.Default.TuplesScanned.Inc() // the keyed pivot lookup
+	obs.Default.InstTuplesByObject.At(def.obsSlot).Inc()
 	if !ok {
 		return nil, false, nil
 	}
@@ -137,7 +143,10 @@ func InstantiateByKey(res structural.Resolver, def *Definition, key reldb.Tuple)
 		return nil, false, err
 	}
 	obs.Default.Instantiations.Inc()
-	obs.Default.InstantiateNs.Observe(time.Since(start).Nanoseconds())
+	obs.Default.InstCallsByObject.At(def.obsSlot).Inc()
+	dur := time.Since(start).Nanoseconds()
+	obs.Default.InstantiateNs.Observe(dur)
+	obs.Default.InstantiateNsByObject.At(def.obsSlot).Observe(dur)
 	if obs.Default.Tracing() {
 		obs.Default.EmitSpan("viewobject.instantiate_by_key",
 			fmt.Sprintf("object=%s key=%s", def.Name, key), start)
@@ -151,6 +160,7 @@ func assembleInstance(res structural.Resolver, def *Definition, pivotTuple reldb
 		return nil, err
 	}
 	obs.Default.InstNodes.Inc() // the root component
+	obs.Default.InstNodesByObject.At(def.obsSlot).Inc()
 	if naiveAssembly.Load() {
 		if err := fillChildren(res, def, inst.root); err != nil {
 			return nil, err
@@ -180,6 +190,7 @@ func fillLevel(res structural.Resolver, def *Definition, parents []*InstNode) er
 			return fmt.Errorf("viewobject: %s: node %s: %w", def.Name, child.ID, err)
 		}
 		obs.Default.TuplesScanned.Add(int64(st.Scanned))
+		obs.Default.InstTuplesByObject.At(def.obsSlot).Add(int64(st.Scanned))
 		var level []*InstNode
 		for i, p := range parents {
 			targets := perParent[i]
@@ -190,6 +201,7 @@ func fillLevel(res structural.Resolver, def *Definition, parents []*InstNode) er
 					return err
 				}
 				obs.Default.InstNodes.Inc()
+				obs.Default.InstNodesByObject.At(def.obsSlot).Inc()
 				level = append(level, cn)
 			}
 		}
@@ -261,6 +273,7 @@ func fillChildren(res structural.Resolver, def *Definition, in *InstNode) error 
 			return fmt.Errorf("viewobject: %s: node %s: %w", def.Name, child.ID, err)
 		}
 		obs.Default.TuplesScanned.Add(int64(st.Scanned))
+		obs.Default.InstTuplesByObject.At(def.obsSlot).Add(int64(st.Scanned))
 		obs.Default.NodeFanOut.Observe(int64(len(targets)))
 		for _, tt := range targets {
 			cn, err := in.AddChild(def, child.ID, tt)
@@ -268,6 +281,7 @@ func fillChildren(res structural.Resolver, def *Definition, in *InstNode) error 
 				return err
 			}
 			obs.Default.InstNodes.Inc()
+			obs.Default.InstNodesByObject.At(def.obsSlot).Inc()
 			if err := fillChildren(res, def, cn); err != nil {
 				return err
 			}

@@ -121,18 +121,21 @@ func (u *Updater) run(fn func(*session) error) (*Result, error) {
 	db := def.Graph().Database()
 	start := time.Now()
 	s := &session{tr: u.T, def: def, g: def.Graph(), tx: db.Begin()}
+	slot := def.MetricSlot()
 	if err := fn(s); err != nil {
 		_ = s.tx.Rollback()
-		countRejection(err)
+		countRejection(err, slot)
 		return nil, err
 	}
 	if err := s.tx.Commit(); err != nil {
 		return nil, err
 	}
 	obs.Default.UpdatesCommitted.Inc()
+	obs.Default.CommittedByObject.At(slot).Inc()
 	for _, op := range s.ops {
 		if int(op.Kind) < obs.NumOpKinds {
 			obs.Default.Ops[op.Kind].Inc()
+			obs.Default.OpsByObject[op.Kind].At(slot).Inc()
 		}
 	}
 	if obs.Default.Tracing() {
@@ -142,16 +145,20 @@ func (u *Updater) run(fn func(*session) error) (*Result, error) {
 	return &Result{Ops: s.ops}, nil
 }
 
-// countRejection records a failed translation in the rejection counters.
-// Missing-tuple errors count as no-instance rejections even though they
-// do not wrap ErrRejected (the addressed instance simply is not there);
+// countRejection records a failed translation in the rejection counters,
+// both aggregate and split by the object's label slot. Missing-tuple
+// errors count as no-instance rejections even though they do not wrap
+// ErrRejected (the addressed instance simply is not there);
 // infrastructure errors are not counted.
-func countRejection(err error) {
+func countRejection(err error, slot int) {
 	if !errors.Is(err, ErrRejected) && !errors.Is(err, reldb.ErrNoSuchTuple) {
 		return
 	}
+	reason := ReasonOf(err)
 	obs.Default.UpdatesRejected.Inc()
-	obs.Default.Rejects[ReasonOf(err)].Inc()
+	obs.Default.Rejects[reason].Inc()
+	obs.Default.RejectedByObject.At(slot).Inc()
+	obs.Default.RejectsByObject[reason].At(slot).Inc()
 }
 
 // step times one §5 pipeline step into the per-step histogram and, when
@@ -159,7 +166,9 @@ func countRejection(err error) {
 func (s *session) step(st obs.Step, fn func() error) error {
 	start := time.Now()
 	err := fn()
-	obs.Default.StepNs[st].Observe(time.Since(start).Nanoseconds())
+	dur := time.Since(start).Nanoseconds()
+	obs.Default.StepNs[st].Observe(dur)
+	obs.Default.StepNsByObject[st].At(s.def.MetricSlot()).Observe(dur)
 	if obs.Default.Tracing() {
 		obs.Default.EmitSpan("vupdate.step."+st.String(), s.def.Name, start)
 	}

@@ -1,0 +1,45 @@
+package workload
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"penguin/internal/obs"
+)
+
+// TestMetricsLint is the exposition-format gate behind `make
+// metrics-lint`: after a real concurrent workload, the live registry
+// must render as valid Prometheus text exposition carrying the
+// per-view-object update-pipeline series and the per-relation access
+// attribution the ISSUE requires of a scrape.
+func TestMetricsLint(t *testing.T) {
+	if _, err := RunStress(StressSpec{
+		Tree:    TreeSpec{Depth: 1, Width: 2, Fanout: 2, Roots: 4, Peninsulas: 1},
+		Readers: 2,
+		Writers: 2,
+		Cycles:  3,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	if err := obs.WriteProm(&b, obs.Capture()); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	if err := obs.CheckExposition(text); err != nil {
+		t.Fatalf("live snapshot fails exposition lint: %v", err)
+	}
+
+	stepSeries := regexp.MustCompile(`(?m)^vupdate_step_[a-z_]+_ns_bucket\{object="[^"]+",le="[^"]+"\} \d+$`)
+	if !stepSeries.MatchString(text) {
+		t.Error("no per-object vupdate_step_*_ns series in exposition")
+	}
+	if !strings.Contains(text, `reldb_relation_scanned{relation="N0"}`) {
+		t.Error(`no reldb_relation_scanned{relation="N0"} series in exposition`)
+	}
+	if !strings.Contains(text, "# TYPE reldb_relation_scanned counter") {
+		t.Error("reldb_relation_scanned missing its # TYPE header")
+	}
+}

@@ -2,6 +2,7 @@ package penguin
 
 import (
 	"io"
+	"net"
 
 	"penguin/internal/obs"
 	"penguin/internal/vupdate"
@@ -42,6 +43,20 @@ func Stats() StatsSnapshot { return obs.Capture() }
 
 // WriteStats renders a snapshot as sorted "name value" text lines.
 func WriteStats(w io.Writer, s StatsSnapshot) error { return obs.WriteText(w, s) }
+
+// WriteProm renders a snapshot in the Prometheus text exposition format
+// (version 0.0.4): `# TYPE` headers, sanitized metric names, histograms
+// as cumulative `_bucket{le="..."}` series ending in `+Inf` plus `_sum`
+// and `_count`, and the per-view-object / per-relation families as
+// labeled series. Serve it from an HTTP handler (or use ServeMetrics)
+// to scrape the engine.
+func WriteProm(w io.Writer, s StatsSnapshot) error { return obs.WriteProm(w, s) }
+
+// ServeMetrics starts an HTTP listener on addr exposing the engine
+// metrics at /metrics in the Prometheus exposition format. It returns
+// the live listener (Addr carries the resolved port for ":0"); close it
+// to stop serving.
+func ServeMetrics(addr string) (net.Listener, error) { return obs.Serve(addr) }
 
 // NewTraceRing creates a ring buffer holding the last size trace events;
 // install it with SetTraceSink to start recording.
