@@ -20,8 +20,13 @@ bench:
 
 # bench-smoke runs every benchmark exactly once (no timing fidelity) to
 # catch benchmarks that panic or fail to build; cheap enough for CI.
+# The parallel-instantiation benchmark additionally runs at -cpu 1,4:
+# the worker budget tracks GOMAXPROCS, so the pair exercises both the
+# sequential path and the 4-worker fan-out (scaling itself is asserted
+# by TestParallelInstantiationSpeedup on hosts with enough cores).
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+	$(GO) test -bench=BenchmarkParallelInstantiation -benchtime=1x -cpu=1,4 -run='^$$' .
 
 # bench-baseline records a full benchmark run as JSON for diffing
 # against future runs.

@@ -24,6 +24,7 @@
 //	.delete NAME KEY          complete deletion (VO-CD) by pivot key
 //	.dialog NAME              run the translator-selection dialog
 //	.figures                  regenerate the paper's figures
+//	.parallel [N]             show or set the instantiation worker budget
 //	.stats                    dump engine metrics (counters and histograms)
 //	.prom                     dump engine metrics in Prometheus exposition format
 //	.trace [N]                show the last N trace events (default 20)
@@ -331,6 +332,18 @@ func (sh *shell) command(line string) bool {
 			break
 		}
 		fmt.Fprint(sh.out, report)
+	case ".parallel":
+		if len(args) == 0 {
+			fmt.Fprintf(sh.out, "parallelism: %d workers\n", viewobject.Parallelism())
+			break
+		}
+		n, err := strconv.Atoi(args[0])
+		if err != nil || n < 0 {
+			sh.errorf("usage: .parallel [N]   (N >= 1 fixes the worker budget, 0 tracks GOMAXPROCS)")
+			break
+		}
+		viewobject.SetParallelism(n)
+		fmt.Fprintf(sh.out, "parallelism: %d workers\n", viewobject.Parallelism())
 	case ".stats":
 		if err := obs.WriteText(sh.out, obs.Capture()); err != nil {
 			sh.errorf("error: %v", err)
@@ -464,6 +477,7 @@ Dot-commands:
   .preview NAME KEY     show a deletion's translation without executing it
   .dialog NAME          choose a translator interactively
   .figures              regenerate the paper's figures
+  .parallel [N]         show or set the instantiation worker budget (0 tracks GOMAXPROCS)
   .stats                dump engine metrics (counters and histograms)
   .prom                 dump engine metrics in Prometheus exposition format
   .trace [N]            show the last N trace events (default 20)

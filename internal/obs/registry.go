@@ -113,6 +113,18 @@ type Registry struct {
 	RelProbes  *CounterVec // point lookups and index-bucket probes, by relation
 	RelScans   *CounterVec // full-relation scan fallbacks, by relation
 
+	// reldb: the per-generation lookup-plan cache. Every MatchEqual-family
+	// call resolves its index selection through the cache exactly once, so
+	// PlanCacheLookups == PlanCacheHits + PlanCacheMisses holds at every
+	// quiescent point (asserted by the stress suite). Invalidations count
+	// cached plans discarded: by index DDL on the relation version that
+	// cached them, or left behind when a write transaction clones a
+	// relation for the next generation (the clone starts cold).
+	PlanCacheLookups       Counter // MatchEqual-family calls that consulted the cache
+	PlanCacheHits          Counter // plans served from the cache
+	PlanCacheMisses        Counter // plans resolved and cached
+	PlanCacheInvalidations Counter // cached plans discarded (DDL or generation advance)
+
 	// viewobject: instantiation metrics.
 	Instantiations Counter   // Instantiate / InstantiateByKey calls
 	TuplesScanned  Counter   // stored tuples visited while assembling instances
@@ -122,15 +134,24 @@ type Registry struct {
 	LevelFanOut    Histogram // instance nodes per assembly level
 	InstantiateNs  Histogram // instantiation latency
 
+	// viewobject: parallel instantiation. Workers and chunks count per
+	// fan-out (a sequential call adds to neither); ParallelNs times only
+	// the calls that actually fanned out, so it partitions a subset of
+	// InstantiateNs observations rather than all of them.
+	ParallelWorkers       Counter   // worker goroutines launched by parallel fan-outs
+	ParallelChunks        Counter   // pivot chunks dispatched to workers
+	InstantiateParallelNs Histogram // latency of instantiations that fanned out
+
 	// viewobject: the same instantiation metrics split by view object.
 	// Each labeled family partitions its aggregate exactly: every
 	// increment lands in some slot (the overflow slot catches names past
 	// ObjectLabelCap), so summing a family over its labels reproduces the
 	// aggregate counter above.
-	InstCallsByObject     *CounterVec
-	InstTuplesByObject    *CounterVec
-	InstNodesByObject     *CounterVec
-	InstantiateNsByObject *HistogramVec
+	InstCallsByObject             *CounterVec
+	InstTuplesByObject            *CounterVec
+	InstNodesByObject             *CounterVec
+	InstantiateNsByObject         *HistogramVec
+	InstantiateParallelNsByObject *HistogramVec
 
 	// vupdate: §5 update-pipeline metrics.
 	UpdatesCommitted Counter                   // translations that committed
@@ -171,6 +192,7 @@ func NewRegistry() *Registry {
 	r.NodeFanOut.init(CountBounds)
 	r.LevelFanOut.init(CountBounds)
 	r.InstantiateNs.init(DurationBounds)
+	r.InstantiateParallelNs.init(DurationBounds)
 	for i := range r.StepNs {
 		r.StepNs[i].init(DurationBounds)
 	}
@@ -185,6 +207,7 @@ func NewRegistry() *Registry {
 	r.InstTuplesByObject = NewCounterVec(r.Objects)
 	r.InstNodesByObject = NewCounterVec(r.Objects)
 	r.InstantiateNsByObject = NewHistogramVec(r.Objects, DurationBounds)
+	r.InstantiateParallelNsByObject = NewHistogramVec(r.Objects, DurationBounds)
 
 	r.CommittedByObject = NewCounterVec(r.Objects)
 	r.RejectedByObject = NewCounterVec(r.Objects)

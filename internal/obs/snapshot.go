@@ -76,6 +76,10 @@ func (r *Registry) Snapshot() Snapshot {
 	lc("reldb.relation.scanned", r.RelScanned)
 	lc("reldb.relation.probes", r.RelProbes)
 	lc("reldb.relation.scans", r.RelScans)
+	c("reldb.plancache.lookups", &r.PlanCacheLookups)
+	c("reldb.plancache.hits", &r.PlanCacheHits)
+	c("reldb.plancache.misses", &r.PlanCacheMisses)
+	c("reldb.plancache.invalidations", &r.PlanCacheInvalidations)
 
 	c("viewobject.instantiate.calls", &r.Instantiations)
 	c("viewobject.instantiate.tuples_scanned", &r.TuplesScanned)
@@ -84,10 +88,14 @@ func (r *Registry) Snapshot() Snapshot {
 	h("viewobject.instantiate.fanout", &r.NodeFanOut)
 	h("viewobject.instantiate.level_fanout", &r.LevelFanOut)
 	h("viewobject.instantiate.ns", &r.InstantiateNs)
+	c("viewobject.parallel.workers", &r.ParallelWorkers)
+	c("viewobject.parallel.chunks", &r.ParallelChunks)
+	h("viewobject.instantiate.parallel_ns", &r.InstantiateParallelNs)
 	lc("viewobject.instantiate.calls", r.InstCallsByObject)
 	lc("viewobject.instantiate.tuples_scanned", r.InstTuplesByObject)
 	lc("viewobject.instantiate.nodes", r.InstNodesByObject)
 	lh("viewobject.instantiate.ns", r.InstantiateNsByObject)
+	lh("viewobject.instantiate.parallel_ns", r.InstantiateParallelNsByObject)
 
 	c("vupdate.updates.committed", &r.UpdatesCommitted)
 	c("vupdate.updates.rejected", &r.UpdatesRejected)

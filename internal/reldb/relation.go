@@ -3,6 +3,7 @@ package reldb
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"penguin/internal/obs"
 )
@@ -31,6 +32,12 @@ type Relation struct {
 	// interned at construction so the per-relation lookup-cost counters
 	// (reldb.relation.scanned and friends) stay allocation-free.
 	obsSlot int
+	// plans memoizes index selection per attribute list for this version
+	// of the relation. It is the one mutable piece of a committed
+	// (otherwise immutable) version, and carries its own lock; clones
+	// start with a cold cache, so advancing the generation invalidates
+	// plans automatically. See plan.go.
+	plans planCache
 }
 
 type secondaryIndex struct {
@@ -215,6 +222,78 @@ func (r *Relation) Select(pred Expr) ([]Tuple, error) {
 	return out, nil
 }
 
+// selectParallelMinRows is the relation size below which SelectParallel
+// runs sequentially: chunking and goroutine startup cost more than the
+// scan they would split.
+const selectParallelMinRows = 512
+
+// SelectParallel is Select evaluated on up to `workers` goroutines over
+// contiguous chunks of the key-sorted row set. The result is identical
+// to Select — tuples in primary-key order, nil slice on any predicate
+// evaluation error (the error of the lowest-keyed chunk wins, so the
+// reported error is deterministic). Callers must honor the same
+// immutability contract as Scan: committed relation versions only.
+func (r *Relation) SelectParallel(pred Expr, workers int) ([]Tuple, error) {
+	if workers <= 1 || len(r.rows) < selectParallelMinRows {
+		return r.Select(pred)
+	}
+	eks := make([]string, 0, len(r.rows))
+	for ek := range r.rows {
+		eks = append(eks, ek)
+	}
+	sort.Strings(eks)
+	if workers > len(eks) {
+		workers = len(eks)
+	}
+	chunkResults := make([][]Tuple, workers)
+	chunkErrs := make([]error, workers)
+	var wg sync.WaitGroup
+	per := (len(eks) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		hi := lo + per
+		if hi > len(eks) {
+			hi = len(eks)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var out []Tuple
+			for _, ek := range eks[lo:hi] {
+				t := r.rows[ek]
+				if pred != nil {
+					ok, err := EvalBool(pred, Row{Schema: r.schema, Tuple: t})
+					if err != nil {
+						chunkErrs[w] = err
+						return
+					}
+					if !ok {
+						continue
+					}
+				}
+				out = append(out, t.Clone())
+			}
+			chunkResults[w] = out
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for w := 0; w < workers; w++ {
+		if chunkErrs[w] != nil {
+			return nil, chunkErrs[w]
+		}
+		total += len(chunkResults[w])
+	}
+	out := make([]Tuple, 0, total)
+	for _, chunk := range chunkResults {
+		out = append(out, chunk...)
+	}
+	return out, nil
+}
+
 // CreateIndex registers a secondary hash index over the named attributes
 // and backfills it. Index names are unique per relation.
 func (r *Relation) CreateIndex(name string, attrNames []string) error {
@@ -234,6 +313,7 @@ func (r *Relation) CreateIndex(name string, attrNames []string) error {
 		ix.add(t, ek)
 	}
 	r.indexes[name] = ix
+	r.invalidatePlans()
 	return nil
 }
 
@@ -243,6 +323,7 @@ func (r *Relation) DropIndex(name string) error {
 		return fmt.Errorf("reldb: %s: index %s: %w", r.Name(), name, ErrNoSuchIndex)
 	}
 	delete(r.indexes, name)
+	r.invalidatePlans()
 	return nil
 }
 
@@ -434,48 +515,38 @@ func (r *Relation) MatchEqual(attrNames []string, vals Tuple) ([]Tuple, error) {
 }
 
 // MatchEqualStats is MatchEqual that additionally accumulates lookup
-// cost into st (which may be nil).
+// cost into st (which may be nil). Index selection — point lookup vs.
+// secondary index vs. scan, plus the value permutation — is resolved
+// once per relation version through the lookup-plan cache and reused by
+// every subsequent call (and every parallel worker) on that version.
 func (r *Relation) MatchEqualStats(attrNames []string, vals Tuple, st *MatchStats) ([]Tuple, error) {
-	idx, err := r.lookupIndices("MatchEqual", attrNames)
+	pl, err := r.planFor("MatchEqual", attrNames)
 	if err != nil {
 		return nil, err
 	}
-	if err := r.checkLookupVals("MatchEqual", idx, vals); err != nil {
+	if err := r.checkLookupVals("MatchEqual", pl.idx, vals); err != nil {
 		return nil, err
 	}
-	// Equality on exactly the primary-key attributes is a point lookup.
-	if sameIntSet(idx, r.schema.key) {
-		key := make(Tuple, len(r.schema.key))
-		for i, k := range r.schema.key {
-			for j, a := range idx {
-				if a == k {
-					key[i] = vals[j]
-					break
-				}
-			}
-		}
-		if t, ok := r.Get(key); ok {
+	switch pl.kind {
+	case planPoint:
+		// Equality on exactly the primary-key attributes is a point lookup.
+		if t, ok := r.Get(pl.permute(vals)); ok {
 			r.obsProbe(st, 1)
 			return []Tuple{t}, nil
 		}
 		r.obsProbe(st, 0)
 		return nil, nil
-	}
-	if ix, perm := r.findIndex(idx); ix != nil {
-		// Permute vals into the index's attribute order (mirroring the
-		// primary-key permutation above), so an index built over the same
-		// attributes in a different order still serves the lookup.
-		pv := make(Tuple, len(perm))
-		for i, j := range perm {
-			pv[i] = vals[j]
-		}
-		out := r.probeBucket(ix, EncodeValues(pv...))
+	case planIndex:
+		// Permute vals into the index's attribute order, so an index built
+		// over the same attributes in a different order still serves the
+		// lookup.
+		out := r.probeBucket(pl.ix, EncodeValues(pl.permute(vals)...))
 		r.obsProbe(st, len(out))
 		return out, nil
 	}
 	var out []Tuple
 	r.Scan(func(t Tuple) bool {
-		for i, j := range idx {
+		for i, j := range pl.idx {
 			if !t[j].Equal(vals[i]) {
 				return true
 			}
@@ -502,7 +573,7 @@ func (r *Relation) MatchEqualBatch(attrNames []string, valSets []Tuple) (map[str
 // MatchEqualBatchStats is MatchEqualBatch that additionally accumulates
 // lookup cost into st (which may be nil).
 func (r *Relation) MatchEqualBatchStats(attrNames []string, valSets []Tuple, st *MatchStats) (map[string][]Tuple, error) {
-	idx, err := r.lookupIndices("MatchEqualBatch", attrNames)
+	pl, err := r.planFor("MatchEqualBatch", attrNames)
 	if err != nil {
 		return nil, err
 	}
@@ -518,7 +589,7 @@ func (r *Relation) MatchEqualBatchStats(attrNames []string, valSets []Tuple, st 
 	probes := make([]probe, 0, len(valSets))
 	distinct := make(map[string]bool, len(valSets))
 	for _, vs := range valSets {
-		if err := r.checkLookupVals("MatchEqualBatch", idx, vs); err != nil {
+		if err := r.checkLookupVals("MatchEqualBatch", pl.idx, vs); err != nil {
 			return nil, err
 		}
 		k := EncodeValues(vs...)
@@ -528,17 +599,13 @@ func (r *Relation) MatchEqualBatchStats(attrNames []string, valSets []Tuple, st 
 		distinct[k] = true
 		probes = append(probes, probe{key: k, vals: vs})
 	}
-	// Point lookups on the primary key: one Get per distinct value set.
-	if sameIntSet(idx, r.schema.key) {
+	switch pl.kind {
+	case planPoint:
+		// Point lookups on the primary key: one Get per distinct value set.
+		key := make(Tuple, len(pl.perm))
 		for _, p := range probes {
-			key := make(Tuple, len(r.schema.key))
-			for i, k := range r.schema.key {
-				for j, a := range idx {
-					if a == k {
-						key[i] = p.vals[j]
-						break
-					}
-				}
+			for i, j := range pl.perm {
+				key[i] = p.vals[j]
 			}
 			if t, ok := r.Get(key); ok {
 				r.obsProbe(st, 1)
@@ -548,15 +615,14 @@ func (r *Relation) MatchEqualBatchStats(attrNames []string, valSets []Tuple, st 
 			}
 		}
 		return out, nil
-	}
-	// Indexed: one bucket probe per distinct value set.
-	if ix, perm := r.findIndex(idx); ix != nil {
-		pv := make(Tuple, len(perm))
+	case planIndex:
+		// Indexed: one bucket probe per distinct value set.
+		pv := make(Tuple, len(pl.perm))
 		for _, p := range probes {
-			for i, j := range perm {
+			for i, j := range pl.perm {
 				pv[i] = p.vals[j]
 			}
-			matches := r.probeBucket(ix, EncodeValues(pv...))
+			matches := r.probeBucket(pl.ix, EncodeValues(pv...))
 			r.obsProbe(st, len(matches))
 			if len(matches) > 0 {
 				out[p.key] = matches
@@ -572,7 +638,7 @@ func (r *Relation) MatchEqualBatchStats(attrNames []string, valSets []Tuple, st 
 	var enc []byte
 	r.Scan(func(t Tuple) bool {
 		enc = enc[:0]
-		for _, j := range idx {
+		for _, j := range pl.idx {
 			enc = AppendKey(enc, t[j])
 		}
 		if distinct[string(enc)] {
@@ -653,6 +719,14 @@ func (ix *secondaryIndex) remove(t Tuple, ek string) {
 // touches) free of per-tuple allocation.
 func (r *Relation) clone() *Relation {
 	obs.Default.RelationClones.Inc()
+	// The clone starts with a cold plan cache: cached plans pin this
+	// version's *secondaryIndex objects, which the clone rebuilds below.
+	// The parent's plans stay valid for readers still pinning it, but
+	// they are dead weight for the next generation — count them as
+	// invalidated by the generation advance.
+	if n := r.plans.size(); n > 0 {
+		obs.Default.PlanCacheInvalidations.Add(int64(n))
+	}
 	c := NewRelation(r.schema)
 	c.gen = r.gen
 	for ek, t := range r.rows {

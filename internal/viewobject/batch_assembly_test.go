@@ -35,17 +35,24 @@ func dropAllIndexes(t *testing.T, db *reldb.Database) {
 	}
 }
 
-// The differential acceptance test: batched level-at-a-time assembly must
-// emit byte-identical instances to the naive parent-at-a-time path — on
-// the indexed and the index-less (shared-scan) variants of the workload
-// fixture and on the university Omega object.
+// The differential acceptance test: batched level-at-a-time assembly —
+// sequential and parallel — must emit byte-identical instances, in the
+// same order, as the naive parent-at-a-time path — on the indexed and
+// index-less (shared-scan) variants of the workload fixture and on the
+// university Omega object.
 func TestBatchedAssemblyMatchesNaiveByteForByte(t *testing.T) {
 	spec := workload.TreeSpec{Depth: 2, Width: 2, Fanout: 3, Roots: 7, Peninsulas: 1}
 
-	run := func(t *testing.T, res structural.Resolver, def *Definition, naive bool) []string {
+	// run assembles all instances with one configuration: naive selects
+	// the parent-at-a-time path, workers the parallelism budget (1 forces
+	// a sequential batched run, >1 fans out — the fixture's root counts
+	// clear minParallelPivots).
+	run := func(t *testing.T, res structural.Resolver, def *Definition, naive bool, workers int) []string {
 		t.Helper()
-		prev := SetNaiveAssembly(naive)
-		defer SetNaiveAssembly(prev)
+		prevNaive := SetNaiveAssembly(naive)
+		defer SetNaiveAssembly(prevNaive)
+		prevPar := SetParallelism(workers)
+		defer SetParallelism(prevPar)
 		insts, err := Instantiate(res, def, Query{})
 		if err != nil {
 			t.Fatal(err)
@@ -54,17 +61,21 @@ func TestBatchedAssemblyMatchesNaiveByteForByte(t *testing.T) {
 	}
 	compare := func(t *testing.T, res structural.Resolver, def *Definition) {
 		t.Helper()
-		naive := run(t, res, def, true)
-		batched := run(t, res, def, false)
-		if len(naive) != len(batched) {
-			t.Fatalf("naive assembled %d instances, batched %d", len(naive), len(batched))
-		}
+		naive := run(t, res, def, true, 1)
 		if len(naive) == 0 {
 			t.Fatal("fixture produced no instances")
 		}
-		for i := range naive {
-			if naive[i] != batched[i] {
-				t.Fatalf("instance %d differs:\n--- naive ---\n%s\n--- batched ---\n%s", i, naive[i], batched[i])
+		for name, got := range map[string][]string{
+			"batched":          run(t, res, def, false, 1),
+			"parallel batched": run(t, res, def, false, 4),
+		} {
+			if len(naive) != len(got) {
+				t.Fatalf("naive assembled %d instances, %s %d", len(naive), name, len(got))
+			}
+			for i := range naive {
+				if naive[i] != got[i] {
+					t.Fatalf("instance %d differs:\n--- naive ---\n%s\n--- %s ---\n%s", i, naive[i], name, got[i])
+				}
 			}
 		}
 	}

@@ -59,23 +59,28 @@ type CountCond struct {
 // Instantiate composes the query with the object's structure, executes it
 // against the database reachable through res, and assembles the matching
 // hierarchical instances (Figure 4). Results are in pivot-key order.
+//
+// When the effective Parallelism is above 1 and the pivot frontier is
+// large enough, assembly fans out across a bounded worker pool (see
+// parallel.go); the output — contents and order — is identical to a
+// sequential run.
 func Instantiate(res structural.Resolver, def *Definition, q Query) ([]*Instance, error) {
 	start := time.Now()
 	pivotRel, err := res.Relation(def.Pivot())
 	if err != nil {
 		return nil, err
 	}
-	pivots, err := pivotRel.Select(q.PivotPred)
+	workers := Parallelism()
+	pivots, scanned, err := pivotSelect(pivotRel, q.PivotPred, workers)
 	if err != nil {
 		return nil, fmt.Errorf("viewobject: %s: pivot selection: %w", def.Name, err)
 	}
-	// The pivot selection scans the whole relation regardless of how many
-	// tuples qualify. Counted only on success: an errored Select did not
-	// complete the scan.
-	obs.Default.TuplesScanned.Add(int64(pivotRel.Count()))
-	obs.Default.InstTuplesByObject.At(def.obsSlot).Add(int64(pivotRel.Count()))
+	// Counted only on success: an errored selection did not complete.
+	obs.Default.TuplesScanned.Add(scanned)
+	obs.Default.InstTuplesByObject.At(def.obsSlot).Add(scanned)
 	var instances []*Instance
-	if naiveAssembly.Load() {
+	switch {
+	case naiveAssembly.Load():
 		for _, pt := range pivots {
 			inst, err := assembleInstance(res, def, pt)
 			if err != nil {
@@ -83,22 +88,18 @@ func Instantiate(res structural.Resolver, def *Definition, q Query) ([]*Instance
 			}
 			instances = append(instances, inst)
 		}
-	} else {
-		// Batched: create every root first, then fill the whole forest
-		// level-at-a-time so all pivots' children at the same definition
-		// node come from one batched fetch.
-		roots := make([]*InstNode, 0, len(pivots))
-		for _, pt := range pivots {
-			inst, err := NewInstance(def, pt)
-			if err != nil {
-				return nil, err
-			}
-			obs.Default.InstNodes.Inc() // the root component
-			obs.Default.InstNodesByObject.At(def.obsSlot).Inc()
-			instances = append(instances, inst)
-			roots = append(roots, inst.root)
+	case workers > 1 && len(pivots) >= minParallelPivots:
+		pstart := time.Now()
+		instances, err = instantiateParallel(res, def, pivots, workers)
+		if err != nil {
+			return nil, err
 		}
-		if err := fillLevel(res, def, roots); err != nil {
+		pdur := time.Since(pstart).Nanoseconds()
+		obs.Default.InstantiateParallelNs.Observe(pdur)
+		obs.Default.InstantiateParallelNsByObject.At(def.obsSlot).Observe(pdur)
+	default:
+		instances, err = assembleBatch(res, def, pivots)
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -122,6 +123,60 @@ func Instantiate(res structural.Resolver, def *Definition, q Query) ([]*Instance
 			fmt.Sprintf("object=%s instances=%d", def.Name, len(out)), start)
 	}
 	return out, nil
+}
+
+// pivotSelect picks the pivot tuples satisfying pred, in primary-key
+// order, and reports how many stored tuples the selection visited.
+// When pred is an indexable equality conjunction (EqConjunction +
+// ProbeableEqual) it runs as a MatchEqual probe charging only the
+// tuples actually visited; otherwise it scans — in parallel when the
+// relation and worker budget warrant it — charging the whole relation,
+// which is what a scan visits. Both the naive and batched assembly
+// paths share this selection, so their pivot sets (and scan accounting)
+// are identical by construction.
+func pivotSelect(pivotRel *reldb.Relation, pred reldb.Expr, workers int) ([]reldb.Tuple, int64, error) {
+	if pred != nil {
+		if attrs, vals, ok := reldb.EqConjunction(pred); ok && pivotRel.ProbeableEqual(attrs, vals) {
+			var st reldb.MatchStats
+			pivots, err := pivotRel.MatchEqualStats(attrs, vals, &st)
+			if err != nil {
+				return nil, 0, err
+			}
+			return pivots, int64(st.Scanned), nil
+		}
+	}
+	pivots, err := pivotRel.SelectParallel(pred, workers)
+	if err != nil {
+		return nil, 0, err
+	}
+	return pivots, int64(pivotRel.Count()), nil
+}
+
+// assembleBatch runs the batched level-at-a-time assembly over a slice
+// of pivot tuples: create every root first, then fill the whole forest
+// level-at-a-time so all pivots' children at the same definition node
+// come from one batched fetch. It is the sequential unit of work — the
+// parallel path calls it once per pivot chunk.
+func assembleBatch(res structural.Resolver, def *Definition, pivots []reldb.Tuple) ([]*Instance, error) {
+	if len(pivots) == 0 {
+		return nil, nil
+	}
+	instances := make([]*Instance, 0, len(pivots))
+	roots := make([]*InstNode, 0, len(pivots))
+	for _, pt := range pivots {
+		inst, err := NewInstance(def, pt)
+		if err != nil {
+			return nil, err
+		}
+		obs.Default.InstNodes.Inc() // the root component
+		obs.Default.InstNodesByObject.At(def.obsSlot).Inc()
+		instances = append(instances, inst)
+		roots = append(roots, inst.root)
+	}
+	if err := fillLevel(res, def, roots); err != nil {
+		return nil, err
+	}
+	return instances, nil
 }
 
 // InstantiateByKey assembles the single instance whose object key equals

@@ -1,0 +1,127 @@
+package viewobject
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"penguin/internal/obs"
+	"penguin/internal/reldb"
+	"penguin/internal/structural"
+)
+
+// parallelismSetting holds the configured worker budget for parallel
+// instantiation: 0 means "track GOMAXPROCS" (the default), any positive
+// value is an explicit override.
+var parallelismSetting atomic.Int32
+
+// minParallelPivots is the pivot-frontier size below which Instantiate
+// stays sequential: worker startup and result merging cost more than
+// assembling a handful of instances inline.
+const minParallelPivots = 4
+
+// chunksPerWorker oversubscribes the chunk count relative to the worker
+// pool so a chunk that happens to carry deep instances does not leave
+// the other workers idle at the tail.
+const chunksPerWorker = 4
+
+func init() {
+	if s := os.Getenv("PENGUIN_PARALLELISM"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			parallelismSetting.Store(int32(n))
+		}
+	}
+}
+
+// SetParallelism sets the worker budget for parallel instantiation and
+// returns the previous setting. n > 0 fixes the budget; n <= 0 restores
+// the default of tracking GOMAXPROCS (reported as 0). A budget of 1
+// disables parallel fan-out entirely.
+func SetParallelism(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(parallelismSetting.Swap(int32(n)))
+}
+
+// Parallelism returns the effective worker budget: the explicit setting
+// if one is in force (SetParallelism or PENGUIN_PARALLELISM), otherwise
+// GOMAXPROCS.
+func Parallelism() int {
+	if n := parallelismSetting.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// instantiateParallel assembles the pivot frontier on a bounded worker
+// pool: the pivots (already in key order) are split into contiguous
+// chunks, workers pull chunk indexes from a shared cursor and assemble
+// each chunk with the same batched level-at-a-time path the sequential
+// route uses, and the per-chunk results concatenate back in chunk order
+// — so the output is byte-identical to a sequential assembly, pivot-key
+// order included. On error the workers drain cleanly (remaining chunks
+// are claimed but skipped) and the error of the lowest-indexed failing
+// chunk wins, making the reported error deterministic.
+//
+// Safety: res resolves against an immutable committed snapshot (the
+// ReadTx discipline), each instance subtree is touched by exactly one
+// worker, and all shared metric sinks are atomic — so workers need no
+// locks of their own.
+func instantiateParallel(res structural.Resolver, def *Definition, pivots []reldb.Tuple, workers int) ([]*Instance, error) {
+	nchunks := workers * chunksPerWorker
+	if nchunks > len(pivots) {
+		nchunks = len(pivots)
+	}
+	if workers > nchunks {
+		workers = nchunks
+	}
+	per := (len(pivots) + nchunks - 1) / nchunks
+	results := make([][]*Instance, nchunks)
+	errs := make([]error, nchunks)
+	var cursor atomic.Int32
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= nchunks {
+					return
+				}
+				if failed.Load() {
+					continue // drain: claim remaining chunks without work
+				}
+				lo := i * per
+				hi := lo + per
+				if hi > len(pivots) {
+					hi = len(pivots)
+				}
+				insts, err := assembleBatch(res, def, pivots[lo:hi])
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					continue
+				}
+				results[i] = insts
+			}
+		}()
+	}
+	wg.Wait()
+	obs.Default.ParallelWorkers.Add(int64(workers))
+	obs.Default.ParallelChunks.Add(int64(nchunks))
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := make([]*Instance, 0, len(pivots))
+	for _, chunk := range results {
+		out = append(out, chunk...)
+	}
+	return out, nil
+}

@@ -1,0 +1,202 @@
+package viewobject_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"penguin/internal/obs"
+	"penguin/internal/reldb"
+	"penguin/internal/structural"
+	"penguin/internal/university"
+	. "penguin/internal/viewobject"
+	"penguin/internal/workload"
+)
+
+func TestSetParallelism(t *testing.T) {
+	prev := SetParallelism(3)
+	defer SetParallelism(prev)
+	if got := Parallelism(); got != 3 {
+		t.Fatalf("Parallelism = %d after SetParallelism(3)", got)
+	}
+	if old := SetParallelism(0); old != 3 {
+		t.Fatalf("SetParallelism returned %d, want previous 3", old)
+	}
+	// 0 restores GOMAXPROCS tracking: the effective value is whatever the
+	// runtime says, but always at least 1.
+	if got := Parallelism(); got < 1 {
+		t.Fatalf("default Parallelism = %d, want >= 1", got)
+	}
+	if old := SetParallelism(-5); old != 0 {
+		t.Fatalf("SetParallelism(-5) returned %d, want 0 (tracking)", old)
+	}
+}
+
+// The pivot probe: an indexable equality predicate must run as a point
+// or index probe charging only the tuples it visits, not a whole-
+// relation scan — and must select exactly the pivots the scan would.
+func TestPivotProbeChargesOnlyVisitedTuples(t *testing.T) {
+	w, err := workload.BuildTree(workload.TreeSpec{Depth: 1, Width: 1, Fanout: 1, Roots: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A pivot-only definition isolates the pivot-selection cost: no child
+	// traversal contributes to tuples_scanned.
+	g := structural.NewGraph(w.DB)
+	def, err := NewDefinition("pivot-only", g, &Node{Relation: "N0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scannedBy := func(q Query) (int64, []*Instance) {
+		before := obs.Capture()
+		insts, err := Instantiate(w.DB, def, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := obs.Capture().Sub(before)
+		return d.Counter("viewobject.instantiate.tuples_scanned"), insts
+	}
+
+	// Equality on the pivot key: a point probe visiting exactly 1 tuple.
+	probeScanned, probed := scannedBy(Query{PivotPred: reldb.Eq("K0", reldb.Int(3))})
+	if len(probed) != 1 {
+		t.Fatalf("probe selected %d instances, want 1", len(probed))
+	}
+	if probeScanned != 1 {
+		t.Fatalf("probe charged %d scanned tuples, want 1", probeScanned)
+	}
+
+	// The same predicate wrapped so EqConjunction rejects it (a 1-term
+	// Or) takes the scan path: same instances, whole relation charged.
+	scanScanned, scanned := scannedBy(Query{
+		PivotPred: reldb.Or{Terms: []reldb.Expr{reldb.Eq("K0", reldb.Int(3))}},
+	})
+	if len(scanned) != 1 || scanned[0].Render() != probed[0].Render() {
+		t.Fatalf("scan and probe paths disagree: %d instances", len(scanned))
+	}
+	if scanScanned != 40 {
+		t.Fatalf("scan charged %d tuples, want the whole relation (40)", scanScanned)
+	}
+
+	// A non-indexed attribute falls back to the scan honestly.
+	vScanned, vInsts := scannedBy(Query{PivotPred: reldb.Eq("V", reldb.String("root7"))})
+	if len(vInsts) != 1 || vScanned != 40 {
+		t.Fatalf("non-indexed equality: %d instances, %d scanned; want 1, 40", len(vInsts), vScanned)
+	}
+}
+
+// Satellite check for the probe on a richer object: the probe-eligible
+// and scan-forced selections of the university Omega must render
+// byte-identically.
+func TestPivotProbeMatchesScanOnOmega(t *testing.T) {
+	db, g := university.MustNewSeeded()
+	om := university.MustOmega(g)
+	render := func(q Query) []string {
+		insts, err := Instantiate(db, om, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return renderAll(t, insts)
+	}
+	key := cs345Key()
+	probe := render(Query{PivotPred: reldb.Eq("CourseID", key[0])})
+	scan := render(Query{PivotPred: reldb.Or{Terms: []reldb.Expr{reldb.Eq("CourseID", key[0])}}})
+	if len(probe) == 0 || len(probe) != len(scan) {
+		t.Fatalf("probe %d instances, scan %d", len(probe), len(scan))
+	}
+	for i := range probe {
+		if probe[i] != scan[i] {
+			t.Fatalf("instance %d differs between probe and scan pivot selection", i)
+		}
+	}
+}
+
+func TestParallelInstantiationMetrics(t *testing.T) {
+	w, err := workload.BuildTree(workload.TreeSpec{Depth: 2, Width: 2, Fanout: 3, Roots: 16, Peninsulas: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := SetParallelism(4)
+	defer SetParallelism(prev)
+
+	before := obs.Capture()
+	insts, err := Instantiate(w.DB, w.Def, Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != 16 {
+		t.Fatalf("%d instances, want 16", len(insts))
+	}
+	d := obs.Capture().Sub(before)
+	workers := d.Counter("viewobject.parallel.workers")
+	chunks := d.Counter("viewobject.parallel.chunks")
+	if workers < 2 || workers > 4 {
+		t.Fatalf("parallel.workers = %d, want 2..4", workers)
+	}
+	if chunks < workers || chunks > 16 {
+		t.Fatalf("parallel.chunks = %d (workers %d)", chunks, workers)
+	}
+	if n := d.Histogram("viewobject.instantiate.parallel_ns").Count; n != 1 {
+		t.Fatalf("parallel_ns observed %d times, want 1", n)
+	}
+	if n := d.LabeledHistogramValue("viewobject.instantiate.parallel_ns", w.Def.Name).Count; n != 1 {
+		t.Fatalf("labeled parallel_ns observed %d times, want 1", n)
+	}
+
+	// With a budget of 1 the fan-out (and its metrics) must not engage.
+	SetParallelism(1)
+	before = obs.Capture()
+	if _, err := Instantiate(w.DB, w.Def, Query{}); err != nil {
+		t.Fatal(err)
+	}
+	d = obs.Capture().Sub(before)
+	if n := d.Counter("viewobject.parallel.workers"); n != 0 {
+		t.Fatalf("sequential run counted %d parallel workers", n)
+	}
+	if n := d.Histogram("viewobject.instantiate.parallel_ns").Count; n != 0 {
+		t.Fatalf("sequential run observed parallel_ns %d times", n)
+	}
+}
+
+// failingResolver resolves through the database until it meets failRel,
+// which always errors — simulating a mid-assembly resolution failure
+// inside the worker pool.
+type failingResolver struct {
+	db      *reldb.Database
+	failRel string
+}
+
+var errResolveBoom = errors.New("resolver boom")
+
+func (f *failingResolver) Relation(name string) (*reldb.Relation, error) {
+	if name == f.failRel {
+		return nil, fmt.Errorf("%s: %w", name, errResolveBoom)
+	}
+	return f.db.Relation(name)
+}
+
+func TestParallelErrorPropagation(t *testing.T) {
+	w, err := workload.BuildTree(workload.TreeSpec{Depth: 2, Width: 2, Fanout: 2, Roots: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := SetParallelism(4)
+	defer SetParallelism(prev)
+
+	// Every worker hits the failure when it descends to the failing child
+	// relation; the fan-out must drain cleanly and surface the error.
+	res := &failingResolver{db: w.DB, failRel: "N0_0_0"}
+	insts, err := Instantiate(res, w.Def, Query{})
+	if !errors.Is(err, errResolveBoom) {
+		t.Fatalf("err = %v, want errResolveBoom", err)
+	}
+	if insts != nil {
+		t.Fatalf("errored Instantiate returned %d instances, want nil", len(insts))
+	}
+
+	// The sequential path reports the same error.
+	SetParallelism(1)
+	if _, err := Instantiate(res, w.Def, Query{}); !errors.Is(err, errResolveBoom) {
+		t.Fatalf("sequential err = %v, want errResolveBoom", err)
+	}
+}

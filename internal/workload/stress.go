@@ -25,6 +25,11 @@ type StressSpec struct {
 	Tree TreeSpec
 	// Readers is the number of concurrent instantiation goroutines.
 	Readers int
+	// ParallelReaders is the number of concurrent goroutines running
+	// full-object Instantiate calls (all roots at once), which engage the
+	// parallel fan-out when viewobject.Parallelism allows — so writer
+	// commits race against multi-worker snapshot reads. May be 0.
+	ParallelReaders int
 	// Writers is the number of concurrent update-translation goroutines.
 	// Writer w owns the root keys k with k mod Writers == w; readers read
 	// every key.
@@ -38,6 +43,9 @@ type StressSpec struct {
 type StressResult struct {
 	// Instantiations counts reader instantiations that found an instance.
 	Instantiations int64
+	// ParallelInstantiations counts instances assembled by the parallel
+	// full-object readers.
+	ParallelInstantiations int64
 	// Absent counts reader lookups that found no instance (the key was
 	// between its VO-CD and VO-CI).
 	Absent int64
@@ -55,8 +63,8 @@ type StressResult struct {
 // what the engine metrics observed while it ran.
 func (r *StressResult) Summary() string {
 	return fmt.Sprintf(
-		"stress: %d instantiations, %d absent, %d replaces, %d deletes, %d inserts, %d violations | %s",
-		r.Instantiations, r.Absent, r.Replaces, r.Deletes, r.Inserts, len(r.Violations),
+		"stress: %d instantiations (%d parallel), %d absent, %d replaces, %d deletes, %d inserts, %d violations | %s",
+		r.Instantiations, r.ParallelInstantiations, r.Absent, r.Replaces, r.Deletes, r.Inserts, len(r.Violations),
 		r.Metrics.Summary())
 }
 
@@ -68,7 +76,7 @@ func stamp(writer, cycle int) string { return fmt.Sprintf("w%d-c%d", writer, cyc
 // every writer finishes its cycles. It returns the tallies and any
 // invariant violations; data races surface through `go test -race`.
 func RunStress(spec StressSpec) (*StressResult, error) {
-	if spec.Readers < 1 || spec.Writers < 1 || spec.Cycles < 1 {
+	if spec.Readers < 1 || spec.Writers < 1 || spec.Cycles < 1 || spec.ParallelReaders < 0 {
 		return nil, fmt.Errorf("workload: stress needs readers, writers, cycles >= 1 (got %+v)", spec)
 	}
 	if spec.Tree.Roots < spec.Writers {
@@ -128,6 +136,40 @@ func RunStress(spec StressSpec) (*StressResult, error) {
 				if msg := checkInstance(w, spec.Tree, inst); msg != "" {
 					violate("reader %d: key %s at gen %d: %s", r, key, gen, msg)
 					return
+				}
+			}
+		}(r)
+	}
+
+	// Parallel readers: full-object Instantiate over a pinned snapshot.
+	// Each call fans its pivot frontier across the worker pool (when the
+	// parallelism budget allows), so every assembled instance exercises
+	// the parallel assembly path against concurrent commits. The same
+	// torn-instance invariants apply to every instance in the result.
+	for r := 0; r < spec.ParallelReaders; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				rtx := w.DB.BeginRead()
+				insts, err := viewobject.Instantiate(rtx, w.Def, viewobject.Query{})
+				gen := rtx.Generation()
+				rtx.Close()
+				if err != nil {
+					violate("parallel reader %d: instantiate: %v", r, err)
+					return
+				}
+				atomic.AddInt64(&res.ParallelInstantiations, int64(len(insts)))
+				for _, inst := range insts {
+					if msg := checkInstance(w, spec.Tree, inst); msg != "" {
+						violate("parallel reader %d at gen %d: %s", r, gen, msg)
+						return
+					}
 				}
 			}
 		}(r)

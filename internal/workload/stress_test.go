@@ -1,6 +1,10 @@
 package workload
 
-import "testing"
+import (
+	"testing"
+
+	"penguin/internal/viewobject"
+)
 
 func TestRunStressValidation(t *testing.T) {
 	if _, err := RunStress(StressSpec{}); err == nil {
@@ -42,5 +46,59 @@ func TestRunStress(t *testing.T) {
 	}
 	// The run's summary line: workload tallies plus the engine-metric
 	// delta RunStress captured (commits, step timings, tuples scanned).
+	t.Log(res.Summary())
+}
+
+// TestRunStressParallelReaders adds full-object parallel-instantiation
+// readers to the mix: multi-worker snapshot reads racing VO writers.
+// Under `go test -race` this is the proof that the parallel fan-out and
+// the lookup-plan cache are race-clean; the invariant checks prove no
+// torn instances; and the plan-cache counters must reconcile exactly —
+// every lookup that consulted the cache was either a hit or a miss.
+func TestRunStressParallelReaders(t *testing.T) {
+	// Force a 4-worker budget regardless of GOMAXPROCS so the parallel
+	// path engages even in a GOMAXPROCS=1 CI job.
+	prev := viewobject.SetParallelism(4)
+	defer viewobject.SetParallelism(prev)
+
+	spec := StressSpec{
+		Tree:            TreeSpec{Depth: 2, Width: 2, Fanout: 2, Roots: 8, Peninsulas: 1},
+		Readers:         2,
+		ParallelReaders: 3,
+		Writers:         2,
+		Cycles:          6,
+	}
+	res, err := RunStress(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Error(v)
+	}
+	if res.ParallelInstantiations == 0 {
+		t.Fatal("parallel readers never observed an instance")
+	}
+	if n := res.Metrics.Counter("viewobject.parallel.workers"); n == 0 {
+		t.Fatal("parallel fan-out never engaged")
+	}
+
+	// Plan-cache coherence over the whole run: lookups == hits + misses,
+	// with actual reuse (hits) and actual generational churn
+	// (invalidations — every writer commit clones warm relations).
+	lookups := res.Metrics.Counter("reldb.plancache.lookups")
+	hits := res.Metrics.Counter("reldb.plancache.hits")
+	misses := res.Metrics.Counter("reldb.plancache.misses")
+	if lookups == 0 {
+		t.Fatal("plan cache never consulted")
+	}
+	if lookups != hits+misses {
+		t.Fatalf("plancache.lookups %d != hits %d + misses %d", lookups, hits, misses)
+	}
+	if hits == 0 {
+		t.Fatal("plan cache never hit: plans are not being reused")
+	}
+	if res.Metrics.Counter("reldb.plancache.invalidations") == 0 {
+		t.Fatal("no plan-cache invalidations despite writer commits")
+	}
 	t.Log(res.Summary())
 }

@@ -140,6 +140,10 @@ var (
 	NewInstance      = viewobject.NewInstance
 	Instantiate      = viewobject.Instantiate
 	InstantiateByKey = viewobject.InstantiateByKey
+	// Parallel instantiation worker budget (also settable with the
+	// PENGUIN_PARALLELISM environment variable and the shell's .parallel).
+	Parallelism    = viewobject.Parallelism
+	SetParallelism = viewobject.SetParallelism
 	// JSON document bridge: instances ↔ nested documents.
 	InstanceFromMap   = viewobject.InstanceFromMap
 	UnmarshalInstance = viewobject.UnmarshalInstance
