@@ -27,6 +27,7 @@ bench:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 	$(GO) test -bench=BenchmarkParallelInstantiation -benchtime=1x -cpu=1,4 -run='^$$' .
+	$(GO) test -bench=BenchmarkMaterializedRead -benchtime=1x -run='^$$' .
 
 # bench-baseline records a full benchmark run as JSON for diffing
 # against future runs.
@@ -41,12 +42,13 @@ bench-baseline:
 bench-diff:
 	$(GO) test -bench=. -benchtime=0.3s -run='^$$' ./... | $(GO) run ./cmd/bench2json | $(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json -tolerance $(BENCH_TOLERANCE)
 
-# metrics-lint drives a real concurrent workload and validates that the
-# live registry renders as well-formed Prometheus text exposition
-# (grammar, cumulative buckets ending in +Inf, per-object and
-# per-relation series present).
+# metrics-lint drives real concurrent workloads — including the
+# materialized-reader stress mode — and validates that the live registry
+# renders as well-formed Prometheus text exposition (grammar, cumulative
+# buckets ending in +Inf, per-object, per-relation, and
+# viewobject_materialize_* series present).
 metrics-lint:
-	$(GO) test -run '^TestMetricsLint$$' -count=1 ./internal/workload
+	$(GO) test -run '^TestMetricsLint' -count=1 ./internal/workload
 
 # verify is the full gate: compile everything, vet, then run the whole
 # suite (including the concurrent stress tests) under the race detector.

@@ -653,6 +653,49 @@ func BenchmarkParallelInstantiation(b *testing.B) {
 	b.ReportMetric(float64(d.Counter("reldb.plancache.hits"))/float64(b.N), "planhits/op")
 }
 
+// E15 — materialized view-object reads: serving the university ω from
+// the patched delta-stream cache (hit) versus a cold full instantiation
+// over a fresh snapshot at the same generation (the price every read
+// pays without the Materializer). The differential tests pin the two
+// paths byte-identical; this measures what the cache buys.
+func BenchmarkMaterializedRead(b *testing.B) {
+	b.Run("hit", func(b *testing.B) {
+		db, g := university.MustNewSeeded()
+		om := university.MustOmega(g)
+		m := viewobject.NewMaterializer(db, om)
+		defer m.Close()
+		if _, err := m.Instantiate(viewobject.Query{}); err != nil {
+			b.Fatal(err) // build the cache cold once, off the clock
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			insts, err := m.Instantiate(viewobject.Query{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(insts) != 6 {
+				b.Fatalf("%d instances, want 6", len(insts))
+			}
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		db, g := university.MustNewSeeded()
+		om := university.MustOmega(g)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rtx := db.BeginRead()
+			insts, err := viewobject.Instantiate(rtx, om, viewobject.Query{})
+			rtx.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(insts) != 6 {
+				b.Fatalf("%d instances, want 6", len(insts))
+			}
+		}
+	})
+}
+
 // Guard: the facade re-exports work (compile-time wiring check exercised
 // at runtime once).
 func BenchmarkFacadeSmoke(b *testing.B) {

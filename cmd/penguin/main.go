@@ -24,6 +24,7 @@
 //	.delete NAME KEY          complete deletion (VO-CD) by pivot key
 //	.dialog NAME              run the translator-selection dialog
 //	.figures                  regenerate the paper's figures
+//	.materialize [NAME [on|off]]  serve NAME's queries from the delta-patched cache
 //	.parallel [N]             show or set the instantiation worker budget
 //	.stats                    dump engine metrics (counters and histograms)
 //	.prom                     dump engine metrics in Prometheus exposition format
@@ -61,6 +62,10 @@ type shell struct {
 	g        *structural.Graph
 	objects  map[string]*viewobject.Definition
 	updaters map[string]*vupdate.Updater
+	// materialized holds the delta-stream cache per object name for
+	// objects with .materialize enabled; .query and .instance route
+	// through it instead of instantiating from a fresh snapshot.
+	materialized map[string]*viewobject.Materializer
 	out      *bufio.Writer
 	errw     io.Writer
 	in       *bufio.Reader
@@ -83,8 +88,9 @@ func main() {
 	flag.Parse()
 
 	sh := &shell{
-		objects:  make(map[string]*viewobject.Definition),
-		updaters: make(map[string]*vupdate.Updater),
+		objects:      make(map[string]*viewobject.Definition),
+		updaters:     make(map[string]*vupdate.Updater),
+		materialized: make(map[string]*viewobject.Materializer),
 		out:      bufio.NewWriter(os.Stdout),
 		errw:     os.Stderr,
 		in:       bufio.NewReader(os.Stdin),
@@ -250,9 +256,18 @@ func (sh *shell) command(line string) bool {
 		if def == nil {
 			break
 		}
-		rtx := sh.db.BeginRead()
-		insts, err := oql.Query(rtx, def, strings.Join(args[1:], " "))
-		rtx.Close()
+		var insts []*viewobject.Instance
+		var err error
+		if m := sh.materialized[args[0]]; m != nil {
+			var q viewobject.Query
+			if q, err = oql.Parse(def, strings.Join(args[1:], " ")); err == nil {
+				insts, err = m.Instantiate(q)
+			}
+		} else {
+			rtx := sh.db.BeginRead()
+			insts, err = oql.Query(rtx, def, strings.Join(args[1:], " "))
+			rtx.Close()
+		}
 		if err != nil {
 			sh.errorf("error: %v", err)
 			break
@@ -266,9 +281,16 @@ func (sh *shell) command(line string) bool {
 		if def == nil {
 			break
 		}
-		rtx := sh.db.BeginRead()
-		inst, ok, err := viewobject.InstantiateByKey(rtx, def, key)
-		rtx.Close()
+		var inst *viewobject.Instance
+		var ok bool
+		var err error
+		if m := sh.materialized[args[0]]; m != nil {
+			inst, ok, err = m.InstantiateByKey(key)
+		} else {
+			rtx := sh.db.BeginRead()
+			inst, ok, err = viewobject.InstantiateByKey(rtx, def, key)
+			rtx.Close()
+		}
 		if err != nil {
 			sh.errorf("error: %v", err)
 			break
@@ -332,6 +354,57 @@ func (sh *shell) command(line string) bool {
 			break
 		}
 		fmt.Fprint(sh.out, report)
+	case ".materialize":
+		if len(args) == 0 {
+			if len(sh.materialized) == 0 {
+				fmt.Fprintln(sh.out, "materialization: off for every object")
+				break
+			}
+			names := make([]string, 0, len(sh.materialized))
+			for n := range sh.materialized {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			for _, n := range names {
+				m := sh.materialized[n]
+				fmt.Fprintf(sh.out, "%s: materialized, %d instance(s) at gen %d\n", n, m.Len(), m.Generation())
+			}
+			break
+		}
+		def := sh.lookupObject(args[:1])
+		if def == nil {
+			break
+		}
+		if len(args) > 1 && args[1] == "off" {
+			m := sh.materialized[args[0]]
+			if m == nil {
+				fmt.Fprintf(sh.out, "%s was not materialized\n", args[0])
+				break
+			}
+			m.Close()
+			delete(sh.materialized, args[0])
+			fmt.Fprintf(sh.out, "%s: materialization off\n", args[0])
+			break
+		}
+		if len(args) > 1 && args[1] != "on" {
+			sh.errorf("usage: .materialize [NAME [on|off]]")
+			break
+		}
+		m := sh.materialized[args[0]]
+		if m == nil {
+			m = viewobject.NewMaterializer(sh.db, def)
+			sh.materialized[args[0]] = m
+		}
+		// Serve once to build (or refresh) the cache eagerly so the
+		// first .query pays nothing.
+		insts, err := m.Instantiate(viewobject.Query{})
+		if err != nil {
+			m.Close()
+			delete(sh.materialized, args[0])
+			sh.errorf("error: %v", err)
+			break
+		}
+		fmt.Fprintf(sh.out, "%s: materialized, %d instance(s) at gen %d\n", args[0], len(insts), m.Generation())
 	case ".parallel":
 		if len(args) == 0 {
 			fmt.Fprintf(sh.out, "parallelism: %d workers\n", viewobject.Parallelism())
@@ -477,6 +550,7 @@ Dot-commands:
   .preview NAME KEY     show a deletion's translation without executing it
   .dialog NAME          choose a translator interactively
   .figures              regenerate the paper's figures
+  .materialize [NAME [on|off]]  keep NAME's instances materialized (patched from commit deltas)
   .parallel [N]         show or set the instantiation worker budget (0 tracks GOMAXPROCS)
   .stats                dump engine metrics (counters and histograms)
   .prom                 dump engine metrics in Prometheus exposition format

@@ -29,8 +29,9 @@ func testShell(t *testing.T) (*shell, *bytes.Buffer) {
 	var out bytes.Buffer
 	sh := &shell{
 		db: db, g: g,
-		objects:  map[string]*viewobject.Definition{"omega": om, "omega-prime": op},
-		updaters: make(map[string]*vupdate.Updater),
+		objects:      map[string]*viewobject.Definition{"omega": om, "omega-prime": op},
+		updaters:     make(map[string]*vupdate.Updater),
+		materialized: make(map[string]*viewobject.Materializer),
 		out:      bufio.NewWriter(&out),
 		errw:     &bytes.Buffer{},
 		in:       bufio.NewReader(strings.NewReader("")),
@@ -159,6 +160,50 @@ func TestShellDelete(t *testing.T) {
 	text = run(t, sh, out, ".delete omega-prime CS101")
 	if !strings.Contains(text, "no translator chosen") {
 		t.Errorf("missing-translator output:\n%s", text)
+	}
+}
+
+func TestShellMaterialize(t *testing.T) {
+	sh, out := testShell(t)
+	text := run(t, sh, out, ".materialize")
+	if !strings.Contains(text, "off for every object") {
+		t.Errorf("initial .materialize output:\n%s", text)
+	}
+	text = run(t, sh, out, ".materialize omega")
+	if !strings.Contains(text, "omega: materialized, 6 instance(s)") {
+		t.Errorf(".materialize omega output:\n%s", text)
+	}
+	// Queries and instance lookups now serve from the patched cache.
+	text = run(t, sh, out, ".query omega Level = 'graduate' and count(STUDENT) < 5")
+	if !strings.Contains(text, "2 instance(s)") || !strings.Contains(text, "CS345") {
+		t.Errorf("materialized .query output:\n%s", text)
+	}
+	// A committed deletion must surface through the cache on the next read.
+	if _, err := sh.updaters["omega"].DeleteByKey(keyOf("CS445")); err != nil {
+		t.Fatal(err)
+	}
+	text = run(t, sh, out, ".instance omega CS445")
+	if !strings.Contains(text, "no instance") {
+		t.Errorf("materialized .instance after delete:\n%s", text)
+	}
+	text = run(t, sh, out, ".query omega Level = 'graduate' and count(STUDENT) < 5")
+	if !strings.Contains(text, "1 instance(s)") {
+		t.Errorf("materialized .query after delete:\n%s", text)
+	}
+	text = run(t, sh, out, ".materialize")
+	if !strings.Contains(text, "omega: materialized, 5 instance(s)") {
+		t.Errorf(".materialize status output:\n%s", text)
+	}
+	text = run(t, sh, out, ".materialize omega off")
+	if !strings.Contains(text, "materialization off") {
+		t.Errorf(".materialize off output:\n%s", text)
+	}
+	if len(sh.materialized) != 0 {
+		t.Fatal("materializer not removed")
+	}
+	text = run(t, sh, out, ".materialize omega bogus")
+	if !strings.Contains(text, "usage") {
+		t.Errorf("bad-arg output:\n%s", text)
 	}
 }
 

@@ -103,8 +103,14 @@ type Registry struct {
 	RelationClones Counter   // copy-on-write relation clones
 	ReadTxBegins   Counter   // read transactions opened
 	StaleCloses    Counter   // ReadTx closes at or past the lag-alert threshold
+	StaleForks     Counter   // ReadTx forks at or past the lag-alert threshold
 	CommitNs       Histogram // write-transaction latency, Begin→Commit
-	ReadTxLag      Histogram // ReadTx generation lag observed at Close
+	ReadTxLag      Histogram // ReadTx generation lag observed at Close and Fork
+
+	// reldb: the per-commit delta stream (Database.Subscribe).
+	DeltaSubscribes Counter // subscriptions registered
+	DeltaPublishes  Counter // delta batches published to at least one subscriber
+	DeltaOverflows  Counter // subscriber queues overflowed (drop-to-resync)
 
 	// reldb: per-relation lookup cost (MatchStats attribution). Each
 	// MatchEqual-family lookup charges the relation that served it, so a
@@ -116,14 +122,17 @@ type Registry struct {
 	// reldb: the per-generation lookup-plan cache. Every MatchEqual-family
 	// call resolves its index selection through the cache exactly once, so
 	// PlanCacheLookups == PlanCacheHits + PlanCacheMisses holds at every
-	// quiescent point (asserted by the stress suite). Invalidations count
-	// cached plans discarded: by index DDL on the relation version that
-	// cached them, or left behind when a write transaction clones a
-	// relation for the next generation (the clone starts cold).
+	// quiescent point (asserted by the stress suite). Discarded plans are
+	// split by cause so hit-rate dashboards can attribute churn: explicit
+	// index DDL purges count as invalidations, warm plans left behind when
+	// a write transaction clones a relation for the next generation (the
+	// clone starts cold — that *is* the invalidation mechanism) count as
+	// clone drops.
 	PlanCacheLookups       Counter // MatchEqual-family calls that consulted the cache
 	PlanCacheHits          Counter // plans served from the cache
 	PlanCacheMisses        Counter // plans resolved and cached
-	PlanCacheInvalidations Counter // cached plans discarded (DDL or generation advance)
+	PlanCacheInvalidations Counter // cached plans purged by index DDL
+	PlanCacheCloneDrops    Counter // warm plans left behind by a copy-on-write clone
 
 	// viewobject: instantiation metrics.
 	Instantiations Counter   // Instantiate / InstantiateByKey calls
@@ -141,6 +150,17 @@ type Registry struct {
 	ParallelWorkers       Counter   // worker goroutines launched by parallel fan-outs
 	ParallelChunks        Counter   // pivot chunks dispatched to workers
 	InstantiateParallelNs Histogram // latency of instantiations that fanned out
+
+	// viewobject: the materialized view-object cache (Materializer).
+	// Every MaterializedInstantiate serve increments exactly one of
+	// hits/misses/fallbacks/resyncs; patches counts per-instance patch
+	// operations (rebuilds and drops) applied while serving hits.
+	MatHits      Counter   // serves answered from the patched cache
+	MatMisses    Counter   // serves that built the cache cold
+	MatPatches   Counter   // instances patched (rebuilt or dropped) from deltas
+	MatFallbacks Counter   // serves that re-instantiated (structural/unlocalizable delta)
+	MatResyncs   Counter   // serves that re-instantiated after a delta-stream overflow
+	MatPatchNs   Histogram // latency of applying pending deltas to the cache
 
 	// viewobject: the same instantiation metrics split by view object.
 	// Each labeled family partitions its aggregate exactly: every
@@ -193,6 +213,7 @@ func NewRegistry() *Registry {
 	r.LevelFanOut.init(CountBounds)
 	r.InstantiateNs.init(DurationBounds)
 	r.InstantiateParallelNs.init(DurationBounds)
+	r.MatPatchNs.init(DurationBounds)
 	for i := range r.StepNs {
 		r.StepNs[i].init(DurationBounds)
 	}

@@ -71,6 +71,10 @@ func (r *Registry) Snapshot() Snapshot {
 	c("reldb.relation.clones", &r.RelationClones)
 	c("reldb.readtx.begins", &r.ReadTxBegins)
 	c("reldb.readtx.stale_closes", &r.StaleCloses)
+	c("reldb.readtx.stale_forks", &r.StaleForks)
+	c("reldb.delta.subscribes", &r.DeltaSubscribes)
+	c("reldb.delta.publishes", &r.DeltaPublishes)
+	c("reldb.delta.overflows", &r.DeltaOverflows)
 	h("reldb.tx.commit_ns", &r.CommitNs)
 	h("reldb.readtx.lag_generations", &r.ReadTxLag)
 	lc("reldb.relation.scanned", r.RelScanned)
@@ -80,6 +84,7 @@ func (r *Registry) Snapshot() Snapshot {
 	c("reldb.plancache.hits", &r.PlanCacheHits)
 	c("reldb.plancache.misses", &r.PlanCacheMisses)
 	c("reldb.plancache.invalidations", &r.PlanCacheInvalidations)
+	c("reldb.plancache.clone_drops", &r.PlanCacheCloneDrops)
 
 	c("viewobject.instantiate.calls", &r.Instantiations)
 	c("viewobject.instantiate.tuples_scanned", &r.TuplesScanned)
@@ -91,6 +96,12 @@ func (r *Registry) Snapshot() Snapshot {
 	c("viewobject.parallel.workers", &r.ParallelWorkers)
 	c("viewobject.parallel.chunks", &r.ParallelChunks)
 	h("viewobject.instantiate.parallel_ns", &r.InstantiateParallelNs)
+	c("viewobject.materialize.hits", &r.MatHits)
+	c("viewobject.materialize.misses", &r.MatMisses)
+	c("viewobject.materialize.patches", &r.MatPatches)
+	c("viewobject.materialize.falls_back", &r.MatFallbacks)
+	c("viewobject.materialize.resyncs", &r.MatResyncs)
+	h("viewobject.materialize.patch_ns", &r.MatPatchNs)
 	lc("viewobject.instantiate.calls", r.InstCallsByObject)
 	lc("viewobject.instantiate.tuples_scanned", r.InstTuplesByObject)
 	lc("viewobject.instantiate.nodes", r.InstNodesByObject)

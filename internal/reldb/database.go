@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Database is a catalog of named relations with copy-on-write concurrency:
@@ -34,6 +35,17 @@ type Database struct {
 	writer    sync.Mutex
 	relations map[string]*Relation
 	gen       uint64
+	// subs are the registered delta-stream consumers (see delta.go).
+	// Guarded by mu: registration and publish share the critical section
+	// that advances gen, which pins both to generation boundaries.
+	subs []*Subscription
+	// nsubs mirrors len(subs) atomically so the write-op hot path can
+	// skip changelog capture without taking mu when nobody subscribes.
+	nsubs atomic.Int32
+	// writing, guarded by mu, is true while a write transaction is open.
+	// Subscribe uses it to pin late registrations past the in-flight
+	// commit, whose changelog may predate the subscription (delta.go).
+	writing bool
 }
 
 // NewDatabase creates an empty database.
@@ -55,6 +67,7 @@ func (db *Database) CreateRelation(schema *Schema) (*Relation, error) {
 	r := NewRelation(schema)
 	r.gen = db.gen
 	db.relations[schema.Name()] = r
+	db.structuralBatchLocked(schema.Name())
 	return r, nil
 }
 
@@ -79,6 +92,7 @@ func (db *Database) DropRelation(name string) error {
 	}
 	delete(db.relations, name)
 	db.gen++
+	db.structuralBatchLocked(name)
 	return nil
 }
 

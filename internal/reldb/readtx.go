@@ -93,12 +93,33 @@ func (rtx *ReadTx) TotalRows() int {
 // Stale reports whether the database has committed past the snapshot.
 func (rtx *ReadTx) Stale() bool { return rtx.db.Generation() != rtx.gen }
 
+// Lag returns how many commits the database has advanced past the
+// snapshot — the ReadTx's age in generations. Workloads can poll it to
+// catch long-lived readers before they pin excessive history.
+func (rtx *ReadTx) Lag() uint64 { return rtx.db.Generation() - rtx.gen }
+
 // Fork materializes the snapshot as a private Database sharing the pinned
 // relation versions. Write transactions on the fork copy-on-write before
 // mutating, so the fork can be updated freely — what-if translation
 // planning runs against it without ever taking the live database's writer
 // lock. Mutate the fork only through transactions.
+//
+// Forking observes the snapshot's generation lag like Close does: a
+// leaked or long-lived reader that keeps forking — the exact pathology
+// the stale-ReadTx alert exists for — is reported per Fork into
+// reldb.readtx.stale_forks instead of only once at Close.
 func (rtx *ReadTx) Fork() *Database {
+	lag := int64(rtx.Lag())
+	obs.Default.ReadTxLag.Observe(lag)
+	if th := obs.Default.ReadTxLagAlert(); th > 0 && lag >= th {
+		obs.Default.StaleForks.Inc()
+		if obs.Default.Tracing() {
+			obs.Default.Emit(obs.Event{
+				Name:   "reldb.readtx.stale_fork",
+				Detail: fmt.Sprintf("lag=%d threshold=%d gen=%d", lag, th, rtx.gen),
+			})
+		}
+	}
 	c := NewDatabase()
 	c.gen = rtx.gen
 	for n, r := range rtx.rels {

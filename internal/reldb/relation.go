@@ -723,9 +723,10 @@ func (r *Relation) clone() *Relation {
 	// version's *secondaryIndex objects, which the clone rebuilds below.
 	// The parent's plans stay valid for readers still pinning it, but
 	// they are dead weight for the next generation — count them as
-	// invalidated by the generation advance.
+	// clone drops, the generational-churn side of plan-cache turnover
+	// (explicit index DDL purges count as invalidations instead).
 	if n := r.plans.size(); n > 0 {
-		obs.Default.PlanCacheInvalidations.Add(int64(n))
+		obs.Default.PlanCacheCloneDrops.Add(int64(n))
 	}
 	c := NewRelation(r.schema)
 	c.gen = r.gen

@@ -26,6 +26,11 @@ type Tx struct {
 	db      *Database
 	dirty   map[string]*Relation // private clones, by relation name
 	written map[string]bool      // clones with at least one successful op
+	// changes is the per-key changelog feeding the delta stream: relation
+	// name → encoded primary key → before/after stored images. Allocated
+	// lazily on the first successful write so a read-only transaction
+	// stays on the allocation-free commit path.
+	changes map[string]map[string]*txChange
 	ops     int
 	start   time.Time
 	done    bool
@@ -34,6 +39,12 @@ type Tx struct {
 // Begin starts a write transaction, acquiring the database writer lock.
 func (db *Database) Begin() *Tx {
 	db.writer.Lock()
+	// Mark the writer in flight before any op can run: a Subscribe that
+	// does not observe the mark is ordered before this point, so every op
+	// of this transaction sees its subscription and captures for it.
+	db.mu.Lock()
+	db.writing = true
+	db.mu.Unlock()
 	return &Tx{
 		db:      db,
 		dirty:   make(map[string]*Relation),
@@ -78,6 +89,12 @@ func (tx *Tx) Insert(relName string, t Tuple) error {
 	if err := r.Insert(t); err != nil {
 		return err
 	}
+	// A successful insert proves the key was absent, so the before image
+	// is nil; the after image is the clone Insert just stored.
+	if tx.capturing() {
+		ek := r.schema.EncodeKeyOf(t)
+		tx.note(relName, ek, nil, r.rows[ek])
+	}
 	tx.written[relName] = true
 	tx.ops++
 	return nil
@@ -97,6 +114,11 @@ func (tx *Tx) Delete(relName string, key Tuple) (Tuple, error) {
 	old, err := r.Delete(key)
 	if err != nil {
 		return nil, err
+	}
+	// Delete hands its return value to the caller, so the changelog keeps
+	// its own copy of the before image (note clones it).
+	if tx.capturing() {
+		tx.note(relName, r.schema.EncodeKeyOf(old), old, nil)
 	}
 	tx.written[relName] = true
 	tx.ops++
@@ -118,8 +140,30 @@ func (tx *Tx) Replace(relName string, oldKey Tuple, newTuple Tuple) (Tuple, erro
 	if !ok {
 		return nil, fmt.Errorf("reldb: %s: replace %s: %w", relName, oldKey, ErrNoSuchTuple)
 	}
+	// Capture the raw stored before image ahead of the mutation: Replace
+	// removes the old key's stored tuple from the row map, after which the
+	// changelog's copy (note clones it) is the only surviving image.
+	capture := tx.capturing()
+	var oldEK string
+	var rawOld Tuple
+	if capture {
+		oldEK = r.schema.EncodeKeyOf(old)
+		rawOld = r.rows[oldEK]
+	}
 	if err := r.Replace(oldKey, newTuple); err != nil {
 		return nil, err
+	}
+	if capture {
+		newEK := r.schema.EncodeKeyOf(newTuple)
+		if newEK == oldEK {
+			tx.note(relName, oldEK, rawOld, r.rows[newEK])
+		} else {
+			// A key-changing replace is a delete of the old key plus an
+			// insert of the new one (Replace rejects clashes, so the new
+			// key was absent before).
+			tx.note(relName, oldEK, rawOld, nil)
+			tx.note(relName, newEK, nil, r.rows[newEK])
+		}
 	}
 	tx.written[relName] = true
 	tx.ops++
@@ -139,6 +183,13 @@ func (tx *Tx) Commit() error {
 	}
 	tx.done = true
 	published := len(tx.written)
+	// Build the delta batch outside the catalog lock (proportional to the
+	// transaction's own write set); skipped entirely on the read-only
+	// path, which must stay allocation-free.
+	var batch DeltaBatch
+	if published > 0 {
+		batch = tx.buildBatch()
+	}
 	tx.db.mu.Lock()
 	if published > 0 {
 		tx.db.gen++
@@ -147,10 +198,20 @@ func (tx *Tx) Commit() error {
 			r.gen = tx.db.gen
 			tx.db.relations[name] = r
 		}
+		// Publish inside the same critical section that made the new
+		// generation visible: subscribers see whole commits in generation
+		// order, and a ReadTx pinning gen G is guaranteed every batch
+		// with Gen <= G has already been pushed.
+		batch.Gen = tx.db.gen
+		for i := range batch.Deltas {
+			batch.Deltas[i].Gen = batch.Gen
+		}
+		tx.db.publishLocked(batch)
 	}
+	tx.db.writing = false
 	gen := tx.db.gen
 	tx.db.mu.Unlock()
-	tx.dirty, tx.written = nil, nil
+	tx.dirty, tx.written, tx.changes = nil, nil, nil
 	tx.db.writer.Unlock()
 	obs.Default.Commits.Inc()
 	if published == 0 {
@@ -173,7 +234,10 @@ func (tx *Tx) Rollback() error {
 		return ErrTxDone
 	}
 	tx.done = true
-	tx.dirty, tx.written = nil, nil
+	tx.dirty, tx.written, tx.changes = nil, nil, nil
+	tx.db.mu.Lock()
+	tx.db.writing = false
+	tx.db.mu.Unlock()
 	tx.db.writer.Unlock()
 	obs.Default.Rollbacks.Inc()
 	if obs.Default.Tracing() {

@@ -55,7 +55,10 @@ func newInstNode(def *Definition, n *Node, tuple reldb.Tuple) (*InstNode, error)
 	if err := schema.CheckTuple(tuple); err != nil {
 		return nil, fmt.Errorf("viewobject: instance node %s: %w", n.ID, err)
 	}
-	return &InstNode{node: n, tuple: tuple.Clone(), children: make(map[string][]*InstNode)}, nil
+	// children stays nil until the first AddChild: leaf components (the
+	// majority of any instance tree) never pay for an empty map, which
+	// keeps Clone cheap on deep extents.
+	return &InstNode{node: n, tuple: tuple.Clone()}, nil
 }
 
 // Definition returns the object this instance belongs to.
@@ -104,6 +107,9 @@ func (n *InstNode) AddChild(def *Definition, childID string, tuple reldb.Tuple) 
 	cn, err := newInstNode(def, childNode, tuple)
 	if err != nil {
 		return nil, err
+	}
+	if n.children == nil {
+		n.children = make(map[string][]*InstNode, len(n.node.Children))
 	}
 	n.children[childID] = append(n.children[childID], cn)
 	return cn, nil
@@ -168,13 +174,20 @@ func (i *Instance) Clone() *Instance {
 }
 
 func (n *InstNode) clone() *InstNode {
-	c := &InstNode{node: n.node, tuple: n.tuple.Clone(), children: make(map[string][]*InstNode, len(n.children))}
-	for id, kids := range n.children {
-		ck := make([]*InstNode, len(kids))
-		for j, k := range kids {
-			ck[j] = k.clone()
+	// The tuple slice is shared, not copied: values are immutable and
+	// every mutation path (SetTuple, and SetAttr through With) installs
+	// a freshly allocated slice instead of writing elements in place, so
+	// the original and the clone can never observe each other's edits.
+	c := &InstNode{node: n.node, tuple: n.tuple}
+	if len(n.children) > 0 {
+		c.children = make(map[string][]*InstNode, len(n.children))
+		for id, kids := range n.children {
+			ck := make([]*InstNode, len(kids))
+			for j, k := range kids {
+				ck[j] = k.clone()
+			}
+			c.children[id] = ck
 		}
-		c.children[id] = ck
 	}
 	return c
 }

@@ -1,0 +1,327 @@
+package viewobject_test
+
+import (
+	"testing"
+
+	"penguin/internal/obs"
+	"penguin/internal/reldb"
+	"penguin/internal/university"
+	. "penguin/internal/viewobject"
+)
+
+// matCounters reads the materializer counter family.
+type matCounters struct {
+	hits, misses, patches, fallbacks, resyncs int64
+}
+
+func captureMat() matCounters {
+	s := obs.Capture()
+	return matCounters{
+		hits:      s.Counter("viewobject.materialize.hits"),
+		misses:    s.Counter("viewobject.materialize.misses"),
+		patches:   s.Counter("viewobject.materialize.patches"),
+		fallbacks: s.Counter("viewobject.materialize.falls_back"),
+		resyncs:   s.Counter("viewobject.materialize.resyncs"),
+	}
+}
+
+// mustMatchFresh asserts the materialized serve is byte-identical —
+// contents and order — to a fresh instantiation of the same query over
+// the current committed state.
+func mustMatchFresh(t *testing.T, db *reldb.Database, def *Definition, m *Materializer, q Query) {
+	t.Helper()
+	got, err := m.Instantiate(q)
+	if err != nil {
+		t.Fatalf("materialized instantiate: %v", err)
+	}
+	rtx := db.BeginRead()
+	want, err := Instantiate(rtx, def, q)
+	rtx.Close()
+	if err != nil {
+		t.Fatalf("fresh instantiate: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("materialized %d instances, fresh %d", len(got), len(want))
+	}
+	for i := range got {
+		if g, w := got[i].Render(), want[i].Render(); g != w {
+			t.Fatalf("instance %d diverged\nmaterialized:\n%s\nfresh:\n%s", i, g, w)
+		}
+	}
+}
+
+func TestMaterializerPatchesMatchFresh(t *testing.T) {
+	db, g := university.MustNewSeeded()
+	om := university.MustOmega(g)
+	m := NewMaterializer(db, om)
+	defer m.Close()
+	s := reldb.String
+	i := reldb.Int
+
+	c0 := captureMat()
+	mustMatchFresh(t, db, om, m, Query{}) // cold: miss
+	mustMatchFresh(t, db, om, m, Query{}) // unchanged: hit, nothing to patch
+	c1 := captureMat()
+	if c1.misses-c0.misses != 1 || c1.hits-c0.hits != 1 {
+		t.Fatalf("cold+warm serves: misses +%d hits +%d, want +1/+1", c1.misses-c0.misses, c1.hits-c0.hits)
+	}
+	if c1.patches != c0.patches {
+		t.Fatalf("no data changed but %d patches applied", c1.patches-c0.patches)
+	}
+	if m.Generation() != db.Generation() {
+		t.Fatalf("cache at gen %d, head %d", m.Generation(), db.Generation())
+	}
+
+	// Pivot membership: a new course adds an instance; deleting one drops
+	// it; a same-key pivot replace rebuilds it in place.
+	if err := db.RunInTx(func(tx *reldb.Tx) error {
+		return tx.Insert(university.Courses, reldb.Tuple{s("CS999"), s("Seminar"), s("Computer Science"), i(1), s("graduate")})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mustMatchFresh(t, db, om, m, Query{})
+	if err := db.RunInTx(func(tx *reldb.Tx) error {
+		_, err := tx.Replace(university.Courses, reldb.Tuple{s("CS999")},
+			reldb.Tuple{s("CS999"), s("Research Seminar"), s("Computer Science"), i(2), s("graduate")})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mustMatchFresh(t, db, om, m, Query{})
+	if err := db.RunInTx(func(tx *reldb.Tx) error {
+		_, err := tx.Delete(university.Courses, reldb.Tuple{s("CS999")})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mustMatchFresh(t, db, om, m, Query{})
+
+	// Non-pivot deltas localize through reverse paths: a new grade patches
+	// the CS101 instance (and, through the two-connection STUDENT path,
+	// whatever instances the student reaches).
+	if err := db.RunInTx(func(tx *reldb.Tx) error {
+		return tx.Insert(university.Grades, reldb.Tuple{s("CS101"), i(6), s("Win91"), s("C")})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mustMatchFresh(t, db, om, m, Query{})
+	if err := db.RunInTx(func(tx *reldb.Tx) error {
+		_, err := tx.Replace(university.Grades, reldb.Tuple{s("CS101"), i(6)},
+			reldb.Tuple{s("CS101"), i(6), s("Win91"), s("B")})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mustMatchFresh(t, db, om, m, Query{})
+	// A key-changing replace (delete+insert in the delta) moves the grade
+	// to another course: both instances patch.
+	if err := db.RunInTx(func(tx *reldb.Tx) error {
+		_, err := tx.Replace(university.Grades, reldb.Tuple{s("CS101"), i(6)},
+			reldb.Tuple{s("CS345"), i(6), s("Win91"), s("B")})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mustMatchFresh(t, db, om, m, Query{})
+	// A mid-path relation (STUDENT sits behind GRADES): patching must find
+	// every course the student is graded in.
+	if err := db.RunInTx(func(tx *reldb.Tx) error {
+		_, err := tx.Replace(university.Student, reldb.Tuple{i(1)},
+			reldb.Tuple{i(1), s("PhD"), i(4)})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mustMatchFresh(t, db, om, m, Query{})
+
+	c2 := captureMat()
+	if c2.patches == c1.patches {
+		t.Fatal("data changed across serves but no patches were counted")
+	}
+	if c2.fallbacks != c1.fallbacks || c2.resyncs != c1.resyncs {
+		t.Fatalf("localizable deltas triggered fallbacks (+%d) or resyncs (+%d)",
+			c2.fallbacks-c1.fallbacks, c2.resyncs-c1.resyncs)
+	}
+	ps := obs.Capture().Histogram("viewobject.materialize.patch_ns")
+	if ps.Count == 0 {
+		t.Fatal("patch latency histogram recorded nothing")
+	}
+}
+
+func TestMaterializerQueriesMatchFresh(t *testing.T) {
+	db, g := university.MustNewSeeded()
+	om := university.MustOmega(g)
+	m := NewMaterializer(db, om)
+	defer m.Close()
+
+	queries := []Query{
+		{PivotPred: reldb.Eq("Level", reldb.String("graduate"))},
+		{
+			PivotPred:  reldb.Eq("Level", reldb.String("graduate")),
+			CountConds: []CountCond{{NodeID: university.Student, Op: reldb.OpLt, N: 5}},
+		},
+		{NodePreds: []NodePred{{NodeID: university.Student, Pred: reldb.Eq("Degree", reldb.String("PhD"))}}},
+	}
+	for _, q := range queries {
+		mustMatchFresh(t, db, om, m, q)
+	}
+	// Patch, then re-run every query shape against the patched cache.
+	if err := db.RunInTx(func(tx *reldb.Tx) error {
+		_, err := tx.Delete(university.Grades, reldb.Tuple{reldb.String("EE380"), reldb.Int(3)})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		mustMatchFresh(t, db, om, m, q)
+	}
+}
+
+func TestMaterializerInstantiateByKey(t *testing.T) {
+	db, g := university.MustNewSeeded()
+	om := university.MustOmega(g)
+	m := NewMaterializer(db, om)
+	defer m.Close()
+
+	check := func(course string, wantOK bool) {
+		t.Helper()
+		key := reldb.Tuple{reldb.String(course)}
+		got, ok, err := m.InstantiateByKey(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rtx := db.BeginRead()
+		want, wok, werr := InstantiateByKey(rtx, om, key)
+		rtx.Close()
+		if werr != nil {
+			t.Fatal(werr)
+		}
+		if ok != wok || ok != wantOK {
+			t.Fatalf("%s: materialized ok=%v fresh ok=%v want %v", course, ok, wok, wantOK)
+		}
+		if ok && got.Render() != want.Render() {
+			t.Fatalf("%s diverged\nmaterialized:\n%s\nfresh:\n%s", course, got.Render(), want.Render())
+		}
+	}
+	check("CS345", true)
+	check("NOPE", false)
+	if err := db.RunInTx(func(tx *reldb.Tx) error {
+		_, err := tx.Delete(university.Courses, reldb.Tuple{reldb.String("CS345")})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	check("CS345", false)
+}
+
+func TestMaterializerDDL(t *testing.T) {
+	db, g := university.MustNewSeeded()
+	om := university.MustOmega(g)
+	m := NewMaterializer(db, om)
+	defer m.Close()
+
+	mustMatchFresh(t, db, om, m, Query{})
+	c0 := captureMat()
+
+	// DDL on a relation outside the definition is invisible: the next
+	// serve is still a plain hit.
+	aux := reldb.MustSchema("AUX", []reldb.Attribute{{Name: "ID", Type: reldb.KindInt}}, []string{"ID"})
+	if _, err := db.CreateRelation(aux); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DropRelation("AUX"); err != nil {
+		t.Fatal(err)
+	}
+	mustMatchFresh(t, db, om, m, Query{})
+	c1 := captureMat()
+	if c1.hits-c0.hits != 1 || c1.fallbacks != c0.fallbacks {
+		t.Fatalf("unrelated DDL: hits +%d fallbacks +%d, want +1/+0", c1.hits-c0.hits, c1.fallbacks-c0.fallbacks)
+	}
+
+	// Structural DDL on a definition relation cannot be localized: the
+	// serve falls back to full re-instantiation (and still matches).
+	sch := db.MustRelation(university.Curriculum).Schema()
+	rows := db.MustRelation(university.Curriculum).All()
+	if err := db.DropRelation(university.Curriculum); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateRelation(sch); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RunInTx(func(tx *reldb.Tx) error {
+		for _, r := range rows {
+			if err := tx.Insert(university.Curriculum, r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mustMatchFresh(t, db, om, m, Query{})
+	c2 := captureMat()
+	if c2.fallbacks-c1.fallbacks != 1 {
+		t.Fatalf("structural DDL on a definition relation: fallbacks +%d, want +1", c2.fallbacks-c1.fallbacks)
+	}
+}
+
+func TestMaterializerOverflowResyncs(t *testing.T) {
+	db, g := university.MustNewSeeded()
+	om := university.MustOmega(g)
+	m := NewMaterializer(db, om)
+	defer m.Close()
+	m.SetDeltaBuffer(2)
+
+	mustMatchFresh(t, db, om, m, Query{})
+	c0 := captureMat()
+	// Five commits against a two-slot queue: the subscription drops its
+	// history and the next serve must rebuild, not patch a torn suffix.
+	for n := 0; n < 5; n++ {
+		if err := db.RunInTx(func(tx *reldb.Tx) error {
+			return tx.Insert(university.Grades, reldb.Tuple{reldb.String("EE201"), reldb.Int(int64(4 + n)), reldb.String("Spr91"), reldb.String("B")})
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustMatchFresh(t, db, om, m, Query{})
+	c1 := captureMat()
+	if c1.resyncs-c0.resyncs != 1 {
+		t.Fatalf("overflow: resyncs +%d, want +1", c1.resyncs-c0.resyncs)
+	}
+	if m.Generation() != db.Generation() {
+		t.Fatalf("resynced cache at gen %d, head %d", m.Generation(), db.Generation())
+	}
+}
+
+func TestMaterializedInstantiateShared(t *testing.T) {
+	db, g := university.MustNewSeeded()
+	om := university.MustOmega(g)
+	defer MaterializerFor(db, om).Close()
+
+	a, err := MaterializedInstantiate(db, om, Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 {
+		t.Fatal("no instances")
+	}
+	if MaterializerFor(db, om) != MaterializerFor(db, om) {
+		t.Fatal("MaterializerFor does not intern per (db, def)")
+	}
+	// Served instances are clones: mutating the caller's copy must not
+	// leak into later serves.
+	if err := a[0].Root().SetAttr(om, "Title", reldb.String("CLOBBERED")); err != nil {
+		t.Fatal(err)
+	}
+	b, err := MaterializedInstantiate(db, om, Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, inst := range b {
+		if v, ok := inst.Root().Get(om, "Title"); ok {
+			if sv, _ := v.AsString(); sv == "CLOBBERED" {
+				t.Fatal("mutation through a served clone leaked into the cache")
+			}
+		}
+	}
+}

@@ -43,3 +43,55 @@ func TestMetricsLint(t *testing.T) {
 		t.Error("reldb_relation_scanned missing its # TYPE header")
 	}
 }
+
+// TestMetricsLintMaterialize is the exposition gate for the materialized
+// view-object cache: after the stress mode that runs materialized readers
+// against VO writers, the registry must still render as valid Prometheus
+// exposition, and every viewobject_materialize_* family must be present
+// with its # TYPE header and nonzero activity where the run guarantees it.
+func TestMetricsLintMaterialize(t *testing.T) {
+	if _, err := RunStress(StressSpec{
+		Tree:                TreeSpec{Depth: 1, Width: 2, Fanout: 2, Roots: 4, Peninsulas: 1},
+		Readers:             1,
+		MaterializedReaders: 2,
+		Writers:             2,
+		Cycles:              3,
+		ReadTxLagAlert:      4,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	if err := obs.WriteProm(&b, obs.Capture()); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	if err := obs.CheckExposition(text); err != nil {
+		t.Fatalf("live snapshot fails exposition lint: %v", err)
+	}
+
+	for _, family := range []string{
+		"viewobject_materialize_hits",
+		"viewobject_materialize_misses",
+		"viewobject_materialize_patches",
+		"viewobject_materialize_falls_back",
+		"viewobject_materialize_resyncs",
+	} {
+		if !strings.Contains(text, "# TYPE "+family+" counter") {
+			t.Errorf("%s missing its # TYPE counter header", family)
+		}
+	}
+	if !strings.Contains(text, "# TYPE viewobject_materialize_patch_ns histogram") {
+		t.Error("viewobject_materialize_patch_ns missing its # TYPE histogram header")
+	}
+	served := regexp.MustCompile(`(?m)^viewobject_materialize_(hits|misses) [1-9]\d*$`)
+	if !served.MatchString(text) {
+		t.Error("materialize serve counters all zero after a materialized stress run")
+	}
+	if !regexp.MustCompile(`(?m)^viewobject_materialize_patch_ns_count \d+$`).MatchString(text) {
+		t.Error("no viewobject_materialize_patch_ns histogram series in exposition")
+	}
+	if !regexp.MustCompile(`(?m)^reldb_delta_publishes [1-9]\d*$`).MatchString(text) {
+		t.Error("delta stream published nothing during a materialized stress run")
+	}
+}

@@ -30,6 +30,11 @@ type StressSpec struct {
 	// parallel fan-out when viewobject.Parallelism allows — so writer
 	// commits race against multi-worker snapshot reads. May be 0.
 	ParallelReaders int
+	// MaterializedReaders is the number of concurrent goroutines reading
+	// through one shared viewobject.Materializer — patched instances
+	// served from the delta-stream cache racing the same VO writers. May
+	// be 0.
+	MaterializedReaders int
 	// Writers is the number of concurrent update-translation goroutines.
 	// Writer w owns the root keys k with k mod Writers == w; readers read
 	// every key.
@@ -37,6 +42,12 @@ type StressSpec struct {
 	// Cycles is the number of VO-R → VO-CD → VO-CI rounds each writer runs
 	// per owned key.
 	Cycles int
+	// ReadTxLagAlert, when > 0, overrides the registry's stale-ReadTx
+	// alert threshold for the duration of the run (restored on return).
+	// The run holds one ReadTx open across every writer cycle and forks
+	// it before closing, so any threshold the writers outrun trips both
+	// the stale-fork and stale-close alerts deterministically.
+	ReadTxLagAlert int64
 }
 
 // StressResult reports what a stress run did and what it found.
@@ -49,6 +60,9 @@ type StressResult struct {
 	// Absent counts reader lookups that found no instance (the key was
 	// between its VO-CD and VO-CI).
 	Absent int64
+	// MaterializedInstantiations counts instances served through the
+	// shared materializer.
+	MaterializedInstantiations int64
 	// Replaces, Deletes, Inserts count committed writer translations.
 	Replaces, Deletes, Inserts int64
 	// Violations lists invariant violations (torn instances). Empty means
@@ -63,8 +77,8 @@ type StressResult struct {
 // what the engine metrics observed while it ran.
 func (r *StressResult) Summary() string {
 	return fmt.Sprintf(
-		"stress: %d instantiations (%d parallel), %d absent, %d replaces, %d deletes, %d inserts, %d violations | %s",
-		r.Instantiations, r.ParallelInstantiations, r.Absent, r.Replaces, r.Deletes, r.Inserts, len(r.Violations),
+		"stress: %d instantiations (%d parallel, %d materialized), %d absent, %d replaces, %d deletes, %d inserts, %d violations | %s",
+		r.Instantiations, r.ParallelInstantiations, r.MaterializedInstantiations, r.Absent, r.Replaces, r.Deletes, r.Inserts, len(r.Violations),
 		r.Metrics.Summary())
 }
 
@@ -76,11 +90,15 @@ func stamp(writer, cycle int) string { return fmt.Sprintf("w%d-c%d", writer, cyc
 // every writer finishes its cycles. It returns the tallies and any
 // invariant violations; data races surface through `go test -race`.
 func RunStress(spec StressSpec) (*StressResult, error) {
-	if spec.Readers < 1 || spec.Writers < 1 || spec.Cycles < 1 || spec.ParallelReaders < 0 {
+	if spec.Readers < 1 || spec.Writers < 1 || spec.Cycles < 1 || spec.ParallelReaders < 0 || spec.MaterializedReaders < 0 {
 		return nil, fmt.Errorf("workload: stress needs readers, writers, cycles >= 1 (got %+v)", spec)
 	}
 	if spec.Tree.Roots < spec.Writers {
 		return nil, fmt.Errorf("workload: %d roots cannot feed %d writers", spec.Tree.Roots, spec.Writers)
+	}
+	if spec.ReadTxLagAlert > 0 {
+		prev := obs.Default.SetReadTxLagAlert(spec.ReadTxLagAlert)
+		defer obs.Default.SetReadTxLagAlert(prev)
 	}
 	before := obs.Capture()
 	w, err := BuildTree(spec.Tree)
@@ -96,6 +114,12 @@ func RunStress(spec StressSpec) (*StressResult, error) {
 			return nil, fmt.Errorf("workload: initial stamping of key %d: %w", k, err)
 		}
 	}
+
+	// The ager pins a snapshot across every writer cycle; it forks and
+	// closes after the writers finish, so with a lag-alert threshold the
+	// writers outrun, both stale-ReadTx alerts fire deterministically.
+	ager := w.DB.BeginRead()
+	defer ager.Close()
 
 	res := &StressResult{}
 	var mu sync.Mutex
@@ -175,6 +199,44 @@ func RunStress(spec StressSpec) (*StressResult, error) {
 		}(r)
 	}
 
+	// Materialized readers share one delta-stream cache: every serve
+	// syncs it to the committed head and patches exactly the instances
+	// the writers touched. The same torn-instance invariants apply — a
+	// patched instance must be consistent with a committed state.
+	var mat *viewobject.Materializer
+	if spec.MaterializedReaders > 0 {
+		mat = viewobject.NewMaterializer(w.DB, w.Def)
+		defer mat.Close()
+	}
+	for r := 0; r < spec.MaterializedReaders; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			for i := r; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				key := reldb.Tuple{reldb.Int(int64(i % spec.Tree.Roots))}
+				inst, ok, err := mat.InstantiateByKey(key)
+				if err != nil {
+					violate("materialized reader %d: instantiate %s: %v", r, key, err)
+					return
+				}
+				if !ok {
+					atomic.AddInt64(&res.Absent, 1)
+					continue
+				}
+				atomic.AddInt64(&res.MaterializedInstantiations, 1)
+				if msg := checkInstance(w, spec.Tree, inst); msg != "" {
+					violate("materialized reader %d: key %s at gen %d: %s", r, key, mat.Generation(), msg)
+					return
+				}
+			}
+		}(r)
+	}
+
 	var writers sync.WaitGroup
 	writerErrs := make(chan error, spec.Writers)
 	for wr := 0; wr < spec.Writers; wr++ {
@@ -207,6 +269,10 @@ func RunStress(spec StressSpec) (*StressResult, error) {
 		}(wr)
 	}
 	writers.Wait()
+	// Fork-then-close the aged snapshot while it lags the head by every
+	// writer commit: both stale-ReadTx observation points fire.
+	ager.Fork()
+	ager.Close()
 	close(done)
 	readers.Wait()
 	close(writerErrs)

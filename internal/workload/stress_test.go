@@ -97,8 +97,64 @@ func TestRunStressParallelReaders(t *testing.T) {
 	if hits == 0 {
 		t.Fatal("plan cache never hit: plans are not being reused")
 	}
-	if res.Metrics.Counter("reldb.plancache.invalidations") == 0 {
-		t.Fatal("no plan-cache invalidations despite writer commits")
+	if res.Metrics.Counter("reldb.plancache.clone_drops") == 0 {
+		t.Fatal("no plan-cache clone drops despite writer commits")
+	}
+	// Clone drops are copy-on-write churn, not index DDL: the run performs
+	// no DDL, so the invalidation counter must stay untouched.
+	if n := res.Metrics.Counter("reldb.plancache.invalidations"); n != 0 {
+		t.Fatalf("%d plan-cache invalidations counted without any index DDL", n)
+	}
+	t.Log(res.Summary())
+}
+
+// TestRunStressMaterializedReaders adds readers served through the shared
+// materialized cache: delta-stream patching racing VO writers. Under
+// `go test -race` this proves the materializer's sync/patch path is
+// race-clean against commits; the invariant checks prove a patched
+// instance is never torn. The run also holds one ReadTx across all writer
+// activity with a low lag-alert threshold, so both stale-ReadTx
+// observation points (Fork and Close) must fire.
+func TestRunStressMaterializedReaders(t *testing.T) {
+	spec := StressSpec{
+		Tree:                TreeSpec{Depth: 2, Width: 2, Fanout: 2, Roots: 6, Peninsulas: 1},
+		Readers:             2,
+		MaterializedReaders: 3,
+		Writers:             2,
+		Cycles:              6,
+		ReadTxLagAlert:      8,
+	}
+	res, err := RunStress(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Error(v)
+	}
+	if res.MaterializedInstantiations == 0 {
+		t.Fatal("materialized readers never observed an instance")
+	}
+	// The cache must have been exercised end to end: built cold once,
+	// then serving (sum of all serve outcomes covers every read), with
+	// actual delta patching under writer churn.
+	misses := res.Metrics.Counter("viewobject.materialize.misses")
+	hits := res.Metrics.Counter("viewobject.materialize.hits")
+	if misses == 0 {
+		t.Fatal("materializer never built cold")
+	}
+	if hits == 0 {
+		t.Fatal("materializer never served from the patched cache")
+	}
+	if res.Metrics.Counter("viewobject.materialize.patches") == 0 {
+		t.Fatal("materializer never patched despite writer commits")
+	}
+	// 18 writer commits against an 8-generation threshold: the aged
+	// ReadTx must have tripped both alerts.
+	if res.Metrics.Counter("reldb.readtx.stale_forks") == 0 {
+		t.Fatal("aged ReadTx fork did not trip the stale-fork alert")
+	}
+	if res.Metrics.Counter("reldb.readtx.stale_closes") == 0 {
+		t.Fatal("aged ReadTx close did not trip the stale-close alert")
 	}
 	t.Log(res.Summary())
 }

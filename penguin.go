@@ -55,6 +55,14 @@ type (
 	Tx = reldb.Tx
 	// ReadTx is a snapshot-isolated read transaction.
 	ReadTx = reldb.ReadTx
+	// Delta is one relation's net change in a committed transaction.
+	Delta = reldb.Delta
+	// DeltaBatch is every delta of one commit, in publish order.
+	DeltaBatch = reldb.DeltaBatch
+	// TupleChange is a same-key replacement's before and after images.
+	TupleChange = reldb.TupleChange
+	// Subscription is a registered consumer of the commit delta stream.
+	Subscription = reldb.Subscription
 	// Expr is a scalar expression over rows.
 	Expr = reldb.Expr
 	// ResultSet is a materialized query result.
@@ -69,6 +77,10 @@ const (
 	KindString = reldb.KindString
 	KindBool   = reldb.KindBool
 )
+
+// DefaultDeltaBuffer is the delta-subscription queue capacity used when
+// Database.Subscribe is called with buffer <= 0.
+const DefaultDeltaBuffer = reldb.DefaultDeltaBuffer
 
 // Value constructors and helpers.
 var (
@@ -128,6 +140,9 @@ type (
 	NodePred = viewobject.NodePred
 	// CountCond is a component cardinality condition.
 	CountCond = viewobject.CountCond
+	// Materializer keeps a view object's instances materialized and
+	// patched from the commit delta stream.
+	Materializer = viewobject.Materializer
 )
 
 // View-object pipeline entry points.
@@ -147,6 +162,12 @@ var (
 	// JSON document bridge: instances ↔ nested documents.
 	InstanceFromMap   = viewobject.InstanceFromMap
 	UnmarshalInstance = viewobject.UnmarshalInstance
+	// Materialized view objects: cached instances kept fresh from the
+	// commit delta stream, falling back to full instantiation when a
+	// change cannot be localized.
+	NewMaterializer         = viewobject.NewMaterializer
+	MaterializerFor         = viewobject.MaterializerFor
+	MaterializedInstantiate = viewobject.MaterializedInstantiate
 )
 
 // Update translation (internal/vupdate, §5-§6).
