@@ -9,6 +9,8 @@
 //	penguin -empty            # start with an empty database (RQL only)
 //	penguin -load snapshot.db # load a snapshot written by .save
 //	penguin -metrics-addr :9090 # additionally serve Prometheus metrics at /metrics
+//	                            # (plus /debug/traces and /debug/pprof/)
+//	penguin -slow-threshold 5ms # retain traces of operations slower than 5ms
 //
 // Commands:
 //
@@ -29,6 +31,8 @@
 //	.stats                    dump engine metrics (counters and histograms)
 //	.prom                     dump engine metrics in Prometheus exposition format
 //	.trace [N]                show the last N trace events (default 20)
+//	.trace slow [N]           list retained slow traces, or render the Nth
+//	.trace export N FILE      write the Nth slow trace as Chrome trace JSON
 //	.save FILE / .load FILE   snapshot the database
 //	.help / .quit
 //
@@ -44,6 +48,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"penguin/internal/figures"
 	"penguin/internal/obs"
@@ -72,6 +77,9 @@ type shell struct {
 	// ring buffers trace events for .trace; installed as the engine's
 	// trace sink when the shell starts.
 	ring *obs.Ring
+	// rec is the flight recorder behind .trace slow; installed on the
+	// default registry when the shell starts.
+	rec *obs.Recorder
 }
 
 // errorf reports a failure on the error stream. Results stay on out so
@@ -85,6 +93,8 @@ func main() {
 	empty := flag.Bool("empty", false, "start with an empty database instead of the seeded university")
 	load := flag.String("load", "", "load a database snapshot")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics at http://ADDR/metrics (e.g. :9090)")
+	slowThreshold := flag.Duration("slow-threshold", 25*time.Millisecond,
+		"retain traces of operations whose root span lasts at least this long (0 retains every operation)")
 	flag.Parse()
 
 	sh := &shell{
@@ -95,8 +105,10 @@ func main() {
 		errw:     os.Stderr,
 		in:       bufio.NewReader(os.Stdin),
 		ring:     obs.NewRing(256),
+		rec:      obs.NewRecorder(*slowThreshold, 64),
 	}
 	obs.Default.SetSink(sh.ring)
+	obs.Default.SetRecorder(sh.rec)
 	if *metricsAddr != "" {
 		ln, err := obs.Serve(*metricsAddr)
 		if err != nil {
@@ -426,11 +438,19 @@ func (sh *shell) command(line string) bool {
 			sh.errorf("error: %v", err)
 		}
 	case ".trace":
+		if len(args) >= 1 && args[0] == "slow" {
+			sh.traceSlow(args[1:])
+			break
+		}
+		if len(args) >= 1 && args[0] == "export" {
+			sh.traceExport(args[1:])
+			break
+		}
 		n := 20
 		if len(args) >= 1 {
 			parsed, err := strconv.Atoi(args[0])
 			if err != nil || parsed < 1 {
-				sh.errorf("usage: .trace [N]")
+				sh.errorf("usage: .trace [N] | .trace slow [N] | .trace export N FILE")
 				break
 			}
 			n = parsed
@@ -489,6 +509,78 @@ func (sh *shell) command(line string) bool {
 		sh.errorf("unknown command %s - try .help", cmd)
 	}
 	return false
+}
+
+// traceSlow lists the flight recorder's retained traces (".trace slow")
+// or renders one span tree (".trace slow N", 1-based, oldest first).
+func (sh *shell) traceSlow(args []string) {
+	if sh.rec == nil {
+		sh.errorf("the flight recorder is not enabled in this session")
+		return
+	}
+	traces := sh.rec.Traces()
+	if len(traces) == 0 {
+		fmt.Fprintf(sh.out, "no slow traces retained (threshold %s)\n", sh.rec.Threshold())
+		return
+	}
+	if len(args) == 0 {
+		fmt.Fprintf(sh.out, "%d slow trace(s), threshold %s:\n", len(traces), sh.rec.Threshold())
+		for i, tr := range traces {
+			fmt.Fprintf(sh.out, "%3d  trace %-6d %-32s %10s  %s\n",
+				i+1, tr.TraceID, tr.Name, tr.Dur, tr.Detail)
+		}
+		return
+	}
+	tr, ok := sh.nthSlowTrace(traces, args[0], ".trace slow [N]")
+	if !ok {
+		return
+	}
+	fmt.Fprint(sh.out, tr.Render())
+}
+
+// traceExport writes one retained trace as Chrome trace-event JSON
+// (".trace export N FILE") for chrome://tracing or Perfetto.
+func (sh *shell) traceExport(args []string) {
+	if sh.rec == nil {
+		sh.errorf("the flight recorder is not enabled in this session")
+		return
+	}
+	if len(args) != 2 {
+		sh.errorf("usage: .trace export N FILE")
+		return
+	}
+	tr, ok := sh.nthSlowTrace(sh.rec.Traces(), args[0], ".trace export N FILE")
+	if !ok {
+		return
+	}
+	f, err := os.Create(args[1])
+	if err != nil {
+		sh.errorf("error: %v", err)
+		return
+	}
+	err = obs.WriteChromeTrace(f, []obs.SlowTrace{tr})
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		sh.errorf("error: %v", err)
+		return
+	}
+	fmt.Fprintf(sh.out, "wrote trace %d (%d spans) to %s\n", tr.TraceID, len(tr.Spans), args[1])
+}
+
+// nthSlowTrace resolves a 1-based index from .trace slow listings.
+func (sh *shell) nthSlowTrace(traces []obs.SlowTrace, raw, usage string) (obs.SlowTrace, bool) {
+	n, err := strconv.Atoi(raw)
+	if err != nil || n < 1 {
+		sh.errorf("usage: %s", usage)
+		return obs.SlowTrace{}, false
+	}
+	if n > len(traces) {
+		sh.errorf("only %d slow trace(s) retained - see .trace slow", len(traces))
+		return obs.SlowTrace{}, false
+	}
+	return traces[n-1], true
 }
 
 func (sh *shell) lookupObject(args []string) *viewobject.Definition {
@@ -555,6 +647,8 @@ Dot-commands:
   .stats                dump engine metrics (counters and histograms)
   .prom                 dump engine metrics in Prometheus exposition format
   .trace [N]            show the last N trace events (default 20)
+  .trace slow [N]       list retained slow traces, or render the Nth as a tree
+  .trace export N FILE  write the Nth slow trace as Chrome trace JSON
   .save FILE .load FILE .quit
 `)
 }

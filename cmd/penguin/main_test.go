@@ -3,6 +3,9 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"encoding/json"
+	"os"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -328,6 +331,69 @@ func TestShellStatsAndTrace(t *testing.T) {
 	text = run(t, sh, out, ".trace bogus")
 	if !strings.Contains(text, "usage") {
 		t.Errorf(".trace bogus output:\n%s", text)
+	}
+}
+
+func TestShellTraceSlowAndExport(t *testing.T) {
+	sh, out := testShell(t)
+	sh.rec = obs.NewRecorder(0, 8) // threshold 0: retain every operation
+	obs.Default.SetRecorder(sh.rec)
+	t.Cleanup(func() { obs.Default.SetRecorder(nil) })
+
+	text := run(t, sh, out, ".trace slow")
+	if !strings.Contains(text, "no slow traces retained") {
+		t.Errorf(".trace slow before any op:\n%s", text)
+	}
+
+	run(t, sh, out, ".delete omega CS445")
+
+	text = run(t, sh, out, ".trace slow")
+	if !strings.Contains(text, "vupdate.update") {
+		t.Errorf(".trace slow listing missing the update trace:\n%s", text)
+	}
+
+	// Render the last retained trace (the vupdate.update op) as a tree.
+	traces := sh.rec.Traces()
+	if len(traces) == 0 {
+		t.Fatal("recorder retained no traces")
+	}
+	n := len(traces)
+	text = run(t, sh, out, ".trace slow "+strconv.Itoa(n))
+	for _, want := range []string{"vupdate.update", "vupdate.step.translate", "reldb.commit"} {
+		if !strings.Contains(text, want) {
+			t.Errorf(".trace slow %d missing %q:\n%s", n, want, text)
+		}
+	}
+
+	file := t.TempDir() + "/trace.json"
+	text = run(t, sh, out, ".trace export "+strconv.Itoa(n)+" "+file)
+	if !strings.Contains(text, "wrote trace") {
+		t.Errorf(".trace export output:\n%s", text)
+	}
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chrome struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &chrome); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v\n%s", err, data)
+	}
+	if len(chrome.TraceEvents) == 0 {
+		t.Fatal("exported trace has no events")
+	}
+
+	text = run(t, sh, out, ".trace slow 999")
+	if !strings.Contains(text, "retained") {
+		t.Errorf(".trace slow 999 output:\n%s", text)
+	}
+	text = run(t, sh, out, ".trace export 1")
+	if !strings.Contains(text, "usage") {
+		t.Errorf(".trace export 1 output:\n%s", text)
 	}
 }
 

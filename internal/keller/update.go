@@ -57,11 +57,16 @@ type Result struct {
 func (r *Result) Total() int { return r.Inserts + r.Deletes + r.Replaces }
 
 // observe records one committed flat-view translation into the baseline
-// metrics: translation latency and emitted primitive operations.
-func (r *Result) observe(name string, start time.Time) {
+// metrics: translation latency and emitted primitive operations. The
+// root op (active when tracing or the flight recorder is on) carries
+// the commit as a child span; without one a flat span preserves the old
+// behaviour for sinks installed mid-operation.
+func (r *Result) observe(name string, start time.Time, op obs.Op) {
 	obs.Default.KellerTranslateNs.Observe(time.Since(start).Nanoseconds())
 	obs.Default.KellerOps.Add(int64(r.Total()))
-	if obs.Default.Tracing() {
+	if op.Active() {
+		op.Finish(fmt.Sprintf("ops=%d", r.Total()))
+	} else if obs.Default.Tracing() {
 		obs.Default.EmitSpan(name, fmt.Sprintf("ops=%d", r.Total()), start)
 	}
 }
@@ -78,9 +83,11 @@ func (r *Result) observe(name string, start time.Time) {
 //
 // The whole translation runs in one transaction.
 func (t *Translator) Insert(viewTuple reldb.Tuple) (*Result, error) {
+	op := obs.Default.StartOp("keller.insert")
 	start := time.Now()
 	res := &Result{}
 	err := t.View.db.RunInTx(func(tx *reldb.Tx) error {
+		tx.SetTraceOp(op)
 		schema := t.View.schema
 		if len(viewTuple) != schema.Arity() {
 			return fmt.Errorf("keller: view tuple arity %d, want %d", len(viewTuple), schema.Arity())
@@ -93,9 +100,12 @@ func (t *Translator) Insert(viewTuple reldb.Tuple) (*Result, error) {
 		return nil
 	})
 	if err != nil {
+		if op.Active() {
+			op.Finish("rejected")
+		}
 		return nil, err
 	}
-	res.observe("keller.insert", start)
+	res.observe("keller.insert", start, op)
 	return res, nil
 }
 
@@ -168,9 +178,11 @@ func visibleEqual(bt, existing reldb.Tuple, attrMap map[int]int) bool {
 // view objects need more: dependent tuples in other relations survive as
 // orphans (the comparison experiment measures them).
 func (t *Translator) Delete(viewTuple reldb.Tuple) (*Result, error) {
+	op := obs.Default.StartOp("keller.delete")
 	start := time.Now()
 	res := &Result{}
 	err := t.View.db.RunInTx(func(tx *reldb.Tx) error {
+		tx.SetTraceOp(op)
 		rootName := t.View.Root()
 		rel, err := tx.Relation(rootName)
 		if err != nil {
@@ -190,9 +202,12 @@ func (t *Translator) Delete(viewTuple reldb.Tuple) (*Result, error) {
 		return nil
 	})
 	if err != nil {
+		if op.Active() {
+			op.Finish("rejected")
+		}
 		return nil, err
 	}
-	res.observe("keller.delete", start)
+	res.observe("keller.delete", start, op)
 	return res, nil
 }
 
@@ -201,9 +216,11 @@ func (t *Translator) Delete(viewTuple reldb.Tuple) (*Result, error) {
 // values replace; a key change replaces the root tuple's key (when
 // allowed) and inserts elsewhere.
 func (t *Translator) Replace(oldTuple, newTuple reldb.Tuple) (*Result, error) {
+	op := obs.Default.StartOp("keller.replace")
 	start := time.Now()
 	res := &Result{}
 	err := t.View.db.RunInTx(func(tx *reldb.Tx) error {
+		tx.SetTraceOp(op)
 		schema := t.View.schema
 		for i, j := range t.View.Joins {
 			if err := t.replaceInRelation(tx, res, schema, oldTuple, newTuple, j.Relation, i == 0); err != nil {
@@ -213,9 +230,12 @@ func (t *Translator) Replace(oldTuple, newTuple reldb.Tuple) (*Result, error) {
 		return nil
 	})
 	if err != nil {
+		if op.Active() {
+			op.Finish("rejected")
+		}
 		return nil, err
 	}
-	res.observe("keller.replace", start)
+	res.observe("keller.replace", start, op)
 	return res, nil
 }
 

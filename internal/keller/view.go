@@ -171,6 +171,7 @@ func (v *View) Materialize() (*reldb.ResultSet, error) {
 // — a *reldb.ReadTx snapshot, a write transaction (to see its uncommitted
 // state), or a bare database.
 func (v *View) MaterializeIn(res resolver) (*reldb.ResultSet, error) {
+	op := obs.Default.StartOp("keller.materialize")
 	start := time.Now()
 	p, err := v.plan(res)
 	if err != nil {
@@ -181,9 +182,8 @@ func (v *View) MaterializeIn(res resolver) (*reldb.ResultSet, error) {
 		return nil, err
 	}
 	obs.Default.KellerMaterializeNs.Observe(time.Since(start).Nanoseconds())
-	if obs.Default.Tracing() {
-		obs.Default.EmitSpan("keller.materialize",
-			fmt.Sprintf("view=%s rows=%d", v.Name, len(rs.Rows)), start)
+	if op.Active() {
+		op.Finish(fmt.Sprintf("view=%s rows=%d", v.Name, len(rs.Rows)))
 	}
 	return rs, nil
 }

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestWriteChromeTraceExportsWellFormedJSON(t *testing.T) {
+	r, rec := treeRegistry(4)
+
+	op := r.StartOp("vupdate.update")
+	step := op.Child("vupdate.step.translate")
+	time.Sleep(time.Millisecond)
+	step.Finish("object=omega")
+	op.Finish("ops=2")
+	r.StartOp("keller.insert").Finish("ops=1")
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, rec.Traces()); err != nil {
+		t.Fatal(err)
+	}
+
+	var f struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if f.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", f.DisplayTimeUnit)
+	}
+	if len(f.TraceEvents) != 3 {
+		t.Fatalf("exported %d events, want 3", len(f.TraceEvents))
+	}
+
+	byName := map[string]int{}
+	for i, ev := range f.TraceEvents {
+		byName[ev.Name] = i
+		if ev.Ph != "X" || ev.Cat != "penguin" {
+			t.Errorf("event %s: ph=%q cat=%q", ev.Name, ev.Ph, ev.Cat)
+		}
+		if ev.Ts < 0 || ev.Dur < 0 {
+			t.Errorf("event %s: negative time ts=%f dur=%f", ev.Name, ev.Ts, ev.Dur)
+		}
+	}
+	rootEv := f.TraceEvents[byName["vupdate.update"]]
+	stepEv := f.TraceEvents[byName["vupdate.step.translate"]]
+	kellerEv := f.TraceEvents[byName["keller.insert"]]
+
+	// Traces map to distinct pids; a parent and its overlapping child
+	// share a pid but take different lanes.
+	if rootEv.Pid != stepEv.Pid {
+		t.Errorf("parent pid %d != child pid %d", rootEv.Pid, stepEv.Pid)
+	}
+	if kellerEv.Pid == rootEv.Pid {
+		t.Error("separate traces share a pid")
+	}
+	if rootEv.Tid == stepEv.Tid {
+		t.Error("overlapping parent and child share a lane")
+	}
+
+	// Args carry the causal identity for the viewer's detail panel.
+	if parent, ok := stepEv.Args["parent"].(float64); !ok || uint64(parent) == 0 {
+		t.Errorf("step args lack parent: %v", stepEv.Args)
+	}
+	if stepEv.Args["detail"] != "object=omega" {
+		t.Errorf("step detail = %v", stepEv.Args["detail"])
+	}
+
+	// The epoch is the earliest start: some event sits at ts == 0.
+	minTs := f.TraceEvents[0].Ts
+	for _, ev := range f.TraceEvents {
+		if ev.Ts < minTs {
+			minTs = ev.Ts
+		}
+	}
+	if minTs != 0 {
+		t.Errorf("earliest ts = %f, want 0", minTs)
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var f map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	events, ok := f["traceEvents"].([]any)
+	if !ok {
+		t.Fatalf("traceEvents is %T, want array (never null)", f["traceEvents"])
+	}
+	if len(events) != 0 {
+		t.Errorf("empty export has %d events", len(events))
+	}
+}

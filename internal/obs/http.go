@@ -1,8 +1,12 @@
 package obs
 
 import (
+	"encoding/json"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
 )
 
 // promContentType is the content type of text exposition format 0.0.4.
@@ -17,10 +21,77 @@ func Handler() http.Handler {
 	})
 }
 
+// TracesHandler returns an http.Handler serving the Default registry's
+// flight-recorder contents at /debug/traces:
+//
+//   - without parameters, a JSON summary of the retained slow traces
+//     (id, name, detail, start, duration, span count);
+//   - with ?id=<traceID>, that trace exported as Chrome trace-event
+//     JSON, ready to load into chrome://tracing or Perfetto.
+func TracesHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		rec := Default.Recorder()
+		if idStr := req.URL.Query().Get("id"); idStr != "" {
+			id, err := strconv.ParseUint(idStr, 10, 64)
+			if err != nil {
+				http.Error(w, "bad trace id", http.StatusBadRequest)
+				return
+			}
+			var tr SlowTrace
+			ok := false
+			if rec != nil {
+				tr, ok = rec.Trace(id)
+			}
+			if !ok {
+				http.Error(w, "no such trace", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_ = WriteChromeTrace(w, []SlowTrace{tr})
+			return
+		}
+		type summary struct {
+			ID        uint64 `json:"id"`
+			Name      string `json:"name"`
+			Detail    string `json:"detail,omitempty"`
+			Start     string `json:"start"`
+			DurNs     int64  `json:"dur_ns"`
+			Spans     int    `json:"spans"`
+			Truncated int    `json:"truncated_spans,omitempty"`
+		}
+		resp := struct {
+			Recording   bool      `json:"recording"`
+			ThresholdNs int64     `json:"threshold_ns,omitempty"`
+			Traces      []summary `json:"traces"`
+		}{Traces: []summary{}}
+		if rec != nil {
+			resp.Recording = true
+			resp.ThresholdNs = int64(rec.Threshold())
+			for _, tr := range rec.Traces() {
+				resp.Traces = append(resp.Traces, summary{
+					ID:        tr.TraceID,
+					Name:      tr.Name,
+					Detail:    tr.Detail,
+					Start:     tr.Start.Format(time.RFC3339Nano),
+					DurNs:     tr.Dur.Nanoseconds(),
+					Spans:     len(tr.Spans),
+					Truncated: tr.TruncatedSpans,
+				})
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(resp)
+	})
+}
+
 // Serve starts an HTTP listener on addr exposing the Default registry
-// at /metrics for a real scraper. It returns the live listener (its
-// Addr carries the resolved port for ":0" addresses); Close it to stop
-// serving. The serving goroutine exits when the listener closes.
+// for a real scraper: /metrics (Prometheus text exposition),
+// /debug/traces (the flight recorder), and the standard net/http/pprof
+// handlers under /debug/pprof/ — CPU and heap profiles are one curl
+// away without wiring the profiler into http.DefaultServeMux. It
+// returns the live listener (its Addr carries the resolved port for
+// ":0" addresses); Close it to stop serving. The serving goroutine
+// exits when the listener closes.
 func Serve(addr string) (net.Listener, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -28,6 +99,12 @@ func Serve(addr string) (net.Listener, error) {
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", Handler())
+	mux.Handle("/debug/traces", TracesHandler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	go func() {
 		srv := &http.Server{Handler: mux}
 		_ = srv.Serve(ln)

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// get fetches one path from the test server and returns status and body.
+func get(t *testing.T, base, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeMetricsTracesAndPprof(t *testing.T) {
+	rec := NewRecorder(0, 8)
+	Default.SetRecorder(rec)
+	t.Cleanup(func() { Default.SetRecorder(nil) })
+
+	ln, err := Serve(":0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	base := "http://" + ln.Addr().String()
+
+	// /metrics serves the Prometheus exposition with the runtime gauges.
+	status, body := get(t, base, "/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics status %d", status)
+	}
+	for _, want := range []string{
+		"# TYPE runtime_goroutines gauge",
+		"# TYPE runtime_heap_inuse_bytes gauge",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// /debug/traces with an empty recorder.
+	status, body = get(t, base, "/debug/traces")
+	if status != http.StatusOK {
+		t.Fatalf("/debug/traces status %d", status)
+	}
+	var summary struct {
+		Recording bool `json:"recording"`
+		Traces    []struct {
+			ID    uint64 `json:"id"`
+			Name  string `json:"name"`
+			Spans int    `json:"spans"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(body), &summary); err != nil {
+		t.Fatalf("summary JSON: %v\n%s", err, body)
+	}
+	if !summary.Recording || len(summary.Traces) != 0 {
+		t.Errorf("empty summary = %+v", summary)
+	}
+
+	// Retain one trace and fetch it back as Chrome JSON.
+	op := Default.StartOp("http.test.op")
+	op.Child("http.test.child").Finish("")
+	op.Finish("done")
+
+	_, body = get(t, base, "/debug/traces")
+	if err := json.Unmarshal([]byte(body), &summary); err != nil {
+		t.Fatal(err)
+	}
+	if len(summary.Traces) != 1 || summary.Traces[0].Name != "http.test.op" {
+		t.Fatalf("summary after op = %+v", summary)
+	}
+	if summary.Traces[0].Spans != 2 {
+		t.Errorf("summary spans = %d, want 2", summary.Traces[0].Spans)
+	}
+
+	status, body = get(t, base, fmt.Sprintf("/debug/traces?id=%d", summary.Traces[0].ID))
+	if status != http.StatusOK {
+		t.Fatalf("?id status %d", status)
+	}
+	var chrome struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &chrome); err != nil {
+		t.Fatalf("chrome JSON: %v\n%s", err, body)
+	}
+	if len(chrome.TraceEvents) != 2 {
+		t.Errorf("chrome export has %d events, want 2", len(chrome.TraceEvents))
+	}
+
+	if status, _ = get(t, base, "/debug/traces?id=999999"); status != http.StatusNotFound {
+		t.Errorf("missing trace status %d, want 404", status)
+	}
+	if status, _ = get(t, base, "/debug/traces?id=bogus"); status != http.StatusBadRequest {
+		t.Errorf("bad trace id status %d, want 400", status)
+	}
+
+	// The pprof index and a short wall-clock trace are wired in.
+	status, body = get(t, base, "/debug/pprof/")
+	if status != http.StatusOK || !strings.Contains(body, "profile") {
+		t.Errorf("/debug/pprof/ status %d", status)
+	}
+	status, _ = get(t, base, "/debug/pprof/cmdline")
+	if status != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status %d", status)
+	}
+}
+
+func TestTracesHandlerWithoutRecorder(t *testing.T) {
+	Default.SetRecorder(nil)
+	ln, err := Serve(":0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	deadline := time.Now().Add(time.Second)
+	var body string
+	var status int
+	for {
+		status, body = get(t, "http://"+ln.Addr().String(), "/debug/traces")
+		if status == http.StatusOK || time.Now().After(deadline) {
+			break
+		}
+	}
+	var summary struct {
+		Recording bool  `json:"recording"`
+		Traces    []any `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(body), &summary); err != nil {
+		t.Fatal(err)
+	}
+	if summary.Recording {
+		t.Error("recording = true without a recorder")
+	}
+	if summary.Traces == nil {
+		t.Error("traces is null, want []")
+	}
+}

@@ -37,7 +37,7 @@ func WriteProm(w io.Writer, s Snapshot) error {
 	names := make([]string, 0, len(s.Counters)+len(s.Histograms))
 	seen := make(map[string]bool)
 	for _, m := range []map[string]bool{namesOf(s.Counters), namesOf(s.Histograms),
-		namesOf(s.LabeledCounters), namesOf(s.LabeledHistograms)} {
+		namesOf(s.LabeledCounters), namesOf(s.LabeledHistograms), namesOf(s.Gauges)} {
 		for n := range m {
 			if !seen[n] {
 				seen[n] = true
@@ -65,6 +65,10 @@ func WriteProm(w io.Writer, s Snapshot) error {
 		default:
 			if v, ok := s.Counters[name]; ok {
 				fmt.Fprintf(&b, "# TYPE %s counter\n", prom)
+				fmt.Fprintf(&b, "%s %d\n", prom, v)
+			}
+			if v, ok := s.Gauges[name]; ok {
+				fmt.Fprintf(&b, "# TYPE %s gauge\n", prom)
 				fmt.Fprintf(&b, "%s %d\n", prom, v)
 			}
 			if st, ok := s.Histograms[name]; ok {

@@ -192,8 +192,16 @@ type Registry struct {
 	KellerTranslateNs   Histogram // flat-view update translation latency
 	KellerOps           Counter   // primitive ops emitted by the baseline
 
+	// obs: the flight recorder's own accounting. Captured counts ops
+	// retained as slow traces; dropped counts retained traces later
+	// evicted by the recorder ring's capacity.
+	SlowTraceCaptured Counter
+	SlowTraceDropped  Counter
+
 	lagAlert atomic.Int64
 	sink     atomic.Pointer[sinkBox]
+	recorder atomic.Pointer[Recorder]
+	opSeq    atomic.Uint64 // span/trace ID allocator (trace ID = root span ID)
 }
 
 // sinkBox wraps a Sink so a nil interface and "no sink" are the same

@@ -8,6 +8,10 @@ import (
 
 // Event is one trace record: a named span of the update pipeline (or a
 // point event with zero duration) with a small preformatted detail.
+// Events emitted through an Op additionally carry causal identity —
+// which operation they belong to (TraceID) and where they sit in its
+// span tree (SpanID/ParentID); flat events emitted directly leave all
+// three zero.
 type Event struct {
 	// Seq is the global emission order (1-based), assigned by the ring.
 	Seq uint64
@@ -19,14 +23,35 @@ type Event struct {
 	Start time.Time
 	// Dur is the span duration (0 for point events).
 	Dur time.Duration
+	// TraceID identifies the operation this span belongs to (the root
+	// span's SpanID). Zero for flat events emitted outside any Op.
+	TraceID uint64
+	// SpanID identifies this span within its trace.
+	SpanID uint64
+	// ParentID is the SpanID of the enclosing span (0 for a root span
+	// and for flat events).
+	ParentID uint64
 }
 
-// String renders one trace line.
+// End returns when the span finished (Start for point events).
+func (e Event) End() time.Time { return e.Start.Add(e.Dur) }
+
+// String renders one trace line. Causal events append a compact
+// trace/span/parent suffix so .trace output shows which operation each
+// span belongs to.
 func (e Event) String() string {
-	if e.Detail == "" {
-		return fmt.Sprintf("#%-6d %-28s %10s", e.Seq, e.Name, e.Dur)
+	s := fmt.Sprintf("#%-6d %-28s %10s", e.Seq, e.Name, e.Dur)
+	if e.Detail != "" {
+		s += "  " + e.Detail
 	}
-	return fmt.Sprintf("#%-6d %-28s %10s  %s", e.Seq, e.Name, e.Dur, e.Detail)
+	if e.TraceID != 0 {
+		if e.ParentID != 0 {
+			s += fmt.Sprintf(" (t=%d s=%d p=%d)", e.TraceID, e.SpanID, e.ParentID)
+		} else {
+			s += fmt.Sprintf(" (t=%d s=%d)", e.TraceID, e.SpanID)
+		}
+	}
+	return s
 }
 
 // Sink receives trace events. Implementations must be safe for

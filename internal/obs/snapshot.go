@@ -23,6 +23,12 @@ type Snapshot struct {
 	LabeledCounters map[string]LabeledCounter
 	// LabeledHistograms is the histogram equivalent of LabeledCounters.
 	LabeledHistograms map[string]LabeledHistogram
+	// Gauges maps metric name → point-in-time level, sampled when the
+	// snapshot was captured (Go runtime health: goroutines, heap in
+	// use, GC pause total, GC cycles). Unlike counters these are not
+	// monotone, so Sub carries the newer snapshot's values through
+	// unchanged.
+	Gauges map[string]int64
 }
 
 // LabeledCounter is one counter family split by a single label
@@ -128,6 +134,10 @@ func (r *Registry) Snapshot() Snapshot {
 	h("keller.materialize_ns", &r.KellerMaterializeNs)
 	h("keller.translate_ns", &r.KellerTranslateNs)
 	c("keller.ops", &r.KellerOps)
+
+	c("obs.slowtrace.captured", &r.SlowTraceCaptured)
+	c("obs.slowtrace.dropped", &r.SlowTraceDropped)
+	s.Gauges = sampleRuntimeGauges()
 	return s
 }
 
@@ -136,6 +146,9 @@ func Capture() Snapshot { return Default.Snapshot() }
 
 // Counter returns a counter by name (0 when absent).
 func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
+
+// Gauge returns a gauge by name (0 when absent).
+func (s Snapshot) Gauge(name string) int64 { return s.Gauges[name] }
 
 // Histogram returns a histogram stat by name (zero stat when absent).
 func (s Snapshot) Histogram(name string) HistogramStat { return s.Histograms[name] }
@@ -192,6 +205,15 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 			out.LabeledHistograms[k] = d
 		}
 	}
+	// Gauges are levels, not counts: the delta of two heap sizes is not
+	// a meaningful heap size, so the newer snapshot's sample carries
+	// through as-is.
+	if len(s.Gauges) > 0 {
+		out.Gauges = make(map[string]int64, len(s.Gauges))
+		for k, v := range s.Gauges {
+			out.Gauges[k] = v
+		}
+	}
 	return out
 }
 
@@ -222,7 +244,7 @@ func WriteText(w io.Writer, s Snapshot) error {
 	names := make([]string, 0, len(s.Counters)+len(s.Histograms))
 	seen := make(map[string]bool)
 	for _, m := range []map[string]bool{namesOf(s.Counters), namesOf(s.Histograms),
-		namesOf(s.LabeledCounters), namesOf(s.LabeledHistograms)} {
+		namesOf(s.LabeledCounters), namesOf(s.LabeledHistograms), namesOf(s.Gauges)} {
 		for n := range m {
 			if !seen[n] {
 				seen[n] = true
@@ -235,6 +257,9 @@ func WriteText(w io.Writer, s Snapshot) error {
 	var lines []string
 	for _, name := range names {
 		if v, ok := s.Counters[name]; ok {
+			lines = append(lines, fmt.Sprintf("%s %d", name, v))
+		}
+		if v, ok := s.Gauges[name]; ok {
 			lines = append(lines, fmt.Sprintf("%s %d", name, v))
 		}
 		if st, ok := s.Histograms[name]; ok {

@@ -56,6 +56,50 @@ func TestCommitPathAllocationFreeWhenUntraced(t *testing.T) {
 	}
 }
 
+// The stale-ReadTx alert itself must stay allocation-free when no sink
+// is installed: the counter bumps, but the Event (and its formatted
+// detail) is never constructed. Both alert sites — Close and Fork —
+// funnel through staleAlert, so exercising Close pins the shared gate.
+func TestStaleAlertAllocationFreeWhenUntraced(t *testing.T) {
+	if obs.Default.Tracing() {
+		t.Fatal("test requires no sink installed on obs.Default")
+	}
+	prev := obs.Default.SetReadTxLagAlert(1)
+	defer obs.Default.SetReadTxLagAlert(prev)
+
+	db := NewDatabase()
+	db.MustCreateRelation(MustSchema("R", []Attribute{
+		{Name: "K", Type: KindInt},
+	}, []string{"K"}))
+
+	// Pre-open the readers outside the measured region, then advance one
+	// generation so every Close sees lag 1 >= threshold 1 and alerts.
+	const runs = 200
+	readers := make([]*ReadTx, 0, runs+10)
+	for i := 0; i < cap(readers); i++ {
+		readers = append(readers, db.BeginRead())
+	}
+	if err := db.RunInTx(func(tx *Tx) error {
+		return tx.Insert("R", Tuple{Int(1)})
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	before := obs.Default.Snapshot()
+	next := 0
+	allocs := testing.AllocsPerRun(runs, func() {
+		readers[next].Close()
+		next++
+	})
+	if allocs != 0 {
+		t.Fatalf("stale Close allocated %.1f/op, want 0 (alert must not build events untraced)", allocs)
+	}
+	delta := obs.Default.Snapshot().Sub(before)
+	if got := delta.Counter("reldb.readtx.stale_closes"); got < runs {
+		t.Fatalf("stale_closes delta = %d, want >= %d (the alert path must have fired)", got, runs)
+	}
+}
+
 // Commits, rollbacks, clones, and ErrTxDone hits are counted, and the
 // commit-latency histogram records one observation per commit.
 func TestTxObservability(t *testing.T) {

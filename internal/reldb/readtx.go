@@ -112,13 +112,7 @@ func (rtx *ReadTx) Fork() *Database {
 	lag := int64(rtx.Lag())
 	obs.Default.ReadTxLag.Observe(lag)
 	if th := obs.Default.ReadTxLagAlert(); th > 0 && lag >= th {
-		obs.Default.StaleForks.Inc()
-		if obs.Default.Tracing() {
-			obs.Default.Emit(obs.Event{
-				Name:   "reldb.readtx.stale_fork",
-				Detail: fmt.Sprintf("lag=%d threshold=%d gen=%d", lag, th, rtx.gen),
-			})
-		}
+		rtx.staleAlert("reldb.readtx.stale_fork", &obs.Default.StaleForks, lag, th)
 	}
 	c := NewDatabase()
 	c.gen = rtx.gen
@@ -143,15 +137,26 @@ func (rtx *ReadTx) Close() {
 		lag := int64(rtx.db.Generation() - rtx.gen)
 		obs.Default.ReadTxLag.Observe(lag)
 		if th := obs.Default.ReadTxLagAlert(); th > 0 && lag >= th {
-			obs.Default.StaleCloses.Inc()
-			if obs.Default.Tracing() {
-				obs.Default.Emit(obs.Event{
-					Name:   "reldb.readtx.stale_close",
-					Detail: fmt.Sprintf("lag=%d threshold=%d gen=%d", lag, th, rtx.gen),
-				})
-			}
+			rtx.staleAlert("reldb.readtx.stale_close", &obs.Default.StaleCloses, lag, th)
 		}
 	}
 	rtx.done = true
 	rtx.rels = nil
+}
+
+// staleAlert records one stale-ReadTx observation: it bumps the given
+// counter unconditionally and builds the trace event only behind the
+// Tracing() gate, so the alert path — which fires on every stale Close
+// and Fork, threshold permitting — stays allocation-free when no sink
+// is installed. Both alert sites funnel through here so the gate cannot
+// drift between them; TestStaleAlertAllocationFreeWhenUntraced pins the
+// guarantee.
+func (rtx *ReadTx) staleAlert(name string, ctr *obs.Counter, lag, th int64) {
+	ctr.Inc()
+	if obs.Default.Tracing() {
+		obs.Default.Emit(obs.Event{
+			Name:   name,
+			Detail: fmt.Sprintf("lag=%d threshold=%d gen=%d", lag, th, rtx.gen),
+		})
+	}
 }

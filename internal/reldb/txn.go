@@ -34,6 +34,11 @@ type Tx struct {
 	ops     int
 	start   time.Time
 	done    bool
+	// op is the causal trace context of the operation driving this
+	// transaction (zero when untraced). Commit and Rollback report
+	// themselves as child spans of it, so a view-object update's span
+	// tree reaches into the engine.
+	op obs.Op
 }
 
 // Begin starts a write transaction, acquiring the database writer lock.
@@ -173,6 +178,13 @@ func (tx *Tx) Replace(relName string, oldKey Tuple, newTuple Tuple) (Tuple, erro
 // OpCount returns the number of successful operations so far.
 func (tx *Tx) OpCount() int { return tx.ops }
 
+// SetTraceOp attaches the causal trace context whose child spans Commit
+// and Rollback will become. Attaching the zero Op (the untraced case)
+// is free; Begin cannot take the op itself because the driving
+// operation typically starts its root span before acquiring the writer
+// lock.
+func (tx *Tx) SetTraceOp(op obs.Op) { tx.op = op }
+
 // Commit publishes the transaction's modified relations into the catalog
 // and releases the writer lock. Relations the transaction only read are
 // not republished.
@@ -183,6 +195,13 @@ func (tx *Tx) Commit() error {
 	}
 	tx.done = true
 	published := len(tx.written)
+	// The commit span covers Begin→Commit, so it opens retroactively at
+	// tx.start; delta publication nests inside it as its own child.
+	traced := tx.op.Active()
+	var commitOp obs.Op
+	if traced {
+		commitOp = tx.op.ChildAt("reldb.commit", tx.start)
+	}
 	// Build the delta batch outside the catalog lock (proportional to the
 	// transaction's own write set); skipped entirely on the read-only
 	// path, which must stay allocation-free.
@@ -190,6 +209,8 @@ func (tx *Tx) Commit() error {
 	if published > 0 {
 		batch = tx.buildBatch()
 	}
+	var pubStart time.Time
+	var pubDur time.Duration
 	tx.db.mu.Lock()
 	if published > 0 {
 		tx.db.gen++
@@ -206,11 +227,18 @@ func (tx *Tx) Commit() error {
 		for i := range batch.Deltas {
 			batch.Deltas[i].Gen = batch.Gen
 		}
+		if traced {
+			pubStart = time.Now()
+		}
 		tx.db.publishLocked(batch)
+		if traced {
+			pubDur = time.Since(pubStart)
+		}
 	}
 	tx.db.writing = false
 	gen := tx.db.gen
 	tx.db.mu.Unlock()
+	deltas := len(batch.Deltas)
 	tx.dirty, tx.written, tx.changes = nil, nil, nil
 	tx.db.writer.Unlock()
 	obs.Default.Commits.Inc()
@@ -218,7 +246,15 @@ func (tx *Tx) Commit() error {
 		obs.Default.EmptyCommits.Inc()
 	}
 	obs.Default.CommitNs.Observe(time.Since(tx.start).Nanoseconds())
-	if obs.Default.Tracing() {
+	if traced {
+		// Spans are emitted outside the catalog lock; the publish window
+		// itself was measured inside it.
+		if published > 0 {
+			commitOp.Span("reldb.delta.publish",
+				fmt.Sprintf("gen=%d deltas=%d", gen, deltas), pubStart, pubDur)
+		}
+		commitOp.Finish(fmt.Sprintf("gen=%d relations=%d ops=%d", gen, published, tx.ops))
+	} else if obs.Default.Tracing() {
 		obs.Default.EmitSpan("reldb.commit",
 			fmt.Sprintf("gen=%d relations=%d ops=%d", gen, published, tx.ops), tx.start)
 	}
@@ -240,7 +276,9 @@ func (tx *Tx) Rollback() error {
 	tx.db.mu.Unlock()
 	tx.db.writer.Unlock()
 	obs.Default.Rollbacks.Inc()
-	if obs.Default.Tracing() {
+	if tx.op.Active() {
+		tx.op.Span("reldb.rollback", "", tx.start, time.Since(tx.start))
+	} else if obs.Default.Tracing() {
 		obs.Default.EmitSpan("reldb.rollback", "", tx.start)
 	}
 	return nil

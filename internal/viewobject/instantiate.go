@@ -65,7 +65,18 @@ type CountCond struct {
 // parallel.go); the output — contents and order — is identical to a
 // sequential run.
 func Instantiate(res structural.Resolver, def *Definition, q Query) ([]*Instance, error) {
+	return InstantiateOp(res, def, q, obs.Op{})
+}
+
+// InstantiateOp is Instantiate under a causal trace context: the
+// instantiation becomes a child span of parent when parent is active
+// (e.g. a materializer rebuild inside a traced serve) and a root span
+// of its own when tracing is on but parent is not. Parallel fan-out
+// reports each chunk as a child span, so the span tree shows where the
+// pool spent its time.
+func InstantiateOp(res structural.Resolver, def *Definition, q Query, parent obs.Op) ([]*Instance, error) {
 	start := time.Now()
+	op := obs.Default.OpUnder(parent, "viewobject.instantiate")
 	pivotRel, err := res.Relation(def.Pivot())
 	if err != nil {
 		return nil, err
@@ -90,7 +101,7 @@ func Instantiate(res structural.Resolver, def *Definition, q Query) ([]*Instance
 		}
 	case workers > 1 && len(pivots) >= minParallelPivots:
 		pstart := time.Now()
-		instances, err = instantiateParallel(res, def, pivots, workers)
+		instances, err = instantiateParallel(res, def, pivots, workers, op)
 		if err != nil {
 			return nil, err
 		}
@@ -118,9 +129,8 @@ func Instantiate(res structural.Resolver, def *Definition, q Query) ([]*Instance
 	dur := time.Since(start).Nanoseconds()
 	obs.Default.InstantiateNs.Observe(dur)
 	obs.Default.InstantiateNsByObject.At(def.obsSlot).Observe(dur)
-	if obs.Default.Tracing() {
-		obs.Default.EmitSpan("viewobject.instantiate",
-			fmt.Sprintf("object=%s instances=%d", def.Name, len(out)), start)
+	if op.Active() {
+		op.Finish(fmt.Sprintf("object=%s instances=%d", def.Name, len(out)))
 	}
 	return out, nil
 }
@@ -182,7 +192,14 @@ func assembleBatch(res structural.Resolver, def *Definition, pivots []reldb.Tupl
 // InstantiateByKey assembles the single instance whose object key equals
 // key, or reports ok=false if the pivot tuple does not exist.
 func InstantiateByKey(res structural.Resolver, def *Definition, key reldb.Tuple) (*Instance, bool, error) {
+	return InstantiateByKeyOp(res, def, key, obs.Op{})
+}
+
+// InstantiateByKeyOp is InstantiateByKey under a causal trace context
+// (see InstantiateOp).
+func InstantiateByKeyOp(res structural.Resolver, def *Definition, key reldb.Tuple, parent obs.Op) (*Instance, bool, error) {
 	start := time.Now()
+	op := obs.Default.OpUnder(parent, "viewobject.instantiate_by_key")
 	pivotRel, err := res.Relation(def.Pivot())
 	if err != nil {
 		return nil, false, err
@@ -191,6 +208,9 @@ func InstantiateByKey(res structural.Resolver, def *Definition, key reldb.Tuple)
 	obs.Default.TuplesScanned.Inc() // the keyed pivot lookup
 	obs.Default.InstTuplesByObject.At(def.obsSlot).Inc()
 	if !ok {
+		if op.Active() {
+			op.Finish(fmt.Sprintf("object=%s key=%s absent", def.Name, key))
+		}
 		return nil, false, nil
 	}
 	inst, err := assembleInstance(res, def, pt)
@@ -202,9 +222,8 @@ func InstantiateByKey(res structural.Resolver, def *Definition, key reldb.Tuple)
 	dur := time.Since(start).Nanoseconds()
 	obs.Default.InstantiateNs.Observe(dur)
 	obs.Default.InstantiateNsByObject.At(def.obsSlot).Observe(dur)
-	if obs.Default.Tracing() {
-		obs.Default.EmitSpan("viewobject.instantiate_by_key",
-			fmt.Sprintf("object=%s key=%s", def.Name, key), start)
+	if op.Active() {
+		op.Finish(fmt.Sprintf("object=%s key=%s", def.Name, key))
 	}
 	return inst, true, nil
 }

@@ -153,9 +153,10 @@ func (m *Materializer) Close() {
 // patching it fresh first. Results — contents and order — are identical
 // to Instantiate over a snapshot of the same generation.
 func (m *Materializer) Instantiate(q Query) ([]*Instance, error) {
+	op := obs.Default.StartOp("viewobject.materialize.serve")
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	rtx, err := m.syncLocked()
+	rtx, err := m.syncLocked(op)
 	if err != nil {
 		return nil, err
 	}
@@ -182,29 +183,41 @@ func (m *Materializer) Instantiate(q Query) ([]*Instance, error) {
 			out = append(out, inst.Clone())
 		}
 	}
+	if op.Active() {
+		op.Finish(fmt.Sprintf("object=%s gen=%d instances=%d", m.def.Name, m.gen, len(out)))
+	}
 	return out, nil
 }
 
 // InstantiateByKey serves the single instance with the given object key
 // from the materialized cache, or ok=false if absent.
 func (m *Materializer) InstantiateByKey(key reldb.Tuple) (*Instance, bool, error) {
+	op := obs.Default.StartOp("viewobject.materialize.serve")
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	rtx, err := m.syncLocked()
+	rtx, err := m.syncLocked(op)
 	if err != nil {
 		return nil, false, err
 	}
 	if rtx != nil {
 		rtx.Close()
 	}
+	finish := func(found bool) {
+		if op.Active() {
+			op.Finish(fmt.Sprintf("object=%s gen=%d key=%s found=%t", m.def.Name, m.gen, key, found))
+		}
+	}
 	ek, err := m.pivotSchema.EncodeKey(key)
 	if err != nil {
+		finish(false)
 		return nil, false, nil // mirror InstantiateByKey: a malformed key finds nothing
 	}
 	inst, ok := m.insts[ek]
 	if !ok {
+		finish(false)
 		return nil, false, nil
 	}
+	finish(true)
 	return inst.Clone(), true, nil
 }
 
@@ -222,7 +235,11 @@ const (
 // patch the affected instances or rebuild wholesale. It returns the
 // snapshot the cache is now synced to (callers close it), or nil when
 // the fast path proved the cache already fresh without pinning one.
-func (m *Materializer) syncLocked() (*reldb.ReadTx, error) {
+// When op is active, the serve's outcome shows up as child spans:
+// "…materialize.patch" for applied deltas and a "…materialize.{miss,
+// fallback,resync}" span wrapping a rebuild (the rebuild's own
+// instantiate span nests inside it).
+func (m *Materializer) syncLocked(op obs.Op) (*reldb.ReadTx, error) {
 	if m.sub == nil {
 		// Subscribe before pinning the snapshot: the snapshot generation
 		// is then >= StartGen, so every later commit reaches the queue.
@@ -240,14 +257,15 @@ func (m *Materializer) syncLocked() (*reldb.ReadTx, error) {
 	m.pending = append(m.pending, batches...)
 
 	var cause *obs.Counter
+	var causeName string
 	switch {
 	case m.insts == nil:
-		m.valid, cause = false, &obs.Default.MatMisses
+		m.valid, cause, causeName = false, &obs.Default.MatMisses, "miss"
 	case lost:
-		m.valid, cause = false, &obs.Default.MatResyncs
+		m.valid, cause, causeName = false, &obs.Default.MatResyncs, "resync"
 	}
 	if m.valid {
-		verdict, err := m.applyLocked(rtx)
+		verdict, err := m.applyLocked(rtx, op)
 		if err != nil {
 			rtx.Close()
 			return nil, err
@@ -256,15 +274,22 @@ func (m *Materializer) syncLocked() (*reldb.ReadTx, error) {
 		case applyOK:
 			cause = &obs.Default.MatHits
 		case applyFallback:
-			m.valid, cause = false, &obs.Default.MatFallbacks
+			m.valid, cause, causeName = false, &obs.Default.MatFallbacks, "fallback"
 		case applyResync:
-			m.valid, cause = false, &obs.Default.MatResyncs
+			m.valid, cause, causeName = false, &obs.Default.MatResyncs, "resync"
 		}
 	}
 	if !m.valid {
-		if err := m.rebuildLocked(rtx); err != nil {
+		var rop obs.Op
+		if op.Active() {
+			rop = op.Child("viewobject.materialize." + causeName)
+		}
+		if err := m.rebuildLocked(rtx, rop); err != nil {
 			rtx.Close()
 			return nil, err
+		}
+		if rop.Active() {
+			rop.Finish(fmt.Sprintf("object=%s gen=%d instances=%d", m.def.Name, m.gen, len(m.insts)))
 		}
 	}
 	cause.Inc()
@@ -277,7 +302,7 @@ func (m *Materializer) syncLocked() (*reldb.ReadTx, error) {
 // single instance is touched — then traverses reverse paths to find the
 // affected pivot keys and rebuilds exactly those instances from the
 // snapshot.
-func (m *Materializer) applyLocked(rtx *reldb.ReadTx) (applyVerdict, error) {
+func (m *Materializer) applyLocked(rtx *reldb.ReadTx, op obs.Op) (applyVerdict, error) {
 	target := rtx.Generation()
 	cut := 0
 	for cut < len(m.pending) && m.pending[cut].Gen <= target {
@@ -425,6 +450,11 @@ func (m *Materializer) applyLocked(rtx *reldb.ReadTx) (applyVerdict, error) {
 	if patches > 0 {
 		obs.Default.MatPatches.Add(int64(patches))
 		obs.Default.MatPatchNs.Observe(time.Since(start).Nanoseconds())
+		if op.Active() {
+			op.Span("viewobject.materialize.patch",
+				fmt.Sprintf("object=%s gen=%d patches=%d", m.def.Name, target, patches),
+				start, time.Since(start))
+		}
 	}
 	return applyOK, nil
 }
@@ -432,8 +462,8 @@ func (m *Materializer) applyLocked(rtx *reldb.ReadTx) (applyVerdict, error) {
 // rebuildLocked re-instantiates the full extent through the existing
 // Instantiate path (parallel when the pivot frontier and worker budget
 // warrant) and re-keys the cache at the snapshot's generation.
-func (m *Materializer) rebuildLocked(rtx *reldb.ReadTx) error {
-	insts, err := Instantiate(rtx, m.def, Query{})
+func (m *Materializer) rebuildLocked(rtx *reldb.ReadTx, op obs.Op) error {
+	insts, err := InstantiateOp(rtx, m.def, Query{}, op)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package viewobject
 
 import (
+	"fmt"
 	"os"
 	"runtime"
 	"strconv"
@@ -70,7 +71,7 @@ func Parallelism() int {
 // ReadTx discipline), each instance subtree is touched by exactly one
 // worker, and all shared metric sinks are atomic — so workers need no
 // locks of their own.
-func instantiateParallel(res structural.Resolver, def *Definition, pivots []reldb.Tuple, workers int) ([]*Instance, error) {
+func instantiateParallel(res structural.Resolver, def *Definition, pivots []reldb.Tuple, workers int, op obs.Op) ([]*Instance, error) {
 	nchunks := workers * chunksPerWorker
 	if nchunks > len(pivots) {
 		nchunks = len(pivots)
@@ -101,11 +102,18 @@ func instantiateParallel(res structural.Resolver, def *Definition, pivots []reld
 				if hi > len(pivots) {
 					hi = len(pivots)
 				}
+				// Op is a value whose shared state is atomic/locked, so
+				// each worker can hang its chunk spans off the same
+				// parent; the tree stays connected across the pool.
+				cop := op.Child("viewobject.chunk")
 				insts, err := assembleBatch(res, def, pivots[lo:hi])
 				if err != nil {
 					errs[i] = err
 					failed.Store(true)
 					continue
+				}
+				if cop.Active() {
+					cop.Finish(fmt.Sprintf("chunk=%d pivots=%d", i, hi-lo))
 				}
 				results[i] = insts
 			}

@@ -19,7 +19,7 @@ func (u *Updater) DeleteByKey(key reldb.Tuple) (*Result, error) {
 		if err := s.step(obs.StepLocalValidate, func() error {
 			var ok bool
 			var err error
-			inst, ok, err = viewobject.InstantiateByKey(s.tx, s.def, key)
+			inst, ok, err = viewobject.InstantiateByKeyOp(s.tx, s.def, key, s.op)
 			if err != nil {
 				return err
 			}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"penguin/internal/obs"
@@ -108,7 +109,32 @@ type session struct {
 	def *viewobject.Definition
 	g   *structural.Graph
 	tx  *reldb.Tx
+	op  obs.Op // the update's root span (zero when untraced)
 	ops []DBOp
+}
+
+// StepProbe is a test hook invoked at the start of every §5 pipeline
+// step with the step and the view-object name. The flight-recorder
+// acceptance tests install one to inject latency into a chosen step;
+// production never sets it, so the cost is one atomic load per step.
+type StepProbe func(st obs.Step, object string)
+
+// stepProbe is the installed probe (nil normally).
+var stepProbe atomic.Pointer[StepProbe]
+
+// SetStepProbe installs the step probe (nil removes it) and returns the
+// previous one.
+func SetStepProbe(p StepProbe) StepProbe {
+	var prev *StepProbe
+	if p == nil {
+		prev = stepProbe.Swap(nil)
+	} else {
+		prev = stepProbe.Swap(&p)
+	}
+	if prev == nil {
+		return nil
+	}
+	return *prev
 }
 
 // run executes fn inside a transaction against the definition's database,
@@ -119,12 +145,18 @@ type session struct {
 func (u *Updater) run(fn func(*session) error) (*Result, error) {
 	def := u.T.Definition()
 	db := def.Graph().Database()
-	start := time.Now()
-	s := &session{tr: u.T, def: def, g: def.Graph(), tx: db.Begin()}
+	// The root span opens before Begin so the commit child (which covers
+	// Begin→Commit) nests inside it even across writer-lock waits.
+	op := obs.Default.StartOp("vupdate.update")
+	s := &session{tr: u.T, def: def, g: def.Graph(), op: op, tx: db.Begin()}
+	s.tx.SetTraceOp(op)
 	slot := def.MetricSlot()
 	if err := fn(s); err != nil {
 		_ = s.tx.Rollback()
 		countRejection(err, slot)
+		if op.Active() {
+			op.Finish(fmt.Sprintf("object=%s rejected", def.Name))
+		}
 		return nil, err
 	}
 	if err := s.tx.Commit(); err != nil {
@@ -132,15 +164,14 @@ func (u *Updater) run(fn func(*session) error) (*Result, error) {
 	}
 	obs.Default.UpdatesCommitted.Inc()
 	obs.Default.CommittedByObject.At(slot).Inc()
-	for _, op := range s.ops {
-		if int(op.Kind) < obs.NumOpKinds {
-			obs.Default.Ops[op.Kind].Inc()
-			obs.Default.OpsByObject[op.Kind].At(slot).Inc()
+	for _, dbop := range s.ops {
+		if int(dbop.Kind) < obs.NumOpKinds {
+			obs.Default.Ops[dbop.Kind].Inc()
+			obs.Default.OpsByObject[dbop.Kind].At(slot).Inc()
 		}
 	}
-	if obs.Default.Tracing() {
-		obs.Default.EmitSpan("vupdate.update",
-			fmt.Sprintf("object=%s ops=%d", def.Name, len(s.ops)), start)
+	if op.Active() {
+		op.Finish(fmt.Sprintf("object=%s ops=%d", def.Name, len(s.ops)))
 	}
 	return &Result{Ops: s.ops}, nil
 }
@@ -162,14 +193,22 @@ func countRejection(err error, slot int) {
 }
 
 // step times one §5 pipeline step into the per-step histogram and, when
-// tracing, emits a span carrying the step name.
+// traced, emits the step as a child span of the update's root op (or a
+// flat span when the update itself is untraced but a sink is on).
 func (s *session) step(st obs.Step, fn func() error) error {
 	start := time.Now()
+	// The probe runs inside the timed interval so injected latency shows
+	// up in the step's span and histogram like real work would.
+	if p := stepProbe.Load(); p != nil {
+		(*p)(st, s.def.Name)
+	}
 	err := fn()
 	dur := time.Since(start).Nanoseconds()
 	obs.Default.StepNs[st].Observe(dur)
 	obs.Default.StepNsByObject[st].At(s.def.MetricSlot()).Observe(dur)
-	if obs.Default.Tracing() {
+	if s.op.Active() {
+		s.op.ChildAt("vupdate.step."+st.String(), start).Finish(s.def.Name)
+	} else if obs.Default.Tracing() {
 		obs.Default.EmitSpan("vupdate.step."+st.String(), s.def.Name, start)
 	}
 	return err

@@ -42,6 +42,30 @@ func TestMetricsLint(t *testing.T) {
 	if !strings.Contains(text, "# TYPE reldb_relation_scanned counter") {
 		t.Error("reldb_relation_scanned missing its # TYPE header")
 	}
+
+	// Runtime introspection: the gauge families sampled at snapshot time
+	// must be present, typed, and plausibly live.
+	for _, family := range []string{
+		"runtime_goroutines",
+		"runtime_heap_inuse_bytes",
+		"runtime_gc_pause_total_ns",
+		"runtime_gc_cycles",
+	} {
+		if !strings.Contains(text, "# TYPE "+family+" gauge") {
+			t.Errorf("%s missing its # TYPE gauge header", family)
+		}
+	}
+	if !regexp.MustCompile(`(?m)^runtime_goroutines [1-9]\d*$`).MatchString(text) {
+		t.Error("runtime_goroutines is zero or absent in exposition")
+	}
+
+	// The flight-recorder counters expose whether slow-trace capture ran
+	// (zero-valued without a recorder, but the families must exist).
+	for _, family := range []string{"obs_slowtrace_captured", "obs_slowtrace_dropped"} {
+		if !strings.Contains(text, "# TYPE "+family+" counter") {
+			t.Errorf("%s missing its # TYPE counter header", family)
+		}
+	}
 }
 
 // TestMetricsLintMaterialize is the exposition gate for the materialized

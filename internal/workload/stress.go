@@ -68,6 +68,9 @@ type StressResult struct {
 	// Violations lists invariant violations (torn instances). Empty means
 	// every observed instance was consistent with a committed state.
 	Violations []string
+	// SlowTraces counts operations the flight recorder captured during
+	// the run (0 when no recorder is installed on obs.Default).
+	SlowTraces int64
 	// Metrics is the engine-metric delta across the run (everything the
 	// obs.Default registry accumulated between RunStress entry and exit).
 	Metrics obs.Snapshot
@@ -277,6 +280,20 @@ func RunStress(spec StressSpec) (*StressResult, error) {
 	readers.Wait()
 	close(writerErrs)
 	res.Metrics = obs.Capture().Sub(before)
+	res.SlowTraces = res.Metrics.Counter("obs.slowtrace.captured")
+	// With a flight recorder installed, every retained span tree must be
+	// well-formed even though spans were emitted from the §5 pipeline,
+	// the parallel instantiation pool, and the materializer concurrently:
+	// exactly one root, every ParentID resolvable, every child's interval
+	// inside its parent's. A violation here means the causal threading
+	// tore under load.
+	if rec := obs.Default.Recorder(); rec != nil {
+		for _, tr := range rec.Traces() {
+			if err := tr.Validate(); err != nil {
+				violate("slow trace %d (%s): %v", tr.TraceID, tr.Name, err)
+			}
+		}
+	}
 	for err := range writerErrs {
 		return res, err
 	}

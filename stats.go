@@ -3,6 +3,7 @@ package penguin
 import (
 	"io"
 	"net"
+	"time"
 
 	"penguin/internal/obs"
 	"penguin/internal/vupdate"
@@ -15,12 +16,24 @@ type (
 	StatsSnapshot = obs.Snapshot
 	// HistogramStat is one histogram's snapshot (count, sum, buckets).
 	HistogramStat = obs.HistogramStat
-	// TraceEvent is one trace span emitted by an instrumented path.
+	// TraceEvent is one trace span emitted by an instrumented path. It
+	// carries causal identity (TraceID/SpanID/ParentID) when emitted
+	// under a TraceOp.
 	TraceEvent = obs.Event
 	// TraceSink receives trace events; install one with SetTraceSink.
 	TraceSink = obs.Sink
 	// TraceRing is a fixed-size lock-free buffer of recent trace events.
 	TraceRing = obs.Ring
+	// TraceOp is a handle on one operation's span tree; the engine
+	// threads one through every update, instantiation, and serve.
+	TraceOp = obs.Op
+	// SlowTrace is one operation's span tree retained by the flight
+	// recorder (Validate checks well-formedness, Render formats an
+	// indented outline).
+	SlowTrace = obs.SlowTrace
+	// FlightRecorder retains the span trees of operations whose root
+	// span exceeds a latency threshold, in a bounded ring.
+	FlightRecorder = obs.Recorder
 	// RejectReason classifies why an update translation was rejected.
 	RejectReason = vupdate.Reason
 )
@@ -70,3 +83,41 @@ func SetTraceSink(s TraceSink) { obs.Default.SetSink(s) }
 // RejectReasonOf extracts the rejection reason from an update error
 // (ReasonUnknown when the error carries none).
 var RejectReasonOf = vupdate.ReasonOf
+
+// NewFlightRecorder creates a flight recorder retaining operations
+// whose root span lasts at least threshold (0 retains every completed
+// operation) into a ring of at most capacity slow traces.
+func NewFlightRecorder(threshold time.Duration, capacity int) *FlightRecorder {
+	return obs.NewRecorder(threshold, capacity)
+}
+
+// SetFlightRecorder installs (or, with nil, removes) the engine flight
+// recorder. While installed, every top-level operation (view-object
+// update, instantiation, materialized serve, Keller translation)
+// buffers its span tree; trees whose root exceeds the recorder's
+// threshold are retained and readable via SlowTraces. With neither a
+// recorder nor a trace sink installed the instrumented hot paths stay
+// allocation-free.
+func SetFlightRecorder(rec *FlightRecorder) { obs.Default.SetRecorder(rec) }
+
+// SlowTraces returns the slow traces the installed flight recorder has
+// retained, oldest first (nil without a recorder).
+func SlowTraces() []SlowTrace {
+	if rec := obs.Default.Recorder(); rec != nil {
+		return rec.Traces()
+	}
+	return nil
+}
+
+// WriteChromeTrace writes traces as Chrome trace-event JSON — load the
+// output into chrome://tracing or Perfetto to see the span tree on a
+// timeline.
+func WriteChromeTrace(w io.Writer, traces []SlowTrace) error {
+	return obs.WriteChromeTrace(w, traces)
+}
+
+// StartTraceOp opens a root span for an application-level operation so
+// engine spans triggered underneath it join its trace; finish it with
+// Finish. It returns an inactive no-op handle unless a trace sink or
+// flight recorder is installed.
+func StartTraceOp(name string) TraceOp { return obs.Default.StartOp(name) }
