@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_TOLERANCE ?= 0.30
 
-.PHONY: build test race vet bench bench-smoke bench-baseline bench-diff metrics-lint verify
+.PHONY: build test race vet bench bench-smoke bench-baseline bench-diff metrics-lint crash-matrix verify
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,7 @@ bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 	$(GO) test -bench=BenchmarkParallelInstantiation -benchtime=1x -cpu=1,4 -run='^$$' .
 	$(GO) test -bench=BenchmarkMaterializedRead -benchtime=1x -run='^$$' .
+	$(GO) test -bench='BenchmarkCommit(WAL|InMemory)' -benchtime=1x -run='^$$' .
 
 # bench-baseline records a full benchmark run as JSON for diffing
 # against future runs.
@@ -50,6 +51,13 @@ bench-diff:
 metrics-lint:
 	$(GO) test -run '^TestMetricsLint' -count=1 ./internal/workload
 
+# crash-matrix runs the durability fault-injection suite under the race
+# detector: WAL truncation at every byte-group boundary, mid-log
+# corruption, checkpoint crash leftovers, and a kill -9 of a child
+# process running live stress traffic.
+crash-matrix:
+	$(GO) test -race -run '^TestCrashMatrix' -count=1 ./internal/workload
+
 # verify is the full gate: compile everything, vet, then run the whole
 # suite (including the concurrent stress tests) under the race detector.
-verify: build vet race metrics-lint
+verify: build vet race metrics-lint crash-matrix

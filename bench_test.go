@@ -9,6 +9,7 @@ package penguin_test
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -705,4 +706,50 @@ func BenchmarkFacadeSmoke(b *testing.B) {
 			b.Fatal("fresh database not empty")
 		}
 	}
+}
+
+// E13 — durability: commit latency with the write-ahead log against the
+// in-memory engine. Commits run from parallel goroutines so SyncCommit's
+// group fsync batches — the acceptance bound is WAL within 5x of
+// in-memory throughput under the same concurrency.
+func BenchmarkCommitWAL(b *testing.B) {
+	commitBench(b, func(b *testing.B) *penguin.Database {
+		db, err := penguin.OpenDatabaseWith(b.TempDir(), penguin.OpenOptions{CheckpointInterval: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { db.Close() })
+		return db
+	})
+}
+
+// BenchmarkCommitInMemory is BenchmarkCommitWAL's baseline: identical
+// traffic with no durability.
+func BenchmarkCommitInMemory(b *testing.B) {
+	commitBench(b, func(b *testing.B) *penguin.Database {
+		return penguin.NewDatabase()
+	})
+}
+
+func commitBench(b *testing.B, open func(b *testing.B) *penguin.Database) {
+	db := open(b)
+	if _, err := db.CreateRelation(reldb.MustSchema("BENCH", []penguin.Attribute{
+		{Name: "K", Type: penguin.KindInt},
+		{Name: "V", Type: penguin.KindString, Nullable: true},
+	}, []string{"K"})); err != nil {
+		b.Fatal(err)
+	}
+	var key int64
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			k := atomic.AddInt64(&key, 1)
+			if err := db.RunInTx(func(tx *penguin.Tx) error {
+				return tx.Insert("BENCH", penguin.Tuple{penguin.Int(k), penguin.String("v")})
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -8,6 +8,8 @@
 //	penguin                   # start with the seeded university database
 //	penguin -empty            # start with an empty database (RQL only)
 //	penguin -load snapshot.db # load a snapshot written by .save
+//	penguin -data-dir DIR     # open a durable database (WAL + checkpoints);
+//	                          # recovers committed state after a crash
 //	penguin -metrics-addr :9090 # additionally serve Prometheus metrics at /metrics
 //	                            # (plus /debug/traces and /debug/pprof/)
 //	penguin -slow-threshold 5ms # retain traces of operations slower than 5ms
@@ -34,6 +36,7 @@
 //	.trace slow [N]           list retained slow traces, or render the Nth
 //	.trace export N FILE      write the Nth slow trace as Chrome trace JSON
 //	.save FILE / .load FILE   snapshot the database
+//	.checkpoint               write a durable checkpoint and prune the WAL
 //	.help / .quit
 //
 // Errors go to stderr; results go to stdout, so output can be piped.
@@ -41,6 +44,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -92,6 +96,7 @@ func (sh *shell) errorf(format string, args ...any) {
 func main() {
 	empty := flag.Bool("empty", false, "start with an empty database instead of the seeded university")
 	load := flag.String("load", "", "load a database snapshot")
+	dataDir := flag.String("data-dir", "", "open a durable database in this directory (write-ahead logged; recovers after a crash)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics at http://ADDR/metrics (e.g. :9090)")
 	slowThreshold := flag.Duration("slow-threshold", 25*time.Millisecond,
 		"retain traces of operations whose root span lasts at least this long (0 retains every operation)")
@@ -118,6 +123,16 @@ func main() {
 		fmt.Printf("metrics: http://%s/metrics\n", ln.Addr())
 	}
 	switch {
+	case *dataDir != "":
+		db, err := reldb.OpenDatabase(*dataDir)
+		if err != nil {
+			fatal(err)
+		}
+		defer db.Close()
+		sh.db = db
+		sh.g = structural.NewGraph(db)
+		fmt.Printf("opened %s (%d relations, %d rows, generation %d)\n",
+			*dataDir, len(db.Names()), db.TotalRows(), db.Generation())
 	case *load != "":
 		f, err := os.Open(*load)
 		if err != nil {
@@ -484,6 +499,16 @@ func (sh *shell) command(line string) bool {
 			break
 		}
 		fmt.Fprintln(sh.out, "saved", args[0])
+	case ".checkpoint":
+		gen, err := sh.db.Checkpoint()
+		switch {
+		case errors.Is(err, reldb.ErrNotDurable):
+			sh.errorf("this session is in-memory - start with -data-dir DIR for durability")
+		case err != nil:
+			sh.errorf("error: %v", err)
+		default:
+			fmt.Fprintf(sh.out, "checkpoint written at generation %d\n", gen)
+		}
 	case ".load":
 		if len(args) != 1 {
 			sh.errorf("usage: .load FILE")
@@ -649,6 +674,7 @@ Dot-commands:
   .trace [N]            show the last N trace events (default 20)
   .trace slow [N]       list retained slow traces, or render the Nth as a tree
   .trace export N FILE  write the Nth slow trace as Chrome trace JSON
+  .checkpoint           write a durable checkpoint and prune the WAL (-data-dir sessions)
   .save FILE .load FILE .quit
 `)
 }

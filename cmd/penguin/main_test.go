@@ -441,3 +441,50 @@ func TestShellProm(t *testing.T) {
 		}
 	}
 }
+
+// .checkpoint is a no-op with a pointer to -data-dir on an in-memory
+// session, and writes a real snapshot (pruning the WAL) on a durable one
+// whose state then survives a reopen.
+func TestShellCheckpoint(t *testing.T) {
+	sh, out := testShell(t)
+	text := run(t, sh, out, ".checkpoint")
+	if !strings.Contains(text, "-data-dir") {
+		t.Fatalf("in-memory .checkpoint should point at -data-dir:\n%s", text)
+	}
+
+	dir := t.TempDir()
+	db, err := reldb.OpenDatabaseWith(dir, reldb.OpenOptions{CheckpointInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh.db = db
+	if _, err := db.CreateRelation(reldb.MustSchema("T", []reldb.Attribute{
+		{Name: "K", Type: reldb.KindInt},
+	}, []string{"K"})); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RunInTx(func(tx *reldb.Tx) error {
+		return tx.Insert("T", reldb.Tuple{reldb.Int(7)})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	text = run(t, sh, out, ".checkpoint")
+	if !strings.Contains(text, "checkpoint written at generation 2") {
+		t.Fatalf(".checkpoint output:\n%s", text)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := reldb.OpenDatabaseWith(dir, reldb.OpenOptions{CheckpointInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if g := re.Generation(); g != 2 {
+		t.Fatalf("reopened generation = %d, want 2", g)
+	}
+	rel, err := re.Relation("T")
+	if err != nil || rel.Count() != 1 {
+		t.Fatalf("reopened T: %v, count %d", err, rel.Count())
+	}
+}

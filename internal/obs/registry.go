@@ -112,6 +112,17 @@ type Registry struct {
 	DeltaPublishes  Counter // delta batches published to at least one subscriber
 	DeltaOverflows  Counter // subscriber queues overflowed (drop-to-resync)
 
+	// reldb: the write-ahead log. Appends count generation advances
+	// logged (commits and DDL); the fsync count lags the append count
+	// under load — that gap is group commit working. Replayed counts
+	// records applied by recovery at OpenDatabase.
+	WALAppends     Counter   // records appended to the log
+	WALBytes       Counter   // bytes appended, framing included
+	WALFsyncs      Counter   // fsyncs issued (one may acknowledge many commits)
+	WALReplayed    Counter   // records replayed by recovery
+	WALCheckpoints Counter   // checkpoints completed (snapshot + truncation)
+	WALFsyncNs     Histogram // fsync latency
+
 	// reldb: per-relation lookup cost (MatchStats attribution). Each
 	// MatchEqual-family lookup charges the relation that served it, so a
 	// missing index shows up against the relation that pays for it.
@@ -217,6 +228,7 @@ func NewRegistry() *Registry {
 	}
 	r.CommitNs.init(DurationBounds)
 	r.ReadTxLag.init(CountBounds)
+	r.WALFsyncNs.init(DurationBounds)
 	r.NodeFanOut.init(CountBounds)
 	r.LevelFanOut.init(CountBounds)
 	r.InstantiateNs.init(DurationBounds)

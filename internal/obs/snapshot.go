@@ -81,6 +81,12 @@ func (r *Registry) Snapshot() Snapshot {
 	c("reldb.delta.subscribes", &r.DeltaSubscribes)
 	c("reldb.delta.publishes", &r.DeltaPublishes)
 	c("reldb.delta.overflows", &r.DeltaOverflows)
+	c("reldb.wal.appends", &r.WALAppends)
+	c("reldb.wal.bytes", &r.WALBytes)
+	c("reldb.wal.fsyncs", &r.WALFsyncs)
+	c("reldb.wal.replayed", &r.WALReplayed)
+	c("reldb.wal.checkpoints", &r.WALCheckpoints)
+	h("reldb.wal.fsync_ns", &r.WALFsyncNs)
 	h("reldb.tx.commit_ns", &r.CommitNs)
 	h("reldb.readtx.lag_generations", &r.ReadTxLag)
 	lc("reldb.relation.scanned", r.RelScanned)

@@ -46,6 +46,19 @@ type Database struct {
 	// Subscribe uses it to pin late registrations past the in-flight
 	// commit, whose changelog may predate the subscription (delta.go).
 	writing bool
+
+	// wal, set once by OpenDatabase before the database is shared, makes
+	// every generation advance durable before it becomes visible. nil
+	// for in-memory databases; read without locks (immutable after open).
+	wal     *wal
+	dataDir string
+	// ckptMu serializes checkpoints (manual and background); ckptStop /
+	// ckptDone manage the background checkpointer goroutine.
+	ckptMu    sync.Mutex
+	ckptStop  chan struct{}
+	ckptDone  chan struct{}
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // NewDatabase creates an empty database.
@@ -54,13 +67,32 @@ func NewDatabase() *Database {
 }
 
 // CreateRelation defines a new relation from the schema. DDL takes the
-// writer lock: it cannot run while a write transaction is open.
+// writer lock: it cannot run while a write transaction is open. On a
+// durable database the definition is logged (write-ahead) before it is
+// published, like any other generation advance.
 func (db *Database) CreateRelation(schema *Schema) (*Relation, error) {
 	db.writer.Lock()
 	defer db.writer.Unlock()
+	var walGen uint64
+	if db.wal != nil {
+		db.mu.RLock()
+		_, dup := db.relations[schema.Name()]
+		walGen = db.gen + 1
+		db.mu.RUnlock()
+		if dup {
+			return nil, fmt.Errorf("reldb: create %s: %w", schema.Name(), ErrRelationExists)
+		}
+		payload, err := encodeCreateRecord(walGen, schema)
+		if err != nil {
+			return nil, err
+		}
+		if err := db.wal.append(walGen, payload); err != nil {
+			return nil, err
+		}
+	}
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if _, dup := db.relations[schema.Name()]; dup {
+		db.mu.Unlock()
 		return nil, fmt.Errorf("reldb: create %s: %w", schema.Name(), ErrRelationExists)
 	}
 	db.gen++
@@ -68,6 +100,12 @@ func (db *Database) CreateRelation(schema *Schema) (*Relation, error) {
 	r.gen = db.gen
 	db.relations[schema.Name()] = r
 	db.structuralBatchLocked(schema.Name())
+	db.mu.Unlock()
+	if db.wal != nil {
+		if err := db.wal.waitDurable(walGen); err != nil {
+			return nil, err
+		}
+	}
 	return r, nil
 }
 
@@ -81,18 +119,40 @@ func (db *Database) MustCreateRelation(schema *Schema) *Relation {
 }
 
 // DropRelation removes a relation and its data. Like all DDL it takes the
-// writer lock.
+// writer lock, and on a durable database it is logged before it is
+// published.
 func (db *Database) DropRelation(name string) error {
 	db.writer.Lock()
 	defer db.writer.Unlock()
+	var walGen uint64
+	if db.wal != nil {
+		db.mu.RLock()
+		_, ok := db.relations[name]
+		walGen = db.gen + 1
+		db.mu.RUnlock()
+		if !ok {
+			return fmt.Errorf("reldb: drop %s: %w", name, ErrNoSuchRelation)
+		}
+		payload, err := encodeDropRecord(walGen, name)
+		if err != nil {
+			return err
+		}
+		if err := db.wal.append(walGen, payload); err != nil {
+			return err
+		}
+	}
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if _, ok := db.relations[name]; !ok {
+		db.mu.Unlock()
 		return fmt.Errorf("reldb: drop %s: %w", name, ErrNoSuchRelation)
 	}
 	delete(db.relations, name)
 	db.gen++
 	db.structuralBatchLocked(name)
+	db.mu.Unlock()
+	if db.wal != nil {
+		return db.wal.waitDurable(walGen)
+	}
 	return nil
 }
 

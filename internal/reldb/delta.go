@@ -205,14 +205,15 @@ type txChange struct {
 	before, after Tuple
 }
 
-// capturing reports whether any delta subscriber is registered, i.e.
-// whether write ops must feed the changelog. With nobody listening the
+// capturing reports whether write ops must feed the changelog: some
+// delta subscriber is registered, or the database is durable and every
+// commit's net effect must reach the write-ahead log. With neither, the
 // hot path skips capture entirely — key encoding, cloning, and the
 // changelog maps all cost nothing. A subscriber that registers after an
 // op skipped capture cannot be torn by the gap: Subscribe pins its
 // StartGen past the in-flight commit, whose batch is then withheld from
 // it (publishLocked).
-func (tx *Tx) capturing() bool { return tx.db.nsubs.Load() > 0 }
+func (tx *Tx) capturing() bool { return tx.db.nsubs.Load() > 0 || tx.db.wal != nil }
 
 // note records that a transaction op left the stored image of (relName,
 // ek) as after. The before image is captured only on the first touch of

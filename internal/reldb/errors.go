@@ -17,4 +17,18 @@ var (
 	ErrNoSuchIndex = errors.New("no such index")
 	// ErrTxDone reports use of a committed or rolled-back transaction.
 	ErrTxDone = errors.New("transaction already finished")
+	// ErrSnapshotCorrupt reports a snapshot file whose CRC trailer does
+	// not match its contents, or whose structure cannot be decoded: the
+	// bytes on disk are not what WriteSnapshot produced.
+	ErrSnapshotCorrupt = errors.New("snapshot corrupt")
+	// ErrWALCorrupt reports a write-ahead log whose records fail their
+	// checksum away from the tail, or whose generations are not
+	// contiguous: recovery refuses to load a state it cannot prove is a
+	// committed prefix.
+	ErrWALCorrupt = errors.New("write-ahead log corrupt")
+	// ErrDatabaseClosed reports an operation on a closed durable database.
+	ErrDatabaseClosed = errors.New("database closed")
+	// ErrNotDurable reports a durability operation (checkpoint, sync) on
+	// a database that was not opened from a data directory.
+	ErrNotDurable = errors.New("database has no write-ahead log")
 )

@@ -1,0 +1,414 @@
+package reldb
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func durableDB(t *testing.T, dir string) *Database {
+	t.Helper()
+	db, err := OpenDatabase(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func kvSchema(name string) *Schema {
+	return MustSchema(name, []Attribute{
+		{Name: "K", Type: KindInt},
+		{Name: "V", Type: KindString, Nullable: true},
+	}, []string{"K"})
+}
+
+func mustCommit(t *testing.T, db *Database, fn func(*Tx) error) {
+	t.Helper()
+	if err := db.RunInTx(fn); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// rowsOf returns the relation's tuples as "k=v" strings in key order.
+func rowsOf(t *testing.T, db *Database, rel string) []string {
+	t.Helper()
+	r, err := db.Relation(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, tp := range r.All() {
+		out = append(out, tp.String())
+	}
+	return out
+}
+
+func TestOpenDatabaseRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	db := durableDB(t, dir)
+	if _, err := db.CreateRelation(kvSchema("R")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		i := i
+		mustCommit(t, db, func(tx *Tx) error {
+			return tx.Insert("R", Tuple{Int(int64(i)), String(fmt.Sprintf("v%d", i))})
+		})
+	}
+	mustCommit(t, db, func(tx *Tx) error {
+		_, err := tx.Replace("R", Tuple{Int(2)}, Tuple{Int(2), String("v2'")})
+		return err
+	})
+	mustCommit(t, db, func(tx *Tx) error {
+		_, err := tx.Delete("R", Tuple{Int(4)})
+		return err
+	})
+	gen := db.Generation()
+	want := rowsOf(t, db, "R")
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re := durableDB(t, dir)
+	defer re.Close()
+	if g := re.Generation(); g != gen {
+		t.Fatalf("recovered generation = %d, want %d", g, gen)
+	}
+	got := rowsOf(t, re, "R")
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("recovered rows %v, want %v", got, want)
+	}
+	// The delta stream continues gap-free: the next commit publishes
+	// gen+1 to a fresh subscriber.
+	sub := re.Subscribe(8)
+	mustCommit(t, re, func(tx *Tx) error {
+		return tx.Insert("R", Tuple{Int(100), String("post")})
+	})
+	batches, lost := sub.Poll()
+	if lost || len(batches) != 1 || batches[0].Gen != gen+1 {
+		t.Fatalf("post-recovery commit: batches=%v lost=%v, want single gen %d", batches, lost, gen+1)
+	}
+}
+
+// TestRecoveryEmptyNetCommit: a commit whose net effect cancels out
+// still advances the generation, so it must be logged — otherwise the
+// generation sequence has a hole and recovery refuses the log.
+func TestRecoveryEmptyNetCommit(t *testing.T) {
+	dir := t.TempDir()
+	db := durableDB(t, dir)
+	if _, err := db.CreateRelation(kvSchema("R")); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, db, func(tx *Tx) error {
+		if err := tx.Insert("R", Tuple{Int(1), String("ephemeral")}); err != nil {
+			return err
+		}
+		_, err := tx.Delete("R", Tuple{Int(1)})
+		return err
+	})
+	mustCommit(t, db, func(tx *Tx) error {
+		return tx.Insert("R", Tuple{Int(2), String("kept")})
+	})
+	gen := db.Generation()
+	db.Close()
+
+	re := durableDB(t, dir)
+	defer re.Close()
+	if g := re.Generation(); g != gen {
+		t.Fatalf("recovered generation = %d, want %d", g, gen)
+	}
+	if n := re.MustRelation("R").Count(); n != 1 {
+		t.Fatalf("recovered %d rows, want 1", n)
+	}
+}
+
+func TestRecoveryDDL(t *testing.T) {
+	dir := t.TempDir()
+	db := durableDB(t, dir)
+	db.MustCreateRelation(kvSchema("KEEP"))
+	db.MustCreateRelation(kvSchema("DOOMED"))
+	mustCommit(t, db, func(tx *Tx) error {
+		return tx.Insert("KEEP", Tuple{Int(1), String("x")})
+	})
+	if err := db.DropRelation("DOOMED"); err != nil {
+		t.Fatal(err)
+	}
+	gen := db.Generation()
+	db.Close()
+
+	re := durableDB(t, dir)
+	defer re.Close()
+	if re.HasRelation("DOOMED") {
+		t.Fatal("dropped relation came back")
+	}
+	if !re.HasRelation("KEEP") || re.MustRelation("KEEP").Count() != 1 {
+		t.Fatal("created relation or its rows lost")
+	}
+	if g := re.Generation(); g != gen {
+		t.Fatalf("recovered generation = %d, want %d", g, gen)
+	}
+}
+
+// TestRecoveryTornTail: bytes of an unfinished append at the end of the
+// last segment are discarded and the file is truncated back to the
+// acknowledged prefix.
+func TestRecoveryTornTail(t *testing.T) {
+	dir := t.TempDir()
+	db := durableDB(t, dir)
+	db.MustCreateRelation(kvSchema("R"))
+	mustCommit(t, db, func(tx *Tx) error {
+		return tx.Insert("R", Tuple{Int(1), String("durable")})
+	})
+	gen := db.Generation()
+	db.Close()
+
+	segs, err := filepath.Glob(filepath.Join(dir, walSegPrefix+"*"+walSegSuffix))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments = %v, %v", segs, err)
+	}
+	// Simulate a crash mid-append: garbage that parses as a frame header
+	// whose record extends past EOF.
+	f, err := os.OpenFile(segs[0], os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x00, 0x00, 0x40, 0x00, 0xde, 0xad, 0xbe, 0xef, 0x01, 0x02}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	re := durableDB(t, dir)
+	defer re.Close()
+	if g := re.Generation(); g != gen {
+		t.Fatalf("recovered generation = %d, want %d", g, gen)
+	}
+	if n := re.MustRelation("R").Count(); n != 1 {
+		t.Fatalf("recovered %d rows, want 1", n)
+	}
+	// And the torn bytes are gone: appending continues cleanly.
+	mustCommit(t, re, func(tx *Tx) error {
+		return tx.Insert("R", Tuple{Int(2), String("after")})
+	})
+	re.Close()
+	re2 := durableDB(t, dir)
+	defer re2.Close()
+	if n := re2.MustRelation("R").Count(); n != 2 {
+		t.Fatalf("after truncate-and-append: %d rows, want 2", n)
+	}
+}
+
+// TestRecoveryMidLogCorruption: a damaged record that is not the tail
+// cannot be a torn append — recovery must refuse with ErrWALCorrupt,
+// never silently drop committed data after it.
+func TestRecoveryMidLogCorruption(t *testing.T) {
+	dir := t.TempDir()
+	db := durableDB(t, dir)
+	db.MustCreateRelation(kvSchema("R"))
+	for i := 0; i < 4; i++ {
+		i := i
+		mustCommit(t, db, func(tx *Tx) error {
+			return tx.Insert("R", Tuple{Int(int64(i)), String("v")})
+		})
+	}
+	db.Close()
+
+	segs, _ := filepath.Glob(filepath.Join(dir, walSegPrefix+"*"+walSegSuffix))
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the middle of the file, away from the final record.
+	mut := append([]byte(nil), data...)
+	mut[len(mut)/2] ^= 0x20
+	if err := os.WriteFile(segs[0], mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = OpenDatabase(dir)
+	if err == nil {
+		t.Fatal("mid-log corruption accepted")
+	}
+	if !errors.Is(err, ErrWALCorrupt) {
+		t.Fatalf("error does not wrap ErrWALCorrupt: %v", err)
+	}
+}
+
+func TestCheckpointAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	db := durableDB(t, dir)
+	db.MustCreateRelation(kvSchema("R"))
+	for i := 0; i < 10; i++ {
+		i := i
+		mustCommit(t, db, func(tx *Tx) error {
+			return tx.Insert("R", Tuple{Int(int64(i)), String("v")})
+		})
+	}
+	ckGen, err := db.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckGen != db.Generation() {
+		t.Fatalf("checkpoint gen %d, head %d", ckGen, db.Generation())
+	}
+	// Post-checkpoint traffic lands in the new tail segment.
+	mustCommit(t, db, func(tx *Tx) error {
+		return tx.Insert("R", Tuple{Int(100), String("tail")})
+	})
+	gen := db.Generation()
+	db.Close()
+
+	snaps, _ := filepath.Glob(filepath.Join(dir, snapPrefix+"*"+snapSuffix))
+	if len(snaps) != 1 {
+		t.Fatalf("snapshots after checkpoint: %v", snaps)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, walSegPrefix+"*"+walSegSuffix))
+	if len(segs) != 1 {
+		t.Fatalf("segments after prune: %v", segs)
+	}
+
+	re := durableDB(t, dir)
+	defer re.Close()
+	if g := re.Generation(); g != gen {
+		t.Fatalf("recovered generation = %d, want %d", g, gen)
+	}
+	if n := re.MustRelation("R").Count(); n != 11 {
+		t.Fatalf("recovered %d rows, want 11", n)
+	}
+}
+
+// TestCheckpointTmpStrayIgnored: a crash before the snapshot rename
+// leaves only a .tmp file, which open deletes and ignores.
+func TestCheckpointTmpStrayIgnored(t *testing.T) {
+	dir := t.TempDir()
+	db := durableDB(t, dir)
+	db.MustCreateRelation(kvSchema("R"))
+	mustCommit(t, db, func(tx *Tx) error {
+		return tx.Insert("R", Tuple{Int(1), String("v")})
+	})
+	gen := db.Generation()
+	db.Close()
+
+	stray := filepath.Join(dir, snapshotName(gen)+tmpSuffix)
+	if err := os.WriteFile(stray, []byte("half a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re := durableDB(t, dir)
+	defer re.Close()
+	if g := re.Generation(); g != gen {
+		t.Fatalf("recovered generation = %d, want %d", g, gen)
+	}
+	if _, err := os.Stat(stray); !os.IsNotExist(err) {
+		t.Fatalf("stray .tmp not cleaned up: %v", err)
+	}
+}
+
+// TestRecoveryCorruptSnapshot: a named snapshot that fails its CRC is
+// genuine damage (the rename protocol means it was complete once);
+// recovery reports it rather than silently falling back.
+func TestRecoveryCorruptSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	db := durableDB(t, dir)
+	db.MustCreateRelation(kvSchema("R"))
+	mustCommit(t, db, func(tx *Tx) error {
+		return tx.Insert("R", Tuple{Int(1), String("v")})
+	})
+	if _, err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	snaps, _ := filepath.Glob(filepath.Join(dir, snapPrefix+"*"+snapSuffix))
+	if len(snaps) != 1 {
+		t.Fatalf("snapshots: %v", snaps)
+	}
+	data, _ := os.ReadFile(snaps[0])
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(snaps[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := OpenDatabase(dir)
+	if !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("corrupt snapshot: error = %v, want ErrSnapshotCorrupt", err)
+	}
+}
+
+// TestRecoveryMissingSegment: deleting a segment recovery still needs
+// leaves a generation gap, which must be refused, not bridged.
+func TestRecoveryMissingSegment(t *testing.T) {
+	dir := t.TempDir()
+	db := durableDB(t, dir)
+	db.MustCreateRelation(kvSchema("R"))
+	for i := 0; i < 3; i++ {
+		i := i
+		mustCommit(t, db, func(tx *Tx) error {
+			return tx.Insert("R", Tuple{Int(int64(i)), String("v")})
+		})
+	}
+	if _, err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, db, func(tx *Tx) error {
+		return tx.Insert("R", Tuple{Int(50), String("tail")})
+	})
+	db.Close()
+
+	// Delete the snapshot: the remaining tail segment starts above
+	// generation 0, so the log no longer reaches the empty state.
+	snaps, _ := filepath.Glob(filepath.Join(dir, snapPrefix+"*"+snapSuffix))
+	for _, s := range snaps {
+		os.Remove(s)
+	}
+	_, err := OpenDatabase(dir)
+	if !errors.Is(err, ErrWALCorrupt) {
+		t.Fatalf("generation gap: error = %v, want ErrWALCorrupt", err)
+	}
+}
+
+func TestCloseIdempotentAndCommitAfterCloseFails(t *testing.T) {
+	dir := t.TempDir()
+	db := durableDB(t, dir)
+	db.MustCreateRelation(kvSchema("R"))
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	err := db.RunInTx(func(tx *Tx) error {
+		return tx.Insert("R", Tuple{Int(1), String("v")})
+	})
+	if !errors.Is(err, ErrDatabaseClosed) {
+		t.Fatalf("commit after close: %v, want ErrDatabaseClosed", err)
+	}
+	// In-memory databases: Close is a no-op, Checkpoint refuses.
+	mem := NewDatabase()
+	if err := mem.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mem.Checkpoint(); !errors.Is(err, ErrNotDurable) {
+		t.Fatalf("in-memory checkpoint: %v, want ErrNotDurable", err)
+	}
+}
+
+// TestSyncModes: the relaxed modes still recover what reached the OS.
+func TestSyncModes(t *testing.T) {
+	for _, mode := range []SyncMode{SyncInterval, SyncNone} {
+		dir := t.TempDir()
+		db, err := OpenDatabaseWith(dir, OpenOptions{Sync: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		db.MustCreateRelation(kvSchema("R"))
+		mustCommit(t, db, func(tx *Tx) error {
+			return tx.Insert("R", Tuple{Int(1), String("v")})
+		})
+		gen := db.Generation()
+		db.Close()
+		re := durableDB(t, dir)
+		if g := re.Generation(); g != gen {
+			t.Fatalf("mode %d: recovered generation = %d, want %d", mode, g, gen)
+		}
+		re.Close()
+	}
+}

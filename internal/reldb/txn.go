@@ -209,6 +209,35 @@ func (tx *Tx) Commit() error {
 	if published > 0 {
 		batch = tx.buildBatch()
 	}
+	// Write-ahead: on a durable database the batch is appended to the
+	// log before the commit becomes visible. The generation it will get
+	// is stable under the writer lock. An append failure aborts the
+	// commit cleanly — nothing was published, the committed state is
+	// untouched.
+	var walGen uint64
+	durable := published > 0 && tx.db.wal != nil
+	if durable {
+		tx.db.mu.RLock()
+		walGen = tx.db.gen + 1
+		tx.db.mu.RUnlock()
+		batch.Gen = walGen
+		for i := range batch.Deltas {
+			batch.Deltas[i].Gen = walGen
+		}
+		payload, err := encodeCommitRecord(batch)
+		if err == nil {
+			err = tx.db.wal.append(walGen, payload)
+		}
+		if err != nil {
+			tx.db.mu.Lock()
+			tx.db.writing = false
+			tx.db.mu.Unlock()
+			tx.dirty, tx.written, tx.changes = nil, nil, nil
+			tx.db.writer.Unlock()
+			obs.Default.Rollbacks.Inc()
+			return fmt.Errorf("reldb: commit aborted: %w", err)
+		}
+	}
 	var pubStart time.Time
 	var pubDur time.Duration
 	tx.db.mu.Lock()
@@ -257,6 +286,18 @@ func (tx *Tx) Commit() error {
 	} else if obs.Default.Tracing() {
 		obs.Default.EmitSpan("reldb.commit",
 			fmt.Sprintf("gen=%d relations=%d ops=%d", gen, published, tx.ops), tx.start)
+	}
+	// Group commit: wait for the background syncer to make the log
+	// durable through this commit's generation (SyncCommit mode). The
+	// writer lock is already released, so the next transaction appends
+	// while this one's fsync is in flight — one fsync acknowledges the
+	// whole batch of commits appended before it started. On a sync
+	// failure the commit is visible in memory but not provably durable;
+	// the error says so.
+	if durable {
+		if err := tx.db.wal.waitDurable(walGen); err != nil {
+			return fmt.Errorf("reldb: commit gen %d published but not durable: %w", walGen, err)
+		}
 	}
 	return nil
 }

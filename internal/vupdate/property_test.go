@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"penguin/internal/reldb"
@@ -14,12 +15,28 @@ import (
 	. "penguin/internal/vupdate"
 )
 
-// databaseFingerprint captures the exact database contents.
+// databaseFingerprint captures the exact database contents: every
+// relation's schema, index declarations, and sorted rows — but not the
+// generation counter, which advances on every commit (snapshots carry
+// it since v2, so raw snapshot bytes would differ across any
+// do-then-undo pair).
 func databaseFingerprint(t *testing.T, db *reldb.Database) string {
 	t.Helper()
+	rtx := db.BeginRead()
+	defer rtx.Close()
 	var buf bytes.Buffer
-	if err := db.WriteSnapshot(&buf); err != nil {
-		t.Fatal(err)
+	for _, name := range rtx.Names() {
+		rel := rtx.MustRelation(name)
+		fmt.Fprintf(&buf, "%s %v %v\n", name, rel.Schema(), rel.IndexNames())
+		var rows []string
+		rel.Scan(func(tu reldb.Tuple) bool {
+			rows = append(rows, tu.Encode())
+			return true
+		})
+		sort.Strings(rows)
+		for _, row := range rows {
+			fmt.Fprintf(&buf, "  %q\n", row)
+		}
 	}
 	return buf.String()
 }

@@ -1,0 +1,457 @@
+package workload
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"penguin/internal/reldb"
+	"penguin/internal/viewobject"
+)
+
+// crashSpec is the stress traffic every crash-matrix test runs: small
+// enough that the full truncation matrix stays fast, concurrent enough
+// (readers racing writers) that the suite is meaningful under -race.
+var crashSpec = StressSpec{
+	Tree:    TreeSpec{Depth: 1, Width: 1, Fanout: 1, Roots: 2, Peninsulas: 1},
+	Readers: 1,
+	Writers: 2,
+	Cycles:  2,
+}
+
+// crashRun builds a durable workload in dir, runs stress traffic over
+// it, closes it, and returns the per-generation digest oracle its
+// shadow subscription accumulated.
+func crashRun(t *testing.T, dir string) *genOracle {
+	t.Helper()
+	db, err := reldb.OpenDatabaseWith(dir, reldb.OpenOptions{CheckpointInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Subscribe before the build so the oracle witnesses every
+	// generation from 1 (DDL included).
+	sub := db.Subscribe(1 << 16)
+	w, err := BuildTreeIn(db, crashSpec.Tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunStressOn(w, crashSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) > 0 {
+		t.Fatalf("stress violations before crash: %v", res.Violations)
+	}
+	head := db.Generation()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := buildOracle(sub, head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return oracle
+}
+
+// reopenAt copies the data dir, truncates the tail segment to cut
+// bytes, reopens, and asserts the recovered database is byte-for-byte
+// the oracle state at the generation the surviving prefix reaches —
+// then that the next generation advance continues the sequence.
+func reopenAt(t *testing.T, src, tailSeg string, cut int64, wantGen uint64, oracle *genOracle, scratch string) {
+	t.Helper()
+	if err := copyDir(scratch, src); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(filepath.Join(scratch, filepath.Base(tailSeg)), cut); err != nil {
+		t.Fatal(err)
+	}
+	db, err := reldb.OpenDatabaseWith(scratch, reldb.OpenOptions{Sync: reldb.SyncNone, CheckpointInterval: -1})
+	if err != nil {
+		t.Fatalf("cut at %d: reopen: %v", cut, err)
+	}
+	defer db.Close()
+	if g := db.Generation(); g != wantGen {
+		t.Fatalf("cut at %d: recovered generation %d, want %d", cut, g, wantGen)
+	}
+	want, ok := oracle.Digests[wantGen]
+	if !ok {
+		t.Fatalf("cut at %d: oracle has no digest for gen %d", cut, wantGen)
+	}
+	if got := DigestDatabase(db); got != want {
+		t.Fatalf("cut at %d: recovered state digest %x != oracle digest %x at gen %d", cut, got, want, wantGen)
+	}
+	// Generation continuity: the next advance (a DDL, valid on any
+	// recovered state) publishes wantGen+1 to a fresh subscriber —
+	// the delta stream continues gap-free after recovery.
+	sub := db.Subscribe(4)
+	if _, err := db.CreateRelation(reldb.MustSchema("ZZZ_CONT", []reldb.Attribute{
+		{Name: "K", Type: reldb.KindInt},
+	}, []string{"K"})); err != nil {
+		t.Fatalf("cut at %d: post-recovery DDL: %v", cut, err)
+	}
+	batches, lost := sub.Poll()
+	if lost || len(batches) != 1 || batches[0].Gen != wantGen+1 {
+		t.Fatalf("cut at %d: post-recovery advance published %v (lost=%v), want gen %d", cut, batches, lost, wantGen+1)
+	}
+}
+
+// TestCrashMatrixTruncation cuts the WAL at every record boundary and
+// at byte-group sub-offsets inside every record (mid-length, mid-CRC,
+// payload start, mid-payload, last byte), plus inside the segment
+// header. Every cut must recover to exactly the oracle state of the
+// last whole record — full replay of the surviving prefix, never a
+// partial or torn state.
+func TestCrashMatrixTruncation(t *testing.T) {
+	dir := t.TempDir()
+	oracle := crashRun(t, dir)
+
+	segs, err := dataFiles(dir, "wal-", ".log")
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments = %v, %v", segs, err)
+	}
+	recs, err := scanWALRecords(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(recs)) != oracle.Head {
+		t.Fatalf("%d WAL records for %d generations", len(recs), oracle.Head)
+	}
+
+	// genAt: the generation the log prefix [0, cut) reaches.
+	genAt := func(cut int64) uint64 {
+		var g uint64
+		for _, r := range recs {
+			if r.End <= cut {
+				g = r.Gen
+			}
+		}
+		return g
+	}
+
+	cuts := map[int64]bool{0: true, 3: true, walSegmentMagicLen: true}
+	for _, r := range recs {
+		payload := r.End - (r.Off + 8)
+		for _, c := range []int64{r.Off, r.Off + 1, r.Off + 4, r.Off + 6, r.Off + 8, r.Off + 8 + payload/2, r.End - 1, r.End} {
+			cuts[c] = true
+		}
+	}
+	n := 0
+	for cut := range cuts {
+		reopenAt(t, dir, segs[0], cut, genAt(cut), oracle, filepath.Join(t.TempDir(), fmt.Sprintf("cut%d", cut)))
+		n++
+	}
+	t.Logf("verified %d truncation points over %d records", n, len(recs))
+}
+
+// TestCrashMatrixCorruption flips a byte inside records away from the
+// tail: that cannot be a torn append, so recovery must refuse with
+// ErrWALCorrupt rather than silently truncate committed generations.
+func TestCrashMatrixCorruption(t *testing.T) {
+	dir := t.TempDir()
+	crashRun(t, dir)
+	segs, _ := dataFiles(dir, "wal-", ".log")
+	recs, err := scanWALRecords(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 3 {
+		t.Fatalf("need >= 3 records, have %d", len(recs))
+	}
+	for _, idx := range []int{0, len(recs) / 2, len(recs) - 2} {
+		r := recs[idx]
+		scratch := filepath.Join(t.TempDir(), fmt.Sprintf("flip%d", idx))
+		if err := copyDir(scratch, dir); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(scratch, filepath.Base(segs[0]))
+		data, _ := os.ReadFile(path)
+		data[r.Off+8+(r.End-r.Off-8)/2] ^= 0x10
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := reldb.OpenDatabase(scratch)
+		if !errors.Is(err, reldb.ErrWALCorrupt) {
+			t.Fatalf("record %d byte flip: open = %v, want ErrWALCorrupt", idx, err)
+		}
+	}
+}
+
+// TestCrashMatrixCheckpoint runs traffic across a checkpoint, then
+// injects every crash the checkpoint protocol can leave behind:
+// truncations of the post-checkpoint tail (recovery = snapshot + tail
+// prefix), a torn named snapshot (distinct corruption error), and a
+// deleted snapshot whose segments were already pruned (generation gap).
+func TestCrashMatrixCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	db, err := reldb.OpenDatabaseWith(dir, reldb.OpenOptions{CheckpointInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := db.Subscribe(1 << 16)
+	w, err := BuildTreeIn(db, crashSpec.Tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunStressOn(w, crashSpec); err != nil {
+		t.Fatal(err)
+	}
+	ckGen, err := db.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint traffic lands in the rolled tail segment.
+	if _, err := RunStressOn(w, crashSpec); err != nil {
+		t.Fatal(err)
+	}
+	head := db.Generation()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := buildOracle(sub, head)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snaps, _ := dataFiles(dir, "snap-", ".pngw")
+	segs, _ := dataFiles(dir, "wal-", ".log")
+	if len(snaps) != 1 || len(segs) != 1 {
+		t.Fatalf("after checkpoint: snaps=%v segs=%v, want one of each (pruned)", snaps, segs)
+	}
+	recs, err := scanWALRecords(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if r.Gen <= ckGen {
+			t.Fatalf("tail segment holds gen %d at or below checkpoint %d", r.Gen, ckGen)
+		}
+	}
+
+	// Truncation matrix over the tail: below any surviving record the
+	// state is the snapshot itself (ckGen).
+	genAt := func(cut int64) uint64 {
+		g := ckGen
+		for _, r := range recs {
+			if r.End <= cut {
+				g = r.Gen
+			}
+		}
+		return g
+	}
+	cuts := map[int64]bool{walSegmentMagicLen: true}
+	for _, idx := range []int{0, len(recs) / 2, len(recs) - 1} {
+		r := recs[idx]
+		for _, c := range []int64{r.Off, r.Off + 5, r.Off + 8 + (r.End-r.Off-8)/2, r.End} {
+			cuts[c] = true
+		}
+	}
+	for cut := range cuts {
+		reopenAt(t, dir, segs[0], cut, genAt(cut), oracle, filepath.Join(t.TempDir(), fmt.Sprintf("ck%d", cut)))
+	}
+
+	// A torn snapshot is distinct, reported corruption.
+	scratch := filepath.Join(t.TempDir(), "tornsnap")
+	if err := copyDir(scratch, dir); err != nil {
+		t.Fatal(err)
+	}
+	snapCopy := filepath.Join(scratch, filepath.Base(snaps[0]))
+	data, _ := os.ReadFile(snapCopy)
+	if err := os.WriteFile(snapCopy, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reldb.OpenDatabase(scratch); !errors.Is(err, reldb.ErrSnapshotCorrupt) {
+		t.Fatalf("torn snapshot: open = %v, want ErrSnapshotCorrupt", err)
+	}
+
+	// Deleting the snapshot leaves a generation gap (its segments were
+	// pruned): refused, not bridged.
+	scratch = filepath.Join(t.TempDir(), "nosnap")
+	if err := copyDir(scratch, dir); err != nil {
+		t.Fatal(err)
+	}
+	os.Remove(filepath.Join(scratch, filepath.Base(snaps[0])))
+	if _, err := reldb.OpenDatabase(scratch); !errors.Is(err, reldb.ErrWALCorrupt) {
+		t.Fatalf("missing snapshot: open = %v, want ErrWALCorrupt", err)
+	}
+
+	// A crashed checkpoint's .tmp stray is ignored and cleaned up.
+	scratch = filepath.Join(t.TempDir(), "tmpstray")
+	if err := copyDir(scratch, dir); err != nil {
+		t.Fatal(err)
+	}
+	stray := filepath.Join(scratch, "snap-ffffffffffffffff.pngw.tmp")
+	os.WriteFile(stray, []byte("half"), 0o644)
+	re, err := reldb.OpenDatabaseWith(scratch, reldb.OpenOptions{Sync: reldb.SyncNone, CheckpointInterval: -1})
+	if err != nil {
+		t.Fatalf("tmp stray: %v", err)
+	}
+	if g := re.Generation(); g != head {
+		t.Fatalf("tmp stray: recovered gen %d, want %d", g, head)
+	}
+	re.Close()
+	if _, err := os.Stat(stray); !os.IsNotExist(err) {
+		t.Fatal("tmp stray not cleaned up")
+	}
+}
+
+// crashChildEnv carries the data dir to the re-executed child process.
+const crashChildEnv = "PENGUIN_CRASH_CHILD_DIR"
+
+// TestCrashMatrixKill9 is the end-to-end crash test: a child process
+// (this test binary re-executed) runs durable stress traffic with a
+// checkpointer racing it, acknowledging each completed round in a
+// synced side file; the parent SIGKILLs it mid-traffic and reopens the
+// directory. Every acknowledged generation must survive, the recovered
+// state must be translation-atomic (instance shape and stamp
+// invariants), and the generation sequence must continue.
+func TestCrashMatrixKill9(t *testing.T) {
+	if dir := os.Getenv(crashChildEnv); dir != "" {
+		crashChild(dir)
+		return // unreachable: the child loops until killed
+	}
+
+	dir := t.TempDir()
+	ack := filepath.Join(dir, "acked") // inside dir is fine: no reserved suffix
+	cmd := exec.Command(os.Args[0], "-test.run=^TestCrashMatrixKill9$", "-test.v")
+	cmd.Env = append(os.Environ(), crashChildEnv+"="+dir)
+	var childOut strings.Builder
+	cmd.Stdout, cmd.Stderr = &childOut, &childOut
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for at least two acknowledged rounds, then kill mid-flight.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if data, err := os.ReadFile(ack); err == nil && strings.Count(string(data), "\n") >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatalf("child never acknowledged traffic; output:\n%s", childOut.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	time.Sleep(37 * time.Millisecond) // land the kill inside a traffic round
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+	if strings.Contains(childOut.String(), "CHILD-ERROR") {
+		t.Fatalf("child failed before the kill:\n%s", childOut.String())
+	}
+
+	// Last complete acknowledged line: "gen digest".
+	var ackGen, ackDigest uint64
+	f, err := os.Open(ack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) != 2 {
+			continue
+		}
+		g, err1 := strconv.ParseUint(fields[0], 10, 64)
+		d, err2 := strconv.ParseUint(fields[1], 16, 64)
+		if err1 == nil && err2 == nil {
+			ackGen, ackDigest = g, d
+		}
+	}
+	f.Close()
+	if ackGen == 0 {
+		t.Fatalf("no complete ack line; output:\n%s", childOut.String())
+	}
+
+	db, err := reldb.OpenDatabaseWith(dir, reldb.OpenOptions{CheckpointInterval: -1})
+	if err != nil {
+		t.Fatalf("reopen after kill -9: %v", err)
+	}
+	defer db.Close()
+	gen := db.Generation()
+	if gen < ackGen {
+		t.Fatalf("recovered generation %d lost acknowledged generation %d", gen, ackGen)
+	}
+	if gen == ackGen {
+		if got := DigestDatabase(db); got != ackDigest {
+			t.Fatalf("recovered digest %x != acknowledged digest %x at gen %d", got, ackDigest, gen)
+		}
+	}
+	// Translation atomicity: every recoverable instance is whole and
+	// uniformly stamped — commits are atomic, so any committed prefix
+	// passes the same invariants the live readers check.
+	w, err := AttachTree(db, crashSpec.Tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtx := db.BeginRead()
+	for k := 0; k < crashSpec.Tree.Roots; k++ {
+		inst, ok, err := viewobject.InstantiateByKey(rtx, w.Def, reldb.Tuple{reldb.Int(int64(k))})
+		if err != nil {
+			t.Fatalf("key %d: %v", k, err)
+		}
+		if !ok {
+			continue // killed between this key's VO-CD and VO-CI
+		}
+		if msg := checkInstance(w, crashSpec.Tree, inst); msg != "" {
+			t.Fatalf("key %d recovered torn: %s", k, msg)
+		}
+	}
+	rtx.Close()
+	// And the clock still runs forward.
+	before := db.Generation()
+	if err := db.RunInTx(func(tx *reldb.Tx) error {
+		return tx.Insert("N0", reldb.Tuple{reldb.Int(999999), reldb.String("post-crash")})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if g := db.Generation(); g != before+1 {
+		t.Fatalf("post-crash commit advanced %d -> %d", before, g)
+	}
+}
+
+// crashChild is the killed process: durable stress rounds forever, with
+// a fast background checkpointer racing the writers, acknowledging
+// "generation digest" into a synced side file after each round.
+func crashChild(dir string) {
+	fail := func(err error) {
+		fmt.Printf("CHILD-ERROR: %v\n", err)
+		os.Exit(1)
+	}
+	db, err := reldb.OpenDatabaseWith(dir, reldb.OpenOptions{CheckpointInterval: 50 * time.Millisecond})
+	if err != nil {
+		fail(err)
+	}
+	w, err := BuildTreeIn(db, crashSpec.Tree)
+	if err != nil {
+		fail(err)
+	}
+	ack, err := os.OpenFile(filepath.Join(dir, "acked"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		fail(err)
+	}
+	for {
+		if _, err := RunStressOn(w, crashSpec); err != nil {
+			fail(err)
+		}
+		// RunStressOn returned: every one of its commits was
+		// acknowledged, hence fsynced (SyncCommit). The ack itself is
+		// synced so the parent only trusts complete lines.
+		if _, err := fmt.Fprintf(ack, "%d %x\n", db.Generation(), DigestDatabase(db)); err != nil {
+			fail(err)
+		}
+		if err := ack.Sync(); err != nil {
+			fail(err)
+		}
+	}
+}

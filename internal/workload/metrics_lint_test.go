@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"penguin/internal/obs"
+	"penguin/internal/reldb"
 )
 
 // TestMetricsLint is the exposition-format gate behind `make
@@ -117,5 +118,80 @@ func TestMetricsLintMaterialize(t *testing.T) {
 	}
 	if !regexp.MustCompile(`(?m)^reldb_delta_publishes [1-9]\d*$`).MatchString(text) {
 		t.Error("delta stream published nothing during a materialized stress run")
+	}
+}
+
+// TestMetricsLintWAL is the exposition gate for the durability layer:
+// after durable stress traffic, a checkpoint, and a reopen-with-replay,
+// every reldb_wal_* family must be present with its # TYPE header and
+// nonzero where the run guarantees activity.
+func TestMetricsLintWAL(t *testing.T) {
+	dir := t.TempDir()
+	db, err := reldb.OpenDatabaseWith(dir, reldb.OpenOptions{CheckpointInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := BuildTreeIn(db, TreeSpec{Depth: 1, Width: 1, Fanout: 1, Roots: 2, Peninsulas: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunStressOn(w, StressSpec{
+		Tree:    TreeSpec{Depth: 1, Width: 1, Fanout: 1, Roots: 2, Peninsulas: 1},
+		Readers: 1,
+		Writers: 2,
+		Cycles:  2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// More traffic past the checkpoint so the reopen below replays it.
+	if err := db.RunInTx(func(tx *reldb.Tx) error {
+		return tx.Insert("N0", reldb.Tuple{reldb.Int(999), reldb.String("tail")})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := reldb.OpenDatabaseWith(dir, reldb.OpenOptions{CheckpointInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+
+	var b strings.Builder
+	if err := obs.WriteProm(&b, obs.Capture()); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	if err := obs.CheckExposition(text); err != nil {
+		t.Fatalf("live snapshot fails exposition lint: %v", err)
+	}
+
+	for _, family := range []string{
+		"reldb_wal_appends",
+		"reldb_wal_bytes",
+		"reldb_wal_fsyncs",
+		"reldb_wal_replayed",
+		"reldb_wal_checkpoints",
+	} {
+		if !strings.Contains(text, "# TYPE "+family+" counter") {
+			t.Errorf("%s missing its # TYPE counter header", family)
+		}
+	}
+	if !strings.Contains(text, "# TYPE reldb_wal_fsync_ns histogram") {
+		t.Error("reldb_wal_fsync_ns missing its # TYPE histogram header")
+	}
+	for _, family := range []string{
+		"reldb_wal_appends", "reldb_wal_fsyncs", "reldb_wal_replayed", "reldb_wal_checkpoints",
+	} {
+		if !regexp.MustCompile(`(?m)^` + family + ` [1-9]\d*$`).MatchString(text) {
+			t.Errorf("%s is zero after durable traffic, checkpoint, and replay", family)
+		}
+	}
+	if !regexp.MustCompile(`(?m)^reldb_wal_fsync_ns_count [1-9]\d*$`).MatchString(text) {
+		t.Error("no reldb_wal_fsync_ns histogram samples after durable commits")
 	}
 }

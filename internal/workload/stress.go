@@ -93,11 +93,8 @@ func stamp(writer, cycle int) string { return fmt.Sprintf("w%d-c%d", writer, cyc
 // every writer finishes its cycles. It returns the tallies and any
 // invariant violations; data races surface through `go test -race`.
 func RunStress(spec StressSpec) (*StressResult, error) {
-	if spec.Readers < 1 || spec.Writers < 1 || spec.Cycles < 1 || spec.ParallelReaders < 0 || spec.MaterializedReaders < 0 {
-		return nil, fmt.Errorf("workload: stress needs readers, writers, cycles >= 1 (got %+v)", spec)
-	}
-	if spec.Tree.Roots < spec.Writers {
-		return nil, fmt.Errorf("workload: %d roots cannot feed %d writers", spec.Tree.Roots, spec.Writers)
+	if err := spec.validate(); err != nil {
+		return nil, err
 	}
 	if spec.ReadTxLagAlert > 0 {
 		prev := obs.Default.SetReadTxLagAlert(spec.ReadTxLagAlert)
@@ -108,6 +105,38 @@ func RunStress(spec StressSpec) (*StressResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	return runStress(w, spec, before)
+}
+
+// RunStressOn drives the same reader/writer traffic over an
+// already-built workload (BuildTree or BuildTreeIn) — the crash-matrix
+// harness uses it to stress a durable database whose build it needed to
+// observe through its own delta subscription. spec.Tree must be the spec
+// the workload was built with (the instance-shape invariants derive from
+// it). The metric delta in the result covers only the traffic, not the
+// build.
+func RunStressOn(w *Workload, spec StressSpec) (*StressResult, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	if spec.ReadTxLagAlert > 0 {
+		prev := obs.Default.SetReadTxLagAlert(spec.ReadTxLagAlert)
+		defer obs.Default.SetReadTxLagAlert(prev)
+	}
+	return runStress(w, spec, obs.Capture())
+}
+
+func (spec StressSpec) validate() error {
+	if spec.Readers < 1 || spec.Writers < 1 || spec.Cycles < 1 || spec.ParallelReaders < 0 || spec.MaterializedReaders < 0 {
+		return fmt.Errorf("workload: stress needs readers, writers, cycles >= 1 (got %+v)", spec)
+	}
+	if spec.Tree.Roots < spec.Writers {
+		return fmt.Errorf("workload: %d roots cannot feed %d writers", spec.Tree.Roots, spec.Writers)
+	}
+	return nil
+}
+
+func runStress(w *Workload, spec StressSpec, before obs.Snapshot) (*StressResult, error) {
 	u := vupdate.NewUpdater(vupdate.PermissiveTranslator(w.Def))
 
 	// Stamp every instance once, serially, so the uniform-stamp invariant

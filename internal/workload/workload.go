@@ -55,10 +55,30 @@ type Workload struct {
 // the pivot; seeded data; and a view object spanning every generated
 // relation with the pivot at the root.
 func BuildTree(spec TreeSpec) (*Workload, error) {
+	return BuildTreeIn(reldb.NewDatabase(), spec)
+}
+
+// BuildTreeIn generates the same workload into an existing (empty)
+// database — typically one opened with reldb.OpenDatabase, so the
+// generated schema, seed data, and all subsequent stress traffic flow
+// through the write-ahead log (the crash-matrix harness drives this).
+func BuildTreeIn(db *reldb.Database, spec TreeSpec) (*Workload, error) {
+	return buildTree(db, spec, true)
+}
+
+// AttachTree rebuilds the structural graph and view-object definition
+// for a spec over a database that already holds the generated relations
+// — a database recovered from disk. No relations are created and no
+// data is seeded; only the connection graph (and its edge indexes,
+// derived state the WAL does not carry) is re-registered.
+func AttachTree(db *reldb.Database, spec TreeSpec) (*Workload, error) {
+	return buildTree(db, spec, false)
+}
+
+func buildTree(db *reldb.Database, spec TreeSpec, create bool) (*Workload, error) {
 	if spec.Width < 0 || spec.Depth < 0 || spec.Roots < 1 {
 		return nil, fmt.Errorf("workload: invalid spec %+v", spec)
 	}
-	db := reldb.NewDatabase()
 	g := structural.NewGraph(db)
 	w := &Workload{DB: db, G: g}
 
@@ -68,7 +88,9 @@ func BuildTree(spec TreeSpec) (*Workload, error) {
 		{Name: "K0", Type: reldb.KindInt},
 		{Name: "V", Type: reldb.KindString, Nullable: true},
 	}
-	db.MustCreateRelation(reldb.MustSchema(pivotName, pivotAttrs, []string{"K0"}))
+	if create {
+		db.MustCreateRelation(reldb.MustSchema(pivotName, pivotAttrs, []string{"K0"}))
+	}
 	w.IslandRels = append(w.IslandRels, pivotName)
 
 	// Node definition tree for the view object.
@@ -95,7 +117,9 @@ func BuildTree(spec TreeSpec) (*Workload, error) {
 				attrs = append(attrs, reldb.Attribute{Name: k, Type: reldb.KindInt})
 			}
 			attrs = append(attrs, reldb.Attribute{Name: "V", Type: reldb.KindString, Nullable: true})
-			db.MustCreateRelation(reldb.MustSchema(childName, attrs, childKey))
+			if create {
+				db.MustCreateRelation(reldb.MustSchema(childName, attrs, childKey))
+			}
 			conn := &structural.Connection{
 				Name: f.name + ">" + childName, Type: structural.Ownership,
 				From: f.name, To: childName,
@@ -119,11 +143,13 @@ func BuildTree(spec TreeSpec) (*Workload, error) {
 	// Peninsulas referencing the pivot.
 	for pIdx := 0; pIdx < spec.Peninsulas; pIdx++ {
 		name := fmt.Sprintf("P%d", pIdx)
-		db.MustCreateRelation(reldb.MustSchema(name, []reldb.Attribute{
-			{Name: "PK", Type: reldb.KindInt},
-			{Name: "K0", Type: reldb.KindInt},
-			{Name: "V", Type: reldb.KindString, Nullable: true},
-		}, []string{"PK", "K0"}))
+		if create {
+			db.MustCreateRelation(reldb.MustSchema(name, []reldb.Attribute{
+				{Name: "PK", Type: reldb.KindInt},
+				{Name: "K0", Type: reldb.KindInt},
+				{Name: "V", Type: reldb.KindString, Nullable: true},
+			}, []string{"PK", "K0"}))
+		}
 		conn := &structural.Connection{
 			Name: name + ">" + pivotName, Type: structural.Reference,
 			From: name, To: pivotName,
@@ -144,8 +170,10 @@ func BuildTree(spec TreeSpec) (*Workload, error) {
 		return nil, err
 	}
 	w.Def = def
-	if err := seedTree(w, spec); err != nil {
-		return nil, err
+	if create {
+		if err := seedTree(w, spec); err != nil {
+			return nil, err
+		}
 	}
 	return w, nil
 }

@@ -82,16 +82,53 @@ const (
 // Database.Subscribe is called with buffer <= 0.
 const DefaultDeltaBuffer = reldb.DefaultDeltaBuffer
 
+// Durability (write-ahead log + checkpoints, DESIGN.md §13).
+type (
+	// OpenOptions tunes a durable database's sync and checkpoint policy.
+	OpenOptions = reldb.OpenOptions
+	// SyncMode is the WAL fsync policy for committed transactions.
+	SyncMode = reldb.SyncMode
+)
+
+// WAL sync modes.
+const (
+	// SyncCommit fsyncs (group-batched) before Commit returns.
+	SyncCommit = reldb.SyncCommit
+	// SyncInterval fsyncs on a background ticker.
+	SyncInterval = reldb.SyncInterval
+	// SyncNone never fsyncs explicitly; durability is best-effort.
+	SyncNone = reldb.SyncNone
+)
+
+// Durability errors.
+var (
+	// ErrSnapshotCorrupt reports a checkpoint snapshot that fails its
+	// integrity checks.
+	ErrSnapshotCorrupt = reldb.ErrSnapshotCorrupt
+	// ErrWALCorrupt reports log damage recovery refuses to replay past.
+	ErrWALCorrupt = reldb.ErrWALCorrupt
+	// ErrDatabaseClosed reports use of a closed durable database.
+	ErrDatabaseClosed = reldb.ErrDatabaseClosed
+	// ErrNotDurable reports a durability operation on an in-memory
+	// database.
+	ErrNotDurable = reldb.ErrNotDurable
+)
+
 // Value constructors and helpers.
 var (
 	NewDatabase = reldb.NewDatabase
-	NewSchema   = reldb.NewSchema
-	Null        = reldb.Null
-	Int         = reldb.Int
-	Float       = reldb.Float
-	String      = reldb.String
-	Bool        = reldb.Bool
-	Eq          = reldb.Eq
+	// OpenDatabase opens (or creates) a durable database in a data
+	// directory, replaying the newest snapshot plus the WAL tail.
+	OpenDatabase = reldb.OpenDatabase
+	// OpenDatabaseWith is OpenDatabase with explicit OpenOptions.
+	OpenDatabaseWith = reldb.OpenDatabaseWith
+	NewSchema        = reldb.NewSchema
+	Null             = reldb.Null
+	Int              = reldb.Int
+	Float            = reldb.Float
+	String           = reldb.String
+	Bool             = reldb.Bool
+	Eq               = reldb.Eq
 )
 
 // Structural model (internal/structural, §2).
