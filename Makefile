@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_TOLERANCE ?= 0.30
 
-.PHONY: build test race vet bench bench-smoke bench-baseline bench-diff metrics-lint crash-matrix verify
+.PHONY: build test race vet bench bench-smoke bench-baseline bench-diff metrics-lint crash-matrix serve-smoke verify
 
 build:
 	$(GO) build ./...
@@ -58,6 +58,16 @@ metrics-lint:
 crash-matrix:
 	$(GO) test -race -run '^TestCrashMatrix' -count=1 ./internal/workload
 
+# serve-smoke boots a real serving tier and drives an open-loop burst
+# at it: achieved arrival rate within 5% of target, zero transport/5xx
+# errors, p50/p99 inside the latency objectives, and a lint-clean
+# Prometheus exposition carrying the penguin_http_* families. The
+# signal test re-execs the binary in -serve -data-dir mode, SIGTERMs it
+# mid-traffic, and proves no acknowledged generation is lost.
+serve-smoke:
+	$(GO) test -run '^TestServeSmoke$$' -count=1 -v ./internal/workload
+	$(GO) test -run '^TestServeSignalDurability$$' -count=1 ./cmd/penguin
+
 # verify is the full gate: compile everything, vet, then run the whole
 # suite (including the concurrent stress tests) under the race detector.
-verify: build vet race metrics-lint crash-matrix
+verify: build vet race metrics-lint crash-matrix serve-smoke

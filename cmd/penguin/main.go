@@ -13,6 +13,13 @@
 //	penguin -metrics-addr :9090 # additionally serve Prometheus metrics at /metrics
 //	                            # (plus /debug/traces and /debug/pprof/)
 //	penguin -slow-threshold 5ms # retain traces of operations slower than 5ms
+//	penguin -serve :8080      # serve the view-object HTTP API (DESIGN.md §14)
+//	                          # instead of the shell; combine with -data-dir
+//	                          # for durability; SIGINT/SIGTERM drains and
+//	                          # closes cleanly
+//	penguin -loadgen http://host:8080 # run the open-loop load generator
+//	                          # against a serving tier, report latency
+//	                          # quantiles against -slo-p50/-slo-p99, exit
 //
 // Commands:
 //
@@ -44,14 +51,18 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"penguin/internal/figures"
@@ -59,10 +70,12 @@ import (
 	"penguin/internal/oql"
 	"penguin/internal/reldb"
 	"penguin/internal/rql"
+	"penguin/internal/serve"
 	"penguin/internal/structural"
 	"penguin/internal/university"
 	"penguin/internal/viewobject"
 	"penguin/internal/vupdate"
+	"penguin/internal/workload"
 )
 
 // shell holds the interactive session state.
@@ -75,9 +88,9 @@ type shell struct {
 	// objects with .materialize enabled; .query and .instance route
 	// through it instead of instantiating from a fresh snapshot.
 	materialized map[string]*viewobject.Materializer
-	out      *bufio.Writer
-	errw     io.Writer
-	in       *bufio.Reader
+	out          *bufio.Writer
+	errw         io.Writer
+	in           *bufio.Reader
 	// ring buffers trace events for .trace; installed as the engine's
 	// trace sink when the shell starts.
 	ring *obs.Ring
@@ -93,6 +106,75 @@ func (sh *shell) errorf(format string, args ...any) {
 	fmt.Fprintf(sh.errw, format+"\n", args...)
 }
 
+// lifecycle owns the process's teardown: drain the HTTP listener (if
+// any), then close the database (if durable). It runs exactly once
+// whether triggered by a signal, a .quit, or end of input — the fix for
+// the old deferred Close calls, which never ran when SIGINT/SIGTERM
+// killed the process and so skipped the database's final fsync.
+type lifecycle struct {
+	mu   sync.Mutex    // guards srv/db against the signal goroutine
+	done chan struct{} // non-nil once a shutdown started; closed when it finished
+	srv  *obs.HTTPServer
+	db   *reldb.Database
+}
+
+// setServer registers the listener the shutdown must drain.
+func (lc *lifecycle) setServer(srv *obs.HTTPServer) {
+	lc.mu.Lock()
+	lc.srv = srv
+	lc.mu.Unlock()
+}
+
+// setDB registers the database the shutdown must close.
+func (lc *lifecycle) setDB(db *reldb.Database) {
+	lc.mu.Lock()
+	lc.db = db
+	lc.mu.Unlock()
+}
+
+// shutdown drains and closes. Safe to call from any goroutine, any
+// number of times; only the first call acts, and every call returns
+// only after the teardown has finished.
+func (lc *lifecycle) shutdown() {
+	lc.mu.Lock()
+	if lc.done != nil {
+		ch := lc.done
+		lc.mu.Unlock()
+		<-ch
+		return
+	}
+	ch := make(chan struct{})
+	lc.done = ch
+	srv, db := lc.srv, lc.db
+	lc.mu.Unlock()
+	defer close(ch)
+	if srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "penguin: drain:", err)
+		}
+		cancel()
+	}
+	if db != nil {
+		if err := db.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "penguin: close:", err)
+		}
+	}
+}
+
+// trapSignals makes SIGINT/SIGTERM run the lifecycle before exiting, so
+// a signaled process loses nothing it acknowledged.
+func trapSignals(lc *lifecycle) {
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		fmt.Fprintf(os.Stderr, "\npenguin: %v — draining connections and closing the database\n", sig)
+		lc.shutdown()
+		os.Exit(0)
+	}()
+}
+
 func main() {
 	empty := flag.Bool("empty", false, "start with an empty database instead of the seeded university")
 	load := flag.String("load", "", "load a database snapshot")
@@ -100,17 +182,48 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics at http://ADDR/metrics (e.g. :9090)")
 	slowThreshold := flag.Duration("slow-threshold", 25*time.Millisecond,
 		"retain traces of operations whose root span lasts at least this long (0 retains every operation)")
+	serveAddr := flag.String("serve", "", "serve the view-object HTTP API at ADDR (e.g. :8080) instead of the shell")
+	maxReads := flag.Int("max-reads", 0, "serving tier: max in-flight read requests before shedding (0 = default 64, negative = unbounded)")
+	maxWrites := flag.Int("max-writes", 0, "serving tier: max in-flight update requests before shedding (0 = default 16, negative = unbounded)")
+	loadgenURL := flag.String("loadgen", "", "drive an open-loop load run against the serving tier at URL, report, and exit")
+	lgObject := flag.String("object", "omega", "loadgen: view object to target")
+	lgRPS := flag.Float64("rps", 100, "loadgen: target arrival rate, operations per second")
+	lgDuration := flag.Duration("duration", 10*time.Second, "loadgen: run length")
+	lgReadFraction := flag.Float64("read-fraction", 0.9, "loadgen: fraction of operations that are reads")
+	lgMutateAttr := flag.String("mutate-attr", "Title", "loadgen: pivot attribute update operations rewrite")
+	lgSLOp50 := flag.Duration("slo-p50", 0, "loadgen: p50 latency objective (0 = unchecked)")
+	lgSLOp99 := flag.Duration("slo-p99", 0, "loadgen: p99 latency objective (0 = unchecked)")
 	flag.Parse()
 
+	if *loadgenURL != "" {
+		runLoadgen(workload.OpenLoopSpec{
+			BaseURL:      *loadgenURL,
+			Object:       *lgObject,
+			TargetRPS:    *lgRPS,
+			Duration:     *lgDuration,
+			ReadFraction: *lgReadFraction,
+			MutateAttr:   *lgMutateAttr,
+			SLOp50:       *lgSLOp50,
+			SLOp99:       *lgSLOp99,
+		})
+		return
+	}
+	if *serveAddr != "" {
+		runServe(*serveAddr, *dataDir, *maxReads, *maxWrites, *slowThreshold)
+		return
+	}
+
+	lc := &lifecycle{}
+	trapSignals(lc)
 	sh := &shell{
 		objects:      make(map[string]*viewobject.Definition),
 		updaters:     make(map[string]*vupdate.Updater),
 		materialized: make(map[string]*viewobject.Materializer),
-		out:      bufio.NewWriter(os.Stdout),
-		errw:     os.Stderr,
-		in:       bufio.NewReader(os.Stdin),
-		ring:     obs.NewRing(256),
-		rec:      obs.NewRecorder(*slowThreshold, 64),
+		out:          bufio.NewWriter(os.Stdout),
+		errw:         os.Stderr,
+		in:           bufio.NewReader(os.Stdin),
+		ring:         obs.NewRing(256),
+		rec:          obs.NewRecorder(*slowThreshold, 64),
 	}
 	obs.Default.SetSink(sh.ring)
 	obs.Default.SetRecorder(sh.rec)
@@ -119,7 +232,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer ln.Close()
+		lc.setServer(ln)
 		fmt.Printf("metrics: http://%s/metrics\n", ln.Addr())
 	}
 	switch {
@@ -128,7 +241,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer db.Close()
+		lc.setDB(db)
 		sh.db = db
 		sh.g = structural.NewGraph(db)
 		fmt.Printf("opened %s (%d relations, %d rows, generation %d)\n",
@@ -172,6 +285,89 @@ func main() {
 		fmt.Println("type .help for commands")
 	}
 	sh.run()
+	lc.shutdown()
+}
+
+// runServe runs the HTTP serving tier until a signal drains it: the
+// university objects over either a fresh seeded in-memory database or a
+// durable -data-dir one (recovered, schema ensured, seeded only when
+// empty). The acknowledged-write contract is the point of the careful
+// teardown: a durable session commits through a synchronous WAL, so
+// every 200 the tier returned stays committed across SIGTERM and the
+// next start recovers it.
+func runServe(addr, dataDir string, maxReads, maxWrites int, slowThreshold time.Duration) {
+	obs.Default.SetRecorder(obs.NewRecorder(slowThreshold, 64))
+	lc := &lifecycle{}
+	trapSignals(lc)
+
+	var db *reldb.Database
+	var g *structural.Graph
+	if dataDir != "" {
+		var err error
+		db, err = reldb.OpenDatabase(dataDir)
+		if err != nil {
+			fatal(err)
+		}
+		lc.setDB(db)
+		g, err = university.Install(db)
+		if err != nil {
+			fatal(err)
+		}
+		seeded, err := university.EnsureSeeded(db)
+		if err != nil {
+			fatal(err)
+		}
+		if seeded {
+			fmt.Printf("seeded %s with the university instance\n", dataDir)
+		} else {
+			fmt.Printf("recovered %s (%d rows, generation %d)\n", dataDir, db.TotalRows(), db.Generation())
+		}
+	} else {
+		var err error
+		db, g, err = university.NewSeeded()
+		if err != nil {
+			fatal(err)
+		}
+	}
+	om, err := university.Omega(g)
+	if err != nil {
+		fatal(err)
+	}
+	op, err := university.OmegaPrime(g)
+	if err != nil {
+		fatal(err)
+	}
+	objects := map[string]*viewobject.Definition{"omega": om, "omega-prime": op}
+	updaters := make(map[string]*vupdate.Updater, len(objects))
+	for name, def := range objects {
+		updaters[name] = vupdate.NewUpdater(vupdate.PermissiveTranslator(def))
+	}
+	_, hs, err := serve.Start(addr, serve.Config{
+		DB:               db,
+		Objects:          objects,
+		Updaters:         updaters,
+		MaxReadInFlight:  maxReads,
+		MaxWriteInFlight: maxWrites,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	lc.setServer(hs)
+	fmt.Printf("serving view objects at http://%s/objects (metrics at /metrics)\n", hs.Addr())
+	select {} // the signal handler exits the process after draining
+}
+
+// runLoadgen drives one open-loop run and exits 0 only if the run met
+// its objectives: no transport/5xx errors and no SLO violations.
+func runLoadgen(spec workload.OpenLoopSpec) {
+	res, err := workload.RunOpenLoop(spec)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(res)
+	if res.Errors > 0 || len(res.SLOViolations) > 0 {
+		os.Exit(1)
+	}
 }
 
 func fatal(err error) {

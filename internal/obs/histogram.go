@@ -12,6 +12,17 @@ var (
 	// CountBounds buckets cardinalities (fan-out, generation lag):
 	// 0, 1, 2, 4, 8, 16, 64, 256, 1024, +Inf.
 	CountBounds = []int64{0, 1, 2, 4, 8, 16, 64, 256, 1024}
+	// HTTPDurationBounds buckets request latencies in nanoseconds with
+	// finer steps than the decade-wide DurationBounds, so the serving
+	// tier's p99 (interpolated by HistogramStat.Quantile) is honest in
+	// the sub-100ms range where HTTP SLOs live: 50µs, 100µs, 250µs,
+	// 500µs, 1ms, 2.5ms, 5ms, 10ms, 25ms, 50ms, 100ms, 250ms, 1s, 10s,
+	// +Inf.
+	HTTPDurationBounds = []int64{
+		50_000, 100_000, 250_000, 500_000,
+		1_000_000, 2_500_000, 5_000_000, 10_000_000, 25_000_000, 50_000_000,
+		100_000_000, 250_000_000, 1_000_000_000, 10_000_000_000,
+	}
 )
 
 const (
@@ -147,6 +158,54 @@ func (st HistogramStat) Mean() float64 {
 		return 0
 	}
 	return float64(st.Sum) / float64(st.Count)
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) of the observed
+// values from the bucket counts, interpolating linearly inside the
+// bucket that contains the target rank. The estimate is bounded by the
+// bucket edges, so it can never invent a value outside the bucket the
+// rank landed in; within a bucket the error is at most the bucket's
+// width. Ranks that land in the +Inf bucket report the last finite
+// bound — the histogram cannot say more than "past the last edge". An
+// empty stat reports 0.
+func (st HistogramStat) Quantile(q float64) int64 {
+	var total int64
+	for _, n := range st.Buckets {
+		total += n
+	}
+	if total == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q * float64(total))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, n := range st.Buckets {
+		if cum+n < target {
+			cum += n
+			continue
+		}
+		if i >= len(st.Bounds) {
+			// +Inf bucket: clamp to the last finite edge.
+			if len(st.Bounds) == 0 {
+				return 0
+			}
+			return st.Bounds[len(st.Bounds)-1]
+		}
+		var lo int64
+		if i > 0 {
+			lo = st.Bounds[i-1]
+		}
+		hi := st.Bounds[i]
+		// Position of the target rank inside this bucket, in (0, 1].
+		frac := float64(target-cum) / float64(n)
+		return lo + int64(frac*float64(hi-lo))
+	}
+	return st.Bounds[len(st.Bounds)-1]
 }
 
 // Sub returns the difference of two stats of the same histogram

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"net"
 	"net/http"
@@ -84,19 +85,11 @@ func TracesHandler() http.Handler {
 	})
 }
 
-// Serve starts an HTTP listener on addr exposing the Default registry
-// for a real scraper: /metrics (Prometheus text exposition),
-// /debug/traces (the flight recorder), and the standard net/http/pprof
-// handlers under /debug/pprof/ — CPU and heap profiles are one curl
-// away without wiring the profiler into http.DefaultServeMux. It
-// returns the live listener (its Addr carries the resolved port for
-// ":0" addresses); Close it to stop serving. The serving goroutine
-// exits when the listener closes.
-func Serve(addr string) (net.Listener, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
+// DebugMux returns the observability mux: /metrics (Prometheus text
+// exposition of the Default registry), /debug/traces (the flight
+// recorder), and the standard net/http/pprof handlers under
+// /debug/pprof/.
+func DebugMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", Handler())
 	mux.Handle("/debug/traces", TracesHandler())
@@ -105,9 +98,74 @@ func Serve(addr string) (net.Listener, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// HardenedServer wraps a handler in an http.Server with the timeouts a
+// long-lived process needs: a client that stalls mid-headers or
+// mid-body, or that holds a keep-alive connection idle forever, is cut
+// off instead of pinning a goroutine for the life of the process.
+// WriteTimeout stays 0 deliberately — /debug/pprof/profile streams for
+// its whole sampling window (30s by default) and a write deadline would
+// truncate it.
+func HardenedServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+// HTTPServer is a running hardened HTTP listener. Unlike a bare
+// net.Listener close — which kills in-flight requests mid-response —
+// Shutdown drains: the listener stops accepting, idle connections
+// close, and active requests finish (or the context expires).
+type HTTPServer struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// ServeHandler starts a hardened HTTP server for h on addr and returns
+// its handle. Addr carries the resolved port for ":0" addresses.
+func ServeHandler(addr string, h http.Handler) (*HTTPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &HTTPServer{ln: ln, srv: HardenedServer(h), done: make(chan struct{})}
 	go func() {
-		srv := &http.Server{Handler: mux}
-		_ = srv.Serve(ln)
+		defer close(s.done)
+		_ = s.srv.Serve(ln)
 	}()
-	return ln, nil
+	return s, nil
+}
+
+// Serve starts an HTTP listener on addr exposing the Default registry
+// for a real scraper: the DebugMux routes (/metrics, /debug/traces,
+// /debug/pprof/). The returned handle's Addr carries the resolved port
+// for ":0" addresses; Shutdown it to drain, or Close to stop hard.
+func Serve(addr string) (*HTTPServer, error) {
+	return ServeHandler(addr, DebugMux())
+}
+
+// Addr returns the listener's address.
+func (s *HTTPServer) Addr() net.Addr { return s.ln.Addr() }
+
+// Shutdown gracefully stops the server: no new connections are
+// accepted and in-flight requests run to completion (an expired ctx
+// abandons the stragglers). It waits for the serve goroutine to exit.
+func (s *HTTPServer) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	<-s.done
+	return err
+}
+
+// Close immediately closes the listener and every active connection.
+// In-flight scrapes are killed; prefer Shutdown outside of tests.
+func (s *HTTPServer) Close() error {
+	err := s.srv.Close()
+	<-s.done
+	return err
 }

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestQuantileInterpolation(t *testing.T) {
+	h := NewHistogram([]int64{100, 200, 400})
+	// 100 observations spread uniformly through the 100-200 bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(101 + int64(i))
+	}
+	st := h.Stat()
+	if got := st.Quantile(0.5); got < 140 || got > 160 {
+		t.Errorf("p50 = %d, want ~150 (inside the 100-200 bucket)", got)
+	}
+	if got := st.Quantile(1.0); got != 200 {
+		t.Errorf("p100 = %d, want the bucket's upper edge 200", got)
+	}
+	if got := st.Quantile(0.01); got <= 100 || got > 200 {
+		t.Errorf("p1 = %d, want inside (100, 200]", got)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var empty HistogramStat
+	if got := empty.Quantile(0.99); got != 0 {
+		t.Errorf("empty quantile = %d, want 0", got)
+	}
+	h := NewHistogram([]int64{10, 20})
+	h.Observe(1_000) // lands in +Inf
+	st := h.Stat()
+	if got := st.Quantile(0.99); got != 20 {
+		t.Errorf("+Inf-bucket quantile = %d, want clamp to last bound 20", got)
+	}
+	if got := st.Quantile(0); got != 0 {
+		t.Errorf("q=0 = %d, want 0", got)
+	}
+	if got := st.Quantile(2); got != 20 {
+		t.Errorf("q>1 clamps to max, got %d want 20", got)
+	}
+}
+
+// TestHTTPServerShutdownDrains pins the lifecycle fix: closing the old
+// bare listener killed in-flight scrapes; Shutdown must let an active
+// request finish while refusing new connections.
+func TestHTTPServerShutdownDrains(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	var once sync.Once
+	srv, err := ServeHandler(":0", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		once.Do(func() { close(entered) })
+		<-release
+		io.WriteString(w, "drained")
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		body string
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + srv.Addr().String() + "/")
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		got <- result{body: string(b), err: err}
+	}()
+	<-entered
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+	// Shutdown must wait for the in-flight request, not kill it.
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned (%v) while a request was in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	r := <-got
+	if r.err != nil || r.body != "drained" {
+		t.Fatalf("in-flight request = %q, %v; want full response", r.body, r.err)
+	}
+	// The listener is gone: new connections fail.
+	if _, err := http.Get("http://" + srv.Addr().String() + "/"); err == nil {
+		t.Error("request after Shutdown succeeded, want connection failure")
+	}
+}
+
+func TestHardenedServerTimeouts(t *testing.T) {
+	srv := HardenedServer(http.NotFoundHandler())
+	if srv.ReadHeaderTimeout <= 0 || srv.ReadTimeout <= 0 || srv.IdleTimeout <= 0 {
+		t.Errorf("hardened server missing timeouts: %+v", srv)
+	}
+	if srv.WriteTimeout != 0 {
+		t.Errorf("WriteTimeout = %v, want 0 (pprof profile streams 30s)", srv.WriteTimeout)
+	}
+}

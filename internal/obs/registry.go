@@ -77,7 +77,39 @@ const (
 	ObjectLabelCap = 16
 	// RelationLabelCap bounds distinct relation names.
 	RelationLabelCap = 64
+	// EndpointLabelCap bounds distinct serving-tier endpoint names.
+	EndpointLabelCap = 16
 )
+
+// HTTP response status classes tallied by the serving tier. Shed
+// requests (admission-control 429s) land in the 4xx class and in the
+// dedicated shed counter.
+const (
+	Status2xx = iota
+	Status3xx
+	Status4xx
+	Status5xx
+	NumStatusClasses
+)
+
+// statusClassNames are the snapshot key fragments, indexed by class.
+var statusClassNames = [NumStatusClasses]string{"2xx", "3xx", "4xx", "5xx"}
+
+// StatusClass maps an HTTP status code to its class index. Codes below
+// 200 (informational; the tier never emits them) and above 599 clamp
+// into the nearest class.
+func StatusClass(code int) int {
+	switch {
+	case code < 300:
+		return Status2xx
+	case code < 400:
+		return Status3xx
+	case code < 500:
+		return Status4xx
+	default:
+		return Status5xx
+	}
+}
 
 // DefaultReadTxLagAlert is the generation lag at which a closing ReadTx
 // counts as a stale close (reldb.readtx.stale_closes) and emits a trace
@@ -94,6 +126,7 @@ type Registry struct {
 	// (viewobject.NewDefinition).
 	Objects   *LabelSet // "object" — view-object names
 	Relations *LabelSet // "relation" — base-relation names
+	Endpoints *LabelSet // "endpoint" — serving-tier route names
 
 	// reldb: transaction and snapshot metrics.
 	Commits        Counter   // write transactions committed
@@ -198,6 +231,34 @@ type Registry struct {
 	OpsByObject       [NumOpKinds]*CounterVec
 	RejectsByObject   [NumRejectReasons]*CounterVec
 
+	// serve: the HTTP serving tier (penguin -serve). Requests counts
+	// requests admitted past admission control; Shed counts requests
+	// refused with a fast 429 because the in-flight bound was full — so
+	// Requests + Shed is the offered load. The latency histogram times
+	// admitted requests only (a shed costs microseconds by design), and
+	// the status-class counters tally every response written, sheds
+	// included (a shed is a 4xx). Labeled families partition their
+	// aggregates by endpoint, overflow slot included.
+	HTTPRequests           Counter
+	HTTPShed               Counter
+	HTTPNs                 Histogram
+	HTTPRequestsByEndpoint *CounterVec
+	HTTPShedByEndpoint     *CounterVec
+	HTTPNsByEndpoint       *HistogramVec
+	HTTPStatus             [NumStatusClasses]Counter
+	HTTPStatusByEndpoint   [NumStatusClasses]*CounterVec
+
+	// workload: the open-loop load generator (client side of the serving
+	// tier). Sent counts requests issued on the arrival schedule; Shed
+	// counts 429 responses observed; Errors counts transport failures
+	// and 5xx responses. The latency histogram records client-observed
+	// request latency (send → last body byte), split by endpoint.
+	OpenLoopSent         Counter
+	OpenLoopShed         Counter
+	OpenLoopErrors       Counter
+	OpenLoopNs           Histogram
+	OpenLoopNsByEndpoint *HistogramVec
+
 	// keller: flat-view baseline metrics (for E-benchmark comparisons).
 	KellerMaterializeNs Histogram // view materialization latency
 	KellerTranslateNs   Histogram // flat-view update translation latency
@@ -225,6 +286,7 @@ func NewRegistry() *Registry {
 	r := &Registry{
 		Objects:   NewLabelSet("object", ObjectLabelCap),
 		Relations: NewLabelSet("relation", RelationLabelCap),
+		Endpoints: NewLabelSet("endpoint", EndpointLabelCap),
 	}
 	r.CommitNs.init(DurationBounds)
 	r.ReadTxLag.init(CountBounds)
@@ -239,6 +301,16 @@ func NewRegistry() *Registry {
 	}
 	r.KellerMaterializeNs.init(DurationBounds)
 	r.KellerTranslateNs.init(DurationBounds)
+	r.HTTPNs.init(HTTPDurationBounds)
+	r.OpenLoopNs.init(HTTPDurationBounds)
+
+	r.HTTPRequestsByEndpoint = NewCounterVec(r.Endpoints)
+	r.HTTPShedByEndpoint = NewCounterVec(r.Endpoints)
+	r.HTTPNsByEndpoint = NewHistogramVec(r.Endpoints, HTTPDurationBounds)
+	for i := range r.HTTPStatusByEndpoint {
+		r.HTTPStatusByEndpoint[i] = NewCounterVec(r.Endpoints)
+	}
+	r.OpenLoopNsByEndpoint = NewHistogramVec(r.Endpoints, HTTPDurationBounds)
 
 	r.RelScanned = NewCounterVec(r.Relations)
 	r.RelProbes = NewCounterVec(r.Relations)

@@ -137,6 +137,22 @@ func (r *Registry) Snapshot() Snapshot {
 		lc("vupdate.reject."+rejectReasonNames[i], r.RejectsByObject[i])
 	}
 
+	c("penguin.http.requests", &r.HTTPRequests)
+	c("penguin.http.shed", &r.HTTPShed)
+	h("penguin.http.ns", &r.HTTPNs)
+	lc("penguin.http.requests", r.HTTPRequestsByEndpoint)
+	lc("penguin.http.shed", r.HTTPShedByEndpoint)
+	lh("penguin.http.ns", r.HTTPNsByEndpoint)
+	for i := 0; i < NumStatusClasses; i++ {
+		c("penguin.http.status."+statusClassNames[i], &r.HTTPStatus[i])
+		lc("penguin.http.status."+statusClassNames[i], r.HTTPStatusByEndpoint[i])
+	}
+	c("workload.openloop.sent", &r.OpenLoopSent)
+	c("workload.openloop.shed", &r.OpenLoopShed)
+	c("workload.openloop.errors", &r.OpenLoopErrors)
+	h("workload.openloop.latency_ns", &r.OpenLoopNs)
+	lh("workload.openloop.latency_ns", r.OpenLoopNsByEndpoint)
+
 	h("keller.materialize_ns", &r.KellerMaterializeNs)
 	h("keller.translate_ns", &r.KellerTranslateNs)
 	c("keller.ops", &r.KellerOps)

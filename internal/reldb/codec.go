@@ -2,6 +2,7 @@ package reldb
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -403,6 +404,23 @@ func readRelation(r byteReader, db *Database) error {
 		}
 	}
 	return nil
+}
+
+// AppendBinaryValue appends the snapshot codec's encoding of v to dst.
+// This is the engine's canonical byte-level value encoding: it preserves
+// the kind tag (Int(3) and Float(3) encode differently, unlike the
+// order-preserving AppendKey), every int64, every float bit pattern
+// including NaN payloads, and arbitrary (non-UTF-8) string bytes.
+// External codecs (the serving tier's JSON value codec) test their
+// round-trips against it: two Values are interchangeable exactly when
+// their AppendBinaryValue encodings are equal.
+func AppendBinaryValue(dst []byte, v Value) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Grow(len(v.s) + 10)
+	if err := writeValue(&buf, v); err != nil {
+		return dst, err
+	}
+	return append(dst, buf.Bytes()...), nil
 }
 
 func writeValue(w byteWriter, v Value) error {

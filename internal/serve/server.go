@@ -1,0 +1,474 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"penguin/internal/obs"
+	"penguin/internal/oql"
+	"penguin/internal/reldb"
+	"penguin/internal/viewobject"
+	"penguin/internal/vupdate"
+)
+
+// Endpoint labels for the penguin.http.* metric families. They fit
+// comfortably inside obs.EndpointLabelCap.
+const (
+	epList    = "list"
+	epQuery   = "query"
+	epGet     = "get"
+	epDelete  = "delete"
+	epInsert  = "insert"
+	epReplace = "replace"
+)
+
+// maxBodyBytes bounds update request bodies; a stuck or malicious
+// client cannot make the server buffer an unbounded document.
+const maxBodyBytes = 8 << 20
+
+// Config describes one serving tier.
+type Config struct {
+	// DB is the database the objects are defined over.
+	DB *reldb.Database
+	// Objects maps the externally visible object names to definitions.
+	Objects map[string]*viewobject.Definition
+	// Updaters maps object names to their §5 update translators. An
+	// object without an updater serves reads only (its update endpoints
+	// answer 405).
+	Updaters map[string]*vupdate.Updater
+	// MaxReadInFlight and MaxWriteInFlight bound concurrently admitted
+	// requests per class; arrivals beyond the bound are shed with 429
+	// instead of queueing (DESIGN.md §14). Zero means the defaults
+	// (64 reads, 16 writes); negative disables admission control.
+	MaxReadInFlight  int
+	MaxWriteInFlight int
+	// Reg receives the penguin.http.* metrics (obs.Default when nil).
+	Reg *obs.Registry
+}
+
+// Server is the HTTP serving tier: a handler tree over Config plus the
+// admission-control state. Create with New, mount Handler, or start a
+// listener in one call with Start.
+type Server struct {
+	cfg    Config
+	reg    *obs.Registry
+	reads  chan struct{} // admission semaphores; nil = unbounded
+	writes chan struct{}
+	mux    *http.ServeMux
+}
+
+// New builds a server for the configuration.
+func New(cfg Config) *Server {
+	s := &Server{cfg: cfg, reg: cfg.Reg}
+	if s.reg == nil {
+		s.reg = obs.Default
+	}
+	s.reads = semaphore(cfg.MaxReadInFlight, 64)
+	s.writes = semaphore(cfg.MaxWriteInFlight, 16)
+	// Intern the endpoint labels now: With resolves by lookup only, so
+	// a label never interned would fold into the "other" slot.
+	for _, ep := range []string{epList, epQuery, epGet, epDelete, epInsert, epReplace} {
+		s.reg.Endpoints.Intern(ep)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /objects", s.admit(epList, s.reads, s.handleList))
+	mux.HandleFunc("GET /objects/{name}", s.admit(epQuery, s.reads, s.handleQuery))
+	mux.HandleFunc("GET /objects/{name}/{key...}", s.admit(epGet, s.reads, s.handleGet))
+	// ServeMux wildcards cannot express the "{name}:verb" suffix, so
+	// update routes match the whole segment and split on ':' manually.
+	mux.HandleFunc("POST /objects/{target}", s.dispatchUpdate)
+	// The serving tier carries the debug surface of a standalone
+	// metrics listener, so one port serves both traffic and scrapes.
+	mux.Handle("GET /metrics", obs.Handler())
+	mux.Handle("/debug/", obs.DebugMux())
+	s.mux = mux
+	return s
+}
+
+// semaphore builds an admission semaphore of capacity n (def when n is
+// zero); nil — unbounded — when n is negative.
+func semaphore(n, def int) chan struct{} {
+	if n < 0 {
+		return nil
+	}
+	if n == 0 {
+		n = def
+	}
+	return make(chan struct{}, n)
+}
+
+// Handler returns the server's handler tree. Wrap it in
+// obs.HardenedServer (Start does) rather than a bare http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start launches the serving tier on addr with the hardened listener
+// (header/read/idle timeouts, graceful Shutdown).
+func Start(addr string, cfg Config) (*Server, *obs.HTTPServer, error) {
+	s := New(cfg)
+	hs, err := obs.ServeHandler(addr, s.Handler())
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, hs, nil
+}
+
+// admit wraps an endpoint handler with admission control and the
+// penguin.http.* instrumentation. The semaphore is tried, never waited
+// on: under overload the cheap answer is an immediate 429 the client
+// can back off from, not a queue that converts overload into latency
+// for everyone behind it. Shed requests count in penguin.http.shed and
+// the 4xx status family but not in penguin.http.requests — "requests"
+// means admitted work, so its latency histogram and the shed counter
+// partition arrivals cleanly.
+func (s *Server) admit(endpoint string, sem chan struct{}, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if sem != nil {
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			default:
+				s.shed(endpoint, w)
+				return
+			}
+		}
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		ns := time.Since(start).Nanoseconds()
+		s.reg.HTTPRequests.Inc()
+		s.reg.HTTPRequestsByEndpoint.With(endpoint).Inc()
+		s.reg.HTTPNs.Observe(ns)
+		s.reg.HTTPNsByEndpoint.With(endpoint).Observe(ns)
+		cls := obs.StatusClass(sw.status)
+		s.reg.HTTPStatus[cls].Inc()
+		s.reg.HTTPStatusByEndpoint[cls].With(endpoint).Inc()
+	}
+}
+
+// shed answers an over-capacity arrival: fast 429, Retry-After hint,
+// shed + 4xx counters.
+func (s *Server) shed(endpoint string, w http.ResponseWriter) {
+	s.reg.HTTPShed.Inc()
+	s.reg.HTTPShedByEndpoint.With(endpoint).Inc()
+	s.reg.HTTPStatus[obs.Status4xx].Inc()
+	s.reg.HTTPStatusByEndpoint[obs.Status4xx].With(endpoint).Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Retry-After", "1")
+	w.WriteHeader(http.StatusTooManyRequests)
+	fmt.Fprintf(w, `{"error":"overloaded","endpoint":%q}`+"\n", endpoint)
+}
+
+// statusWriter records the status code an endpoint handler writes.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// writeJSON sends v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// writeError sends {"error": msg}.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]any{"error": fmt.Sprintf(format, args...)})
+}
+
+// updateStatus maps an update-translation failure to a status code: a
+// rejection by the §5 pipeline (carrying a reason) is the client's
+// conflict, anything else the server's fault.
+func updateStatus(err error) int {
+	if vupdate.ReasonOf(err) != vupdate.ReasonUnknown {
+		return http.StatusConflict
+	}
+	if errors.Is(err, reldb.ErrNoSuchRelation) {
+		return http.StatusNotFound
+	}
+	return http.StatusInternalServerError
+}
+
+// object resolves {name}; a miss answers 404 and returns nil.
+func (s *Server) object(w http.ResponseWriter, name string) *viewobject.Definition {
+	def, ok := s.cfg.Objects[name]
+	if !ok {
+		writeError(w, http.StatusNotFound, "no object named %q", name)
+		return nil
+	}
+	return def
+}
+
+// handleList answers GET /objects: every object's shape in name order.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	rtx := s.cfg.DB.BeginRead()
+	defer rtx.Close()
+	type objInfo struct {
+		Name       string   `json:"name"`
+		Pivot      string   `json:"pivot"`
+		Key        []string `json:"key"`
+		Complexity int      `json:"complexity"`
+		Updatable  bool     `json:"updatable"`
+	}
+	infos := make([]objInfo, 0, len(s.cfg.Objects))
+	for name, def := range s.cfg.Objects {
+		infos = append(infos, objInfo{
+			Name:       name,
+			Pivot:      def.Pivot(),
+			Key:        def.Key(),
+			Complexity: def.Complexity(),
+			Updatable:  s.cfg.Updaters[name] != nil,
+		})
+	}
+	// Map order is random; the API is not.
+	for i := 1; i < len(infos); i++ {
+		for j := i; j > 0 && infos[j-1].Name > infos[j].Name; j-- {
+			infos[j-1], infos[j] = infos[j], infos[j-1]
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"objects": infos})
+}
+
+// handleQuery answers GET /objects/{name}[?q=OQL]: the instances the
+// (optionally filtered) object query selects, in pivot-key order.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	def := s.object(w, r.PathValue("name"))
+	if def == nil {
+		return
+	}
+	q, err := oql.Parse(def, r.URL.Query().Get("q"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad query: %v", err)
+		return
+	}
+	rtx := s.cfg.DB.BeginRead()
+	defer rtx.Close()
+	insts, err := viewobject.Instantiate(rtx, def, q)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "instantiate: %v", err)
+		return
+	}
+	docs := make([]any, len(insts))
+	for i, inst := range insts {
+		docs[i] = InstanceDoc(inst)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count":      len(docs),
+		"generation": rtx.Generation(),
+		"instances":  docs,
+	})
+}
+
+// handleGet answers GET /objects/{name}/{key...}: one instance by pivot
+// key, key attributes as slash-separated path segments.
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	def := s.object(w, r.PathValue("name"))
+	if def == nil {
+		return
+	}
+	rtx := s.cfg.DB.BeginRead()
+	defer rtx.Close()
+	key, err := s.pathKey(rtx, def, r.PathValue("key"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad key: %v", err)
+		return
+	}
+	inst, ok, err := viewobject.InstantiateByKey(rtx, def, key)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "instantiate: %v", err)
+		return
+	}
+	if !ok {
+		writeError(w, http.StatusNotFound, "no %s instance with that key", r.PathValue("name"))
+		return
+	}
+	writeJSON(w, http.StatusOK, InstanceDoc(inst))
+}
+
+// pathKey parses slash-separated path segments into a typed pivot key.
+func (s *Server) pathKey(rtx *reldb.ReadTx, def *viewobject.Definition, raw string) (reldb.Tuple, error) {
+	rel, err := rtx.Relation(def.Pivot())
+	if err != nil {
+		return nil, err
+	}
+	schema := rel.Schema()
+	keyIdx := schema.Key()
+	segs := strings.Split(raw, "/")
+	if raw == "" || len(segs) != len(keyIdx) {
+		return nil, fmt.Errorf("key of %s has %d attribute(s), got %d", def.Pivot(), len(keyIdx), len(segs))
+	}
+	key := make(reldb.Tuple, len(keyIdx))
+	for i, seg := range segs {
+		v, err := reldb.ParseValue(schema.Attr(keyIdx[i]).Type, seg)
+		if err != nil {
+			return nil, err
+		}
+		key[i] = v
+	}
+	return key, nil
+}
+
+// bodyKey decodes a JSON key array into a typed pivot key, checking
+// arity against the pivot relation's key.
+func (s *Server) bodyKey(def *viewobject.Definition, raw []any) (reldb.Tuple, error) {
+	rel, err := s.cfg.DB.Relation(def.Pivot())
+	if err != nil {
+		return nil, err
+	}
+	keyIdx := rel.Schema().Key()
+	if len(raw) != len(keyIdx) {
+		return nil, fmt.Errorf("key of %s has %d attribute(s), got %d", def.Pivot(), len(keyIdx), len(raw))
+	}
+	return DecodeTuple(raw)
+}
+
+// updateRequest is the body of every POST /objects/{name}:verb.
+type updateRequest struct {
+	// Key names the existing instance (delete, replace).
+	Key []any `json:"key"`
+	// Instance is the desired document (insert: the new instance;
+	// replace: the replacement).
+	Instance map[string]any `json:"instance"`
+}
+
+// dispatchUpdate routes POST /objects/{name}:{verb}. The verb picks the
+// §5 translation: delete → VO-CD, insert → VO-CI, replace → VO-R.
+func (s *Server) dispatchUpdate(w http.ResponseWriter, r *http.Request) {
+	target := r.PathValue("target")
+	name, verb, ok := strings.Cut(target, ":")
+	if !ok {
+		writeError(w, http.StatusMethodNotAllowed, "POST needs a verb: /objects/%s:delete|insert|replace", target)
+		return
+	}
+	var h func(http.ResponseWriter, *http.Request, string, *vupdate.Updater, updateRequest)
+	switch verb {
+	case "delete":
+		h = s.handleDelete
+	case "insert":
+		h = s.handleInsert
+	case "replace":
+		h = s.handleReplace
+	default:
+		writeError(w, http.StatusNotFound, "unknown update verb %q (want delete, insert, or replace)", verb)
+		return
+	}
+	endpoint := verb
+	s.admit(endpoint, s.writes, func(w http.ResponseWriter, r *http.Request) {
+		if s.object(w, name) == nil {
+			return
+		}
+		u := s.cfg.Updaters[name]
+		if u == nil {
+			writeError(w, http.StatusMethodNotAllowed, "object %q is read-only (no translator configured)", name)
+			return
+		}
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		dec.UseNumber()
+		var req updateRequest
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+		h(w, r, name, u, req)
+	})(w, r)
+}
+
+// updateResponse acknowledges a committed update. Generation is the
+// database generation the commit published; a client that received
+// this response can expect the state to survive a crash (SyncCommit
+// makes the WAL append durable before the updater returns).
+func (s *Server) updateResponse(w http.ResponseWriter, res *vupdate.Result) {
+	ops := make([]string, len(res.Ops))
+	for i, op := range res.Ops {
+		ops[i] = op.String()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ops":        ops,
+		"count":      len(ops),
+		"generation": s.cfg.DB.Generation(),
+	})
+}
+
+// handleDelete performs complete deletion (VO-CD) by pivot key.
+func (s *Server) handleDelete(w http.ResponseWriter, _ *http.Request, name string, u *vupdate.Updater, req updateRequest) {
+	key, err := s.bodyKey(u.T.Definition(), req.Key)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad key: %v", err)
+		return
+	}
+	res, err := u.DeleteByKey(key)
+	if err != nil {
+		writeError(w, updateStatus(err), "delete rejected: %v", err)
+		return
+	}
+	s.updateResponse(w, res)
+}
+
+// handleInsert performs complete insertion (VO-CI) of the document.
+func (s *Server) handleInsert(w http.ResponseWriter, _ *http.Request, name string, u *vupdate.Updater, req updateRequest) {
+	if req.Instance == nil {
+		writeError(w, http.StatusBadRequest, "insert needs an \"instance\" document")
+		return
+	}
+	inst, err := InstanceFromDoc(u.T.Definition(), req.Instance)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad instance: %v", err)
+		return
+	}
+	res, err := u.InsertInstance(inst)
+	if err != nil {
+		writeError(w, updateStatus(err), "insert rejected: %v", err)
+		return
+	}
+	s.updateResponse(w, res)
+}
+
+// handleReplace performs replacement (VO-R): the server instantiates
+// the current instance under the key, builds the desired instance from
+// the document, and hands both to the translator.
+func (s *Server) handleReplace(w http.ResponseWriter, _ *http.Request, name string, u *vupdate.Updater, req updateRequest) {
+	def := u.T.Definition()
+	if req.Instance == nil {
+		writeError(w, http.StatusBadRequest, "replace needs an \"instance\" document")
+		return
+	}
+	key, err := s.bodyKey(def, req.Key)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad key: %v", err)
+		return
+	}
+	rtx := s.cfg.DB.BeginRead()
+	oldInst, ok, err := viewobject.InstantiateByKey(rtx, def, key)
+	rtx.Close()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "instantiate: %v", err)
+		return
+	}
+	if !ok {
+		writeError(w, http.StatusNotFound, "no %s instance with that key", name)
+		return
+	}
+	newInst, err := InstanceFromDoc(def, req.Instance)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad instance: %v", err)
+		return
+	}
+	res, err := u.ReplaceInstance(oldInst, newInst)
+	if err != nil {
+		writeError(w, updateStatus(err), "replace rejected: %v", err)
+		return
+	}
+	s.updateResponse(w, res)
+}

@@ -23,6 +23,7 @@
 package university
 
 import (
+	"errors"
 	"fmt"
 
 	"penguin/internal/reldb"
@@ -58,58 +59,120 @@ const (
 // (Figure 1), with secondary indexes on every connecting attribute set.
 func New() (*reldb.Database, *structural.Graph) {
 	db := reldb.NewDatabase()
+	g, err := Install(db)
+	if err != nil {
+		// A fresh in-memory database cannot collide with anything.
+		panic(err)
+	}
+	return db, g
+}
 
-	db.MustCreateRelation(reldb.MustSchema(Department, []reldb.Attribute{
+// Install ensures the university relations exist in db — creating any
+// that are absent, leaving existing relations and their rows alone —
+// and attaches the Figure 1 structural schema to a new graph. It is the
+// durable-session counterpart of New: a database recovered from a WAL
+// (-data-dir) already holds the relations and their data, but the
+// connection graph lives in memory and must be rebuilt every process
+// start. An existing relation whose schema differs from the university
+// schema is an error (the data directory belongs to something else).
+func Install(db *reldb.Database) (*structural.Graph, error) {
+	ensure := func(schema *reldb.Schema) error {
+		_, err := db.CreateRelation(schema)
+		if errors.Is(err, reldb.ErrRelationExists) {
+			rel, relErr := db.Relation(schema.Name())
+			if relErr != nil {
+				return relErr
+			}
+			if rel.Schema().String() != schema.String() {
+				return fmt.Errorf("university: relation %s exists with schema %s, want %s",
+					schema.Name(), rel.Schema(), schema)
+			}
+			return nil
+		}
+		return err
+	}
+	if err := installRelations(ensure); err != nil {
+		return nil, err
+	}
+	return attachGraph(db), nil
+}
+
+// installRelations declares every university schema through ensure.
+func installRelations(ensure func(*reldb.Schema) error) error {
+	if err := ensure(reldb.MustSchema(Department, []reldb.Attribute{
 		{Name: "DeptName", Type: reldb.KindString},
 		{Name: "Building", Type: reldb.KindString, Nullable: true},
 		{Name: "Budget", Type: reldb.KindFloat, Nullable: true},
-	}, []string{"DeptName"}))
+	}, []string{"DeptName"})); err != nil {
+		return err
+	}
 
-	db.MustCreateRelation(reldb.MustSchema(People, []reldb.Attribute{
+	if err := ensure(reldb.MustSchema(People, []reldb.Attribute{
 		{Name: "PID", Type: reldb.KindInt},
 		{Name: "Name", Type: reldb.KindString, Nullable: true},
 		{Name: "DeptName", Type: reldb.KindString, Nullable: true},
 		{Name: "Email", Type: reldb.KindString, Nullable: true},
-	}, []string{"PID"}))
+	}, []string{"PID"})); err != nil {
+		return err
+	}
 
-	db.MustCreateRelation(reldb.MustSchema(Student, []reldb.Attribute{
+	if err := ensure(reldb.MustSchema(Student, []reldb.Attribute{
 		{Name: "PID", Type: reldb.KindInt},
 		{Name: "Degree", Type: reldb.KindString, Nullable: true},
 		{Name: "Year", Type: reldb.KindInt, Nullable: true},
-	}, []string{"PID"}))
+	}, []string{"PID"})); err != nil {
+		return err
+	}
 
-	db.MustCreateRelation(reldb.MustSchema(Faculty, []reldb.Attribute{
+	if err := ensure(reldb.MustSchema(Faculty, []reldb.Attribute{
 		{Name: "PID", Type: reldb.KindInt},
 		{Name: "Rank", Type: reldb.KindString, Nullable: true},
 		{Name: "Tenured", Type: reldb.KindBool, Nullable: true},
-	}, []string{"PID"}))
+	}, []string{"PID"})); err != nil {
+		return err
+	}
 
-	db.MustCreateRelation(reldb.MustSchema(Staff, []reldb.Attribute{
+	if err := ensure(reldb.MustSchema(Staff, []reldb.Attribute{
 		{Name: "PID", Type: reldb.KindInt},
 		{Name: "Title", Type: reldb.KindString, Nullable: true},
-	}, []string{"PID"}))
+	}, []string{"PID"})); err != nil {
+		return err
+	}
 
-	db.MustCreateRelation(reldb.MustSchema(Courses, []reldb.Attribute{
+	if err := ensure(reldb.MustSchema(Courses, []reldb.Attribute{
 		{Name: "CourseID", Type: reldb.KindString},
 		{Name: "Title", Type: reldb.KindString, Nullable: true},
 		{Name: "DeptName", Type: reldb.KindString, Nullable: true},
 		{Name: "Units", Type: reldb.KindInt, Nullable: true},
 		{Name: "Level", Type: reldb.KindString, Nullable: true},
-	}, []string{"CourseID"}))
+	}, []string{"CourseID"})); err != nil {
+		return err
+	}
 
-	db.MustCreateRelation(reldb.MustSchema(Curriculum, []reldb.Attribute{
+	if err := ensure(reldb.MustSchema(Curriculum, []reldb.Attribute{
 		{Name: "DeptName", Type: reldb.KindString},
 		{Name: "Degree", Type: reldb.KindString},
 		{Name: "CourseID", Type: reldb.KindString},
-	}, []string{"DeptName", "Degree", "CourseID"}))
+	}, []string{"DeptName", "Degree", "CourseID"})); err != nil {
+		return err
+	}
 
-	db.MustCreateRelation(reldb.MustSchema(Grades, []reldb.Attribute{
+	if err := ensure(reldb.MustSchema(Grades, []reldb.Attribute{
 		{Name: "CourseID", Type: reldb.KindString},
 		{Name: "PID", Type: reldb.KindInt},
 		{Name: "Quarter", Type: reldb.KindString, Nullable: true},
 		{Name: "Grade", Type: reldb.KindString, Nullable: true},
-	}, []string{"CourseID", "PID"}))
+	}, []string{"CourseID", "PID"})); err != nil {
+		return err
+	}
 
+	return nil
+}
+
+// attachGraph builds the Figure 1 connection graph over db. The graph
+// (and the secondary indexes each connection registers) is in-memory
+// state rebuilt on every process start.
+func attachGraph(db *reldb.Database) *structural.Graph {
 	g := structural.NewGraph(db)
 	g.MustAddConnection(&structural.Connection{
 		Name: ConnPersonDept, Type: structural.Reference,
@@ -161,7 +224,7 @@ func New() (*reldb.Database, *structural.Graph) {
 	// connection above registered a secondary index over its connecting
 	// attributes wherever they are not already the target's whole key.
 
-	return db, g
+	return g
 }
 
 // Seed loads the paper's illustrative instance: three departments, a mix
@@ -282,6 +345,17 @@ func NewSeeded() (*reldb.Database, *structural.Graph, error) {
 		return nil, nil, err
 	}
 	return db, g, nil
+}
+
+// EnsureSeeded seeds the paper's instance only into an empty database.
+// A durable session recovered from its WAL keeps the rows it already
+// has — Seed is not idempotent, and re-seeding over live data would
+// duplicate keys. Returns whether it seeded.
+func EnsureSeeded(db *reldb.Database) (bool, error) {
+	if db.TotalRows() > 0 {
+		return false, nil
+	}
+	return true, Seed(db)
 }
 
 // MustNewSeeded is NewSeeded that panics on error (fixtures and benches).

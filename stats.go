@@ -2,7 +2,6 @@ package penguin
 
 import (
 	"io"
-	"net"
 	"time"
 
 	"penguin/internal/obs"
@@ -65,11 +64,15 @@ func WriteStats(w io.Writer, s StatsSnapshot) error { return obs.WriteText(w, s)
 // to scrape the engine.
 func WriteProm(w io.Writer, s StatsSnapshot) error { return obs.WriteProm(w, s) }
 
+// MetricsServer is a running metrics/debug HTTP listener (hardened
+// timeouts; Shutdown drains in-flight scrapes, Close stops hard).
+type MetricsServer = obs.HTTPServer
+
 // ServeMetrics starts an HTTP listener on addr exposing the engine
-// metrics at /metrics in the Prometheus exposition format. It returns
-// the live listener (Addr carries the resolved port for ":0"); close it
-// to stop serving.
-func ServeMetrics(addr string) (net.Listener, error) { return obs.Serve(addr) }
+// metrics at /metrics in the Prometheus exposition format (plus
+// /debug/traces and /debug/pprof/). The returned handle's Addr carries
+// the resolved port for ":0"; Shutdown it to drain, or Close to stop.
+func ServeMetrics(addr string) (*MetricsServer, error) { return obs.Serve(addr) }
 
 // NewTraceRing creates a ring buffer holding the last size trace events;
 // install it with SetTraceSink to start recording.
