@@ -1,7 +1,7 @@
 GO ?= go
 BENCH_TOLERANCE ?= 0.30
 
-.PHONY: build test race vet bench bench-smoke bench-baseline bench-diff metrics-lint crash-matrix serve-smoke verify
+.PHONY: build test race vet bench bench-smoke bench-baseline bench-diff metrics-lint crash-matrix serve-smoke shard-stress verify
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,7 @@ bench-smoke:
 	$(GO) test -bench=BenchmarkParallelInstantiation -benchtime=1x -cpu=1,4 -run='^$$' .
 	$(GO) test -bench=BenchmarkMaterializedRead -benchtime=1x -run='^$$' .
 	$(GO) test -bench='BenchmarkCommit(WAL|InMemory)' -benchtime=1x -run='^$$' .
+	$(GO) test -bench=BenchmarkShardedCommit -benchtime=1x -cpu=1,4 -run='^$$' .
 
 # bench-baseline records a full benchmark run as JSON for diffing
 # against future runs.
@@ -68,6 +69,15 @@ serve-smoke:
 	$(GO) test -run '^TestServeSmoke$$' -count=1 -v ./internal/workload
 	$(GO) test -run '^TestServeSignalDurability$$' -count=1 ./cmd/penguin
 
+# shard-stress drives the sharded coordinator under the race detector:
+# the concurrent write mix over a live cluster (fast path + forced
+# cross-shard traffic, sharded results pinned identical to unsharded),
+# the sharded HTTP surface, and the cross-shard half of the crash
+# matrix (2PC step kills + kill -9 under sharded stress traffic).
+shard-stress:
+	$(GO) test -race -run '^TestSharded' -count=1 ./internal/workload ./internal/serve
+	$(GO) test -race -run '^TestCrashMatrix(CrossShard2PC|ShardKill9)$$' -count=1 ./internal/workload
+
 # verify is the full gate: compile everything, vet, then run the whole
 # suite (including the concurrent stress tests) under the race detector.
-verify: build vet race metrics-lint crash-matrix serve-smoke
+verify: build vet race metrics-lint crash-matrix serve-smoke shard-stress

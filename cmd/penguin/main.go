@@ -17,6 +17,10 @@
 //	                          # instead of the shell; combine with -data-dir
 //	                          # for durability; SIGINT/SIGTERM drains and
 //	                          # closes cleanly
+//	penguin -shards 4         # partition the university database over 4
+//	                          # shards (pivot-key hash; DESIGN.md §15);
+//	                          # works with the shell and with -serve, and
+//	                          # with -data-dir keeps one WAL per shard
 //	penguin -loadgen http://host:8080 # run the open-loop load generator
 //	                          # against a serving tier, report latency
 //	                          # quantiles against -slo-p50/-slo-p99, exit
@@ -37,6 +41,7 @@
 //	.figures                  regenerate the paper's figures
 //	.materialize [NAME [on|off]]  serve NAME's queries from the delta-patched cache
 //	.parallel [N]             show or set the instantiation worker budget
+//	.shards                   show per-shard generations, rows, and WAL activity
 //	.stats                    dump engine metrics (counters and histograms)
 //	.prom                     dump engine metrics in Prometheus exposition format
 //	.trace [N]                show the last N trace events (default 20)
@@ -69,6 +74,7 @@ import (
 	"penguin/internal/obs"
 	"penguin/internal/oql"
 	"penguin/internal/reldb"
+	"penguin/internal/reldb/shard"
 	"penguin/internal/rql"
 	"penguin/internal/serve"
 	"penguin/internal/structural"
@@ -80,7 +86,11 @@ import (
 
 // shell holds the interactive session state.
 type shell struct {
-	db       *reldb.Database
+	db *reldb.Database
+	// cluster is set in -shards sessions: object reads and updates route
+	// through the coordinator, and db aliases shard 0 so plain RQL still
+	// works (against that shard's replica of the non-island relations).
+	cluster  *shard.Cluster
 	g        *structural.Graph
 	objects  map[string]*viewobject.Definition
 	updaters map[string]*vupdate.Updater
@@ -115,7 +125,7 @@ type lifecycle struct {
 	mu   sync.Mutex    // guards srv/db against the signal goroutine
 	done chan struct{} // non-nil once a shutdown started; closed when it finished
 	srv  *obs.HTTPServer
-	db   *reldb.Database
+	db   io.Closer // the database — or the shard cluster — to close
 }
 
 // setServer registers the listener the shutdown must drain.
@@ -125,8 +135,9 @@ func (lc *lifecycle) setServer(srv *obs.HTTPServer) {
 	lc.mu.Unlock()
 }
 
-// setDB registers the database the shutdown must close.
-func (lc *lifecycle) setDB(db *reldb.Database) {
+// setDB registers the database (or shard cluster) the shutdown must
+// close.
+func (lc *lifecycle) setDB(db io.Closer) {
 	lc.mu.Lock()
 	lc.db = db
 	lc.mu.Unlock()
@@ -183,6 +194,7 @@ func main() {
 	slowThreshold := flag.Duration("slow-threshold", 25*time.Millisecond,
 		"retain traces of operations whose root span lasts at least this long (0 retains every operation)")
 	serveAddr := flag.String("serve", "", "serve the view-object HTTP API at ADDR (e.g. :8080) instead of the shell")
+	shards := flag.Int("shards", 1, "partition the university database over N shards (pivot-key hash); combine with -data-dir for per-shard WALs")
 	maxReads := flag.Int("max-reads", 0, "serving tier: max in-flight read requests before shedding (0 = default 64, negative = unbounded)")
 	maxWrites := flag.Int("max-writes", 0, "serving tier: max in-flight update requests before shedding (0 = default 16, negative = unbounded)")
 	loadgenURL := flag.String("loadgen", "", "drive an open-loop load run against the serving tier at URL, report, and exit")
@@ -208,8 +220,11 @@ func main() {
 		})
 		return
 	}
+	if *shards < 1 {
+		fatal(fmt.Errorf("invalid -shards %d", *shards))
+	}
 	if *serveAddr != "" {
-		runServe(*serveAddr, *dataDir, *maxReads, *maxWrites, *slowThreshold)
+		runServe(*serveAddr, *dataDir, *shards, *maxReads, *maxWrites, *slowThreshold)
 		return
 	}
 
@@ -236,6 +251,45 @@ func main() {
 		fmt.Printf("metrics: http://%s/metrics\n", ln.Addr())
 	}
 	switch {
+	case *shards > 1:
+		if *empty || *load != "" {
+			fatal(errors.New("-shards cannot be combined with -empty or -load"))
+		}
+		var c *shard.Cluster
+		if *dataDir != "" {
+			var seeded bool
+			var err error
+			c, seeded, err = university.OpenSharded(*dataDir, *shards, reldb.OpenOptions{})
+			if err != nil {
+				fatal(err)
+			}
+			if seeded {
+				fmt.Printf("seeded %s with the university instance over %d shards\n", *dataDir, *shards)
+			} else {
+				fmt.Printf("recovered %s (%d shards, %d rows, cluster generation %d)\n",
+					*dataDir, c.N(), c.TotalRows(), c.Generation())
+			}
+		} else {
+			var err error
+			c, err = university.NewSharded(*shards)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		lc.setDB(c)
+		sh.cluster = c
+		sh.db = c.DB(0)
+		for _, name := range c.Objects() {
+			def, err := c.Object(name, 0)
+			if err != nil {
+				fatal(err)
+			}
+			sh.objects[name] = def
+		}
+		sh.g = sh.objects[university.ObjOmega].Graph()
+		fmt.Printf("PENGUIN shell — university database over %d shards; objects: %s\n",
+			c.N(), strings.Join(c.Objects(), ", "))
+		fmt.Println("type .help for commands (.shards shows per-shard state)")
 	case *dataDir != "":
 		db, err := reldb.OpenDatabase(*dataDir)
 		if err != nil {
@@ -291,14 +345,53 @@ func main() {
 // runServe runs the HTTP serving tier until a signal drains it: the
 // university objects over either a fresh seeded in-memory database or a
 // durable -data-dir one (recovered, schema ensured, seeded only when
-// empty). The acknowledged-write contract is the point of the careful
-// teardown: a durable session commits through a synchronous WAL, so
-// every 200 the tier returned stays committed across SIGTERM and the
-// next start recovers it.
-func runServe(addr, dataDir string, maxReads, maxWrites int, slowThreshold time.Duration) {
+// empty). With -shards N the same objects serve from an N-shard cluster
+// — reads fan out, updates route through the coordinator. The
+// acknowledged-write contract is the point of the careful teardown: a
+// durable session commits through a synchronous WAL, so every 200 the
+// tier returned stays committed across SIGTERM and the next start
+// recovers it.
+func runServe(addr, dataDir string, shards, maxReads, maxWrites int, slowThreshold time.Duration) {
 	obs.Default.SetRecorder(obs.NewRecorder(slowThreshold, 64))
 	lc := &lifecycle{}
 	trapSignals(lc)
+
+	if shards > 1 {
+		var c *shard.Cluster
+		if dataDir != "" {
+			var seeded bool
+			var err error
+			c, seeded, err = university.OpenSharded(dataDir, shards, reldb.OpenOptions{})
+			if err != nil {
+				fatal(err)
+			}
+			if seeded {
+				fmt.Printf("seeded %s with the university instance over %d shards\n", dataDir, shards)
+			} else {
+				fmt.Printf("recovered %s (%d shards, %d rows, cluster generation %d)\n",
+					dataDir, c.N(), c.TotalRows(), c.Generation())
+			}
+		} else {
+			var err error
+			c, err = university.NewSharded(shards)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		lc.setDB(c)
+		_, hs, err := serve.Start(addr, serve.Config{
+			Cluster:          c,
+			MaxReadInFlight:  maxReads,
+			MaxWriteInFlight: maxWrites,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		lc.setServer(hs)
+		fmt.Printf("serving view objects over %d shards at http://%s/objects (metrics at /metrics)\n",
+			shards, hs.Addr())
+		select {} // the signal handler exits the process after draining
+	}
 
 	var db *reldb.Database
 	var g *structural.Graph
@@ -486,6 +579,11 @@ func (sh *shell) command(line string) bool {
 			if q, err = oql.Parse(def, strings.Join(args[1:], " ")); err == nil {
 				insts, err = m.Instantiate(q)
 			}
+		} else if sh.cluster != nil {
+			var q viewobject.Query
+			if q, err = oql.Parse(def, strings.Join(args[1:], " ")); err == nil {
+				insts, err = sh.cluster.Instantiate(args[0], q)
+			}
 		} else {
 			rtx := sh.db.BeginRead()
 			insts, err = oql.Query(rtx, def, strings.Join(args[1:], " "))
@@ -509,6 +607,8 @@ func (sh *shell) command(line string) bool {
 		var err error
 		if m := sh.materialized[args[0]]; m != nil {
 			inst, ok, err = m.InstantiateByKey(key)
+		} else if sh.cluster != nil {
+			inst, ok, err = sh.cluster.InstantiateByKey(args[0], key)
 		} else {
 			rtx := sh.db.BeginRead()
 			inst, ok, err = viewobject.InstantiateByKey(rtx, def, key)
@@ -528,12 +628,18 @@ func (sh *shell) command(line string) bool {
 		if def == nil {
 			break
 		}
-		u := sh.updaters[args[0]]
-		if u == nil {
-			sh.errorf("no translator chosen for %s - run .dialog first", args[0])
-			break
+		var res *vupdate.Result
+		var err error
+		if sh.cluster != nil {
+			res, err = sh.cluster.DeleteByKey(args[0], key)
+		} else {
+			u := sh.updaters[args[0]]
+			if u == nil {
+				sh.errorf("no translator chosen for %s - run .dialog first", args[0])
+				break
+			}
+			res, err = u.DeleteByKey(key)
 		}
-		res, err := u.DeleteByKey(key)
 		if err != nil {
 			sh.errorf("rejected: %v", err)
 			break
@@ -542,6 +648,10 @@ func (sh *shell) command(line string) bool {
 	case ".preview":
 		def, key := sh.objectAndKey(args, ".preview")
 		if def == nil {
+			break
+		}
+		if sh.cluster != nil {
+			sh.errorf("preview is not supported in sharded sessions")
 			break
 		}
 		u := sh.updaters[args[0]]
@@ -558,6 +668,10 @@ func (sh *shell) command(line string) bool {
 	case ".dialog":
 		def := sh.lookupObject(args)
 		if def == nil {
+			break
+		}
+		if sh.cluster != nil {
+			sh.errorf("translator dialogs are not supported in sharded sessions (the cluster registers translators at startup)")
 			break
 		}
 		sh.out.Flush()
@@ -578,6 +692,10 @@ func (sh *shell) command(line string) bool {
 		}
 		fmt.Fprint(sh.out, report)
 	case ".materialize":
+		if sh.cluster != nil {
+			sh.errorf("materialized caches follow one database's delta stream - not supported in sharded sessions")
+			break
+		}
 		if len(args) == 0 {
 			if len(sh.materialized) == 0 {
 				fmt.Fprintln(sh.out, "materialization: off for every object")
@@ -679,6 +797,10 @@ func (sh *shell) command(line string) bool {
 			fmt.Fprintln(sh.out, ev)
 		}
 	case ".save":
+		if sh.cluster != nil {
+			sh.errorf("snapshots cover one database - not supported in sharded sessions (use -data-dir for durability)")
+			break
+		}
 		if len(args) != 1 {
 			sh.errorf("usage: .save FILE")
 			break
@@ -696,6 +818,22 @@ func (sh *shell) command(line string) bool {
 		}
 		fmt.Fprintln(sh.out, "saved", args[0])
 	case ".checkpoint":
+		if sh.cluster != nil {
+			for i := 0; i < sh.cluster.N(); i++ {
+				gen, err := sh.cluster.DB(i).Checkpoint()
+				switch {
+				case errors.Is(err, reldb.ErrNotDurable):
+					sh.errorf("this session is in-memory - start with -data-dir DIR for durability")
+				case err != nil:
+					sh.errorf("shard %d: %v", i, err)
+				default:
+					fmt.Fprintf(sh.out, "shard %d: checkpoint written at generation %d\n", i, gen)
+					continue
+				}
+				break
+			}
+			break
+		}
 		gen, err := sh.db.Checkpoint()
 		switch {
 		case errors.Is(err, reldb.ErrNotDurable):
@@ -705,7 +843,13 @@ func (sh *shell) command(line string) bool {
 		default:
 			fmt.Fprintf(sh.out, "checkpoint written at generation %d\n", gen)
 		}
+	case ".shards":
+		sh.shards()
 	case ".load":
+		if sh.cluster != nil {
+			sh.errorf("snapshots cover one database - not supported in sharded sessions")
+			break
+		}
 		if len(args) != 1 {
 			sh.errorf("usage: .load FILE")
 			break
@@ -730,6 +874,43 @@ func (sh *shell) command(line string) bool {
 		sh.errorf("unknown command %s - try .help", cmd)
 	}
 	return false
+}
+
+// shards prints the cluster's per-shard state (".shards"): generations,
+// row counts, and — in durable sessions — the by-shard WAL counters.
+func (sh *shell) shards() {
+	c := sh.cluster
+	if c == nil {
+		fmt.Fprintln(sh.out, "sharding: off (single database) - start with -shards N")
+		return
+	}
+	fmt.Fprintf(sh.out, "%d shard(s), cluster generation %d, %d stored row(s)\n",
+		c.N(), c.Generation(), c.TotalRows())
+	gens := c.Generations()
+	for i := 0; i < c.N(); i++ {
+		fmt.Fprintf(sh.out, "  shard %d: generation %d, %d rows\n", i, gens[i], c.DB(i).TotalRows())
+	}
+	snap := obs.Capture()
+	for _, fam := range []string{
+		"reldb.wal.appends.by_shard",
+		"reldb.wal.fsyncs.by_shard",
+		"reldb.wal.checkpoints.by_shard",
+	} {
+		lc, ok := snap.LabeledCounters[fam]
+		if !ok {
+			continue
+		}
+		labels := make([]string, 0, len(lc.Values))
+		for l := range lc.Values {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		fmt.Fprintf(sh.out, "%s:", fam)
+		for _, l := range labels {
+			fmt.Fprintf(sh.out, " %s=%d", l, lc.Values[l])
+		}
+		fmt.Fprintln(sh.out)
+	}
 }
 
 // traceSlow lists the flight recorder's retained traces (".trace slow")
@@ -865,6 +1046,7 @@ Dot-commands:
   .figures              regenerate the paper's figures
   .materialize [NAME [on|off]]  keep NAME's instances materialized (patched from commit deltas)
   .parallel [N]         show or set the instantiation worker budget (0 tracks GOMAXPROCS)
+  .shards               show per-shard generations, rows, and WAL activity (-shards sessions)
   .stats                dump engine metrics (counters and histograms)
   .prom                 dump engine metrics in Prometheus exposition format
   .trace [N]            show the last N trace events (default 20)

@@ -35,10 +35,10 @@ func testShell(t *testing.T) (*shell, *bytes.Buffer) {
 		objects:      map[string]*viewobject.Definition{"omega": om, "omega-prime": op},
 		updaters:     make(map[string]*vupdate.Updater),
 		materialized: make(map[string]*viewobject.Materializer),
-		out:      bufio.NewWriter(&out),
-		errw:     &bytes.Buffer{},
-		in:       bufio.NewReader(strings.NewReader("")),
-		ring:     obs.NewRing(64),
+		out:          bufio.NewWriter(&out),
+		errw:         &bytes.Buffer{},
+		in:           bufio.NewReader(strings.NewReader("")),
+		ring:         obs.NewRing(64),
 	}
 	obs.Default.SetSink(sh.ring)
 	t.Cleanup(func() { obs.Default.SetSink(nil) })

@@ -79,6 +79,8 @@ const (
 	RelationLabelCap = 64
 	// EndpointLabelCap bounds distinct serving-tier endpoint names.
 	EndpointLabelCap = 16
+	// ShardLabelCap bounds distinct shard indices (sharded clusters).
+	ShardLabelCap = 16
 )
 
 // HTTP response status classes tallied by the serving tier. Shed
@@ -127,6 +129,7 @@ type Registry struct {
 	Objects   *LabelSet // "object" — view-object names
 	Relations *LabelSet // "relation" — base-relation names
 	Endpoints *LabelSet // "endpoint" — serving-tier route names
+	Shards    *LabelSet // "shard" — shard indices of a sharded cluster
 
 	// reldb: transaction and snapshot metrics.
 	Commits        Counter   // write transactions committed
@@ -155,6 +158,24 @@ type Registry struct {
 	WALReplayed    Counter   // records replayed by recovery
 	WALCheckpoints Counter   // checkpoints completed (snapshot + truncation)
 	WALFsyncNs     Histogram // fsync latency
+
+	// reldb: the same WAL families split by shard. Only databases opened
+	// with a shard label (OpenOptions.ShardLabel — the members of a
+	// sharded cluster) record here; an unsharded database reports only
+	// into the unlabeled totals above, so these families do NOT partition
+	// their aggregates the way the per-object families do.
+	WALAppendsByShard     *CounterVec
+	WALBytesByShard       *CounterVec
+	WALFsyncsByShard      *CounterVec
+	WALCheckpointsByShard *CounterVec
+
+	// reldb: the two-shard commit protocol (sharded clusters). Prepares
+	// count participants entering the prepared state; commits and aborts
+	// count how each participant resolved (commits + aborts == prepares
+	// at quiescence, recovery resolutions included).
+	CrossPrepares Counter
+	CrossCommits  Counter
+	CrossAborts   Counter
 
 	// reldb: per-relation lookup cost (MatchStats attribution). Each
 	// MatchEqual-family lookup charges the relation that served it, so a
@@ -193,6 +214,7 @@ type Registry struct {
 	// InstantiateNs observations rather than all of them.
 	ParallelWorkers       Counter   // worker goroutines launched by parallel fan-outs
 	ParallelChunks        Counter   // pivot chunks dispatched to workers
+	ParallelSteals        Counter   // level fan-outs split across idle workers (work stealing)
 	InstantiateParallelNs Histogram // latency of instantiations that fanned out
 
 	// viewobject: the materialized view-object cache (Materializer).
@@ -287,6 +309,7 @@ func NewRegistry() *Registry {
 		Objects:   NewLabelSet("object", ObjectLabelCap),
 		Relations: NewLabelSet("relation", RelationLabelCap),
 		Endpoints: NewLabelSet("endpoint", EndpointLabelCap),
+		Shards:    NewLabelSet("shard", ShardLabelCap),
 	}
 	r.CommitNs.init(DurationBounds)
 	r.ReadTxLag.init(CountBounds)
@@ -315,6 +338,11 @@ func NewRegistry() *Registry {
 	r.RelScanned = NewCounterVec(r.Relations)
 	r.RelProbes = NewCounterVec(r.Relations)
 	r.RelScans = NewCounterVec(r.Relations)
+
+	r.WALAppendsByShard = NewCounterVec(r.Shards)
+	r.WALBytesByShard = NewCounterVec(r.Shards)
+	r.WALFsyncsByShard = NewCounterVec(r.Shards)
+	r.WALCheckpointsByShard = NewCounterVec(r.Shards)
 
 	r.InstCallsByObject = NewCounterVec(r.Objects)
 	r.InstTuplesByObject = NewCounterVec(r.Objects)

@@ -87,6 +87,18 @@ func (r *Registry) Snapshot() Snapshot {
 	c("reldb.wal.replayed", &r.WALReplayed)
 	c("reldb.wal.checkpoints", &r.WALCheckpoints)
 	h("reldb.wal.fsync_ns", &r.WALFsyncNs)
+	// The shard splits live under their own .by_shard names rather than
+	// the aggregate's: unsharded databases count only in the aggregate,
+	// so the labeled family is NOT a partition of it, and reusing the
+	// name would make WriteProm's labeled-only convention swallow the
+	// bare reldb_wal_* samples whenever any shard label is live.
+	lc("reldb.wal.appends.by_shard", r.WALAppendsByShard)
+	lc("reldb.wal.bytes.by_shard", r.WALBytesByShard)
+	lc("reldb.wal.fsyncs.by_shard", r.WALFsyncsByShard)
+	lc("reldb.wal.checkpoints.by_shard", r.WALCheckpointsByShard)
+	c("reldb.cross.prepares", &r.CrossPrepares)
+	c("reldb.cross.commits", &r.CrossCommits)
+	c("reldb.cross.aborts", &r.CrossAborts)
 	h("reldb.tx.commit_ns", &r.CommitNs)
 	h("reldb.readtx.lag_generations", &r.ReadTxLag)
 	lc("reldb.relation.scanned", r.RelScanned)
@@ -107,6 +119,7 @@ func (r *Registry) Snapshot() Snapshot {
 	h("viewobject.instantiate.ns", &r.InstantiateNs)
 	c("viewobject.parallel.workers", &r.ParallelWorkers)
 	c("viewobject.parallel.chunks", &r.ParallelChunks)
+	c("viewobject.parallel.steals", &r.ParallelSteals)
 	h("viewobject.instantiate.parallel_ns", &r.InstantiateParallelNs)
 	c("viewobject.materialize.hits", &r.MatHits)
 	c("viewobject.materialize.misses", &r.MatMisses)

@@ -21,10 +21,10 @@ import (
 // allocation is atomic and the flight-recorder collector behind col is
 // mutex-protected.
 type Op struct {
-	reg   *Registry
-	col   *opCollector // non-nil while the flight recorder buffers this op
-	name  string
-	start time.Time
+	reg    *Registry
+	col    *opCollector // non-nil while the flight recorder buffers this op
+	name   string
+	start  time.Time
 	trace  uint64
 	span   uint64
 	parent uint64

@@ -1,6 +1,7 @@
 package reldb
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"time"
@@ -40,6 +41,17 @@ func (db *Database) Checkpoint() (uint64, error) {
 	db.ckptMu.Lock()
 	defer db.ckptMu.Unlock()
 
+	// An unresolved cross-shard prepare (replayed from the log, awaiting
+	// the sharded open's resolution) must stay reachable: a snapshot
+	// would not carry it and the prune would drop its record. Live
+	// prepares can't get here — PreparedTx holds ckptMu.
+	db.mu.RLock()
+	pending := len(db.pendingX)
+	db.mu.RUnlock()
+	if pending > 0 {
+		return 0, fmt.Errorf("reldb: checkpoint deferred: %d in-doubt cross-shard transactions", pending)
+	}
+
 	rtx := db.BeginRead()
 	gen := rtx.Generation()
 	tmp := filepath.Join(db.dataDir, snapshotName(gen)+tmpSuffix)
@@ -74,6 +86,9 @@ func (db *Database) Checkpoint() (uint64, error) {
 		return 0, err
 	}
 	obs.Default.WALCheckpoints.Inc()
+	if db.obsShard >= 0 {
+		obs.Default.WALCheckpointsByShard.At(db.obsShard).Inc()
+	}
 	return gen, nil
 }
 
@@ -112,9 +127,20 @@ func (db *Database) pruneBelow(gen uint64) error {
 // checkpointLoop is the background checkpointer: every interval, if the
 // generation moved since the last checkpoint, take one. Errors are
 // counted and retried next tick — a full disk during a checkpoint must
-// not kill the writer path.
-func (db *Database) checkpointLoop(interval time.Duration) {
+// not kill the writer path. phase delays the first tick so databases
+// sharing an interval (the shards of a cluster) snapshot in rotation
+// instead of fsyncing simultaneously.
+func (db *Database) checkpointLoop(interval, phase time.Duration) {
 	defer close(db.ckptDone)
+	if phase > 0 {
+		pt := time.NewTimer(phase)
+		select {
+		case <-db.ckptStop:
+			pt.Stop()
+			return
+		case <-pt.C:
+		}
+	}
 	t := time.NewTicker(interval)
 	defer t.Stop()
 	last := db.Generation()

@@ -52,6 +52,18 @@ type Database struct {
 	// for in-memory databases; read without locks (immutable after open).
 	wal     *wal
 	dataDir string
+	// pendingX holds two-shard commit prepares whose decision has not
+	// been seen: populated by WAL replay, consumed by the sharded open's
+	// in-doubt resolution (ResolveInDoubt) or by a live PreparedTx.
+	// decidedX remembers commit decisions replayed from the log so a
+	// sibling shard's in-doubt prepare can be resolved against them.
+	// Both guarded by mu.
+	pendingX map[string]*pendingCross
+	decidedX map[string]bool
+	// obsShard is the shard label slot this database's WAL metrics are
+	// additionally recorded under (-1: unsharded, unlabeled totals only).
+	// Set once at open via OpenOptions.ShardLabel.
+	obsShard int
 	// ckptMu serializes checkpoints (manual and background); ckptStop /
 	// ckptDone manage the background checkpointer goroutine.
 	ckptMu    sync.Mutex
@@ -63,7 +75,7 @@ type Database struct {
 
 // NewDatabase creates an empty database.
 func NewDatabase() *Database {
-	return &Database{relations: make(map[string]*Relation)}
+	return &Database{relations: make(map[string]*Relation), obsShard: -1}
 }
 
 // CreateRelation defines a new relation from the schema. DDL takes the
@@ -73,11 +85,11 @@ func NewDatabase() *Database {
 func (db *Database) CreateRelation(schema *Schema) (*Relation, error) {
 	db.writer.Lock()
 	defer db.writer.Unlock()
-	var walGen uint64
+	var walSeq uint64
 	if db.wal != nil {
 		db.mu.RLock()
 		_, dup := db.relations[schema.Name()]
-		walGen = db.gen + 1
+		walGen := db.gen + 1
 		db.mu.RUnlock()
 		if dup {
 			return nil, fmt.Errorf("reldb: create %s: %w", schema.Name(), ErrRelationExists)
@@ -86,7 +98,7 @@ func (db *Database) CreateRelation(schema *Schema) (*Relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := db.wal.append(walGen, payload); err != nil {
+		if walSeq, err = db.wal.append(walGen, payload); err != nil {
 			return nil, err
 		}
 	}
@@ -102,7 +114,7 @@ func (db *Database) CreateRelation(schema *Schema) (*Relation, error) {
 	db.structuralBatchLocked(schema.Name())
 	db.mu.Unlock()
 	if db.wal != nil {
-		if err := db.wal.waitDurable(walGen); err != nil {
+		if err := db.wal.waitDurable(walSeq); err != nil {
 			return nil, err
 		}
 	}
@@ -124,11 +136,11 @@ func (db *Database) MustCreateRelation(schema *Schema) *Relation {
 func (db *Database) DropRelation(name string) error {
 	db.writer.Lock()
 	defer db.writer.Unlock()
-	var walGen uint64
+	var walSeq uint64
 	if db.wal != nil {
 		db.mu.RLock()
 		_, ok := db.relations[name]
-		walGen = db.gen + 1
+		walGen := db.gen + 1
 		db.mu.RUnlock()
 		if !ok {
 			return fmt.Errorf("reldb: drop %s: %w", name, ErrNoSuchRelation)
@@ -137,7 +149,7 @@ func (db *Database) DropRelation(name string) error {
 		if err != nil {
 			return err
 		}
-		if err := db.wal.append(walGen, payload); err != nil {
+		if walSeq, err = db.wal.append(walGen, payload); err != nil {
 			return err
 		}
 	}
@@ -151,7 +163,7 @@ func (db *Database) DropRelation(name string) error {
 	db.structuralBatchLocked(name)
 	db.mu.Unlock()
 	if db.wal != nil {
-		return db.wal.waitDurable(walGen)
+		return db.wal.waitDurable(walSeq)
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package reldb
 import (
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"penguin/internal/obs"
 )
@@ -60,6 +61,14 @@ func (p *lookupPlan) permute(vals Tuple) Tuple {
 type planCache struct {
 	mu    sync.RWMutex
 	plans map[string]*lookupPlan
+	// ranges caches ordered views (rangePlan) under "range"+sep+attr
+	// keys. Unlike lookupPlans — which read the live row map and index
+	// objects and so survive in-place mutation — a rangePlan materializes
+	// the row set, so mutators drop these (dropRanges). hasRanges lets
+	// that drop cost one atomic load on the mutation hot path when no
+	// range plan exists.
+	ranges    map[string]*rangePlan
+	hasRanges atomic.Bool
 }
 
 // get returns the cached plan for key, or nil.
@@ -85,21 +94,67 @@ func (pc *planCache) put(key string, p *lookupPlan) (*lookupPlan, bool) {
 	return p, true
 }
 
+// getRange returns the cached ordered view for key, or nil.
+func (pc *planCache) getRange(key string) *rangePlan {
+	if !pc.hasRanges.Load() {
+		return nil
+	}
+	pc.mu.RLock()
+	p := pc.ranges[key]
+	pc.mu.RUnlock()
+	return p
+}
+
+// putRange publishes an ordered view, unless a racing builder won; it
+// returns the view that ended up cached and whether this call stored it.
+func (pc *planCache) putRange(key string, p *rangePlan) (*rangePlan, bool) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if prev, ok := pc.ranges[key]; ok {
+		return prev, false
+	}
+	if pc.ranges == nil {
+		pc.ranges = make(map[string]*rangePlan, 2)
+	}
+	pc.ranges[key] = p
+	pc.hasRanges.Store(true)
+	return p, true
+}
+
+// dropRanges discards the cached ordered views and returns how many
+// were dropped. Called on every row mutation: a rangePlan pins this
+// version's row set, which Insert/Delete/Replace change in place (only
+// a write transaction's private clone is ever mutated, so on committed
+// versions this is never reached past the atomic load).
+func (pc *planCache) dropRanges() int {
+	if !pc.hasRanges.Load() {
+		return 0
+	}
+	pc.mu.Lock()
+	n := len(pc.ranges)
+	pc.ranges = nil
+	pc.hasRanges.Store(false)
+	pc.mu.Unlock()
+	return n
+}
+
 // purge discards every cached plan and returns how many were dropped.
 // Called on index DDL: a cached plan pins the index selection (and a
 // *secondaryIndex), both of which CreateIndex/DropIndex change.
 func (pc *planCache) purge() int {
 	pc.mu.Lock()
-	n := len(pc.plans)
+	n := len(pc.plans) + len(pc.ranges)
 	pc.plans = nil
+	pc.ranges = nil
+	pc.hasRanges.Store(false)
 	pc.mu.Unlock()
 	return n
 }
 
-// size returns the number of cached plans.
+// size returns the number of cached plans (lookup and range).
 func (pc *planCache) size() int {
 	pc.mu.RLock()
-	n := len(pc.plans)
+	n := len(pc.plans) + len(pc.ranges)
 	pc.mu.RUnlock()
 	return n
 }
@@ -169,6 +224,15 @@ func (r *Relation) planFor(what string, attrNames []string) (*lookupPlan, error)
 // dropped plans in reldb.plancache.invalidations.
 func (r *Relation) invalidatePlans() {
 	if n := r.plans.purge(); n > 0 {
+		obs.Default.PlanCacheInvalidations.Add(int64(n))
+	}
+}
+
+// invalidateRangePlans drops the cached ordered views after a row
+// mutation (they materialize the row set; see planCache.dropRanges) and
+// records them in reldb.plancache.invalidations.
+func (r *Relation) invalidateRangePlans() {
+	if n := r.plans.dropRanges(); n > 0 {
 		obs.Default.PlanCacheInvalidations.Add(int64(n))
 	}
 }

@@ -1,0 +1,275 @@
+package reldb
+
+import (
+	"fmt"
+	"sort"
+
+	"penguin/internal/obs"
+)
+
+// RangeBound is one side of a decomposed range predicate: the constant
+// the attribute is compared with and whether the comparison excludes
+// equality (< or > rather than <= or >=).
+type RangeBound struct {
+	V      Value
+	Strict bool
+}
+
+// RangeConjunction decomposes pred into a single attribute name and its
+// lower/upper bounds, when pred is a pure conjunction of ordering
+// comparisons (<, <=, >, >=) between one unqualified attribute and
+// constants (a single Cmp, or an And whose terms are all such Cmps,
+// either operand order — a constant on the left flips the bound's
+// side). Such predicates are exactly the ones a MatchRange probe over a
+// cached ordered view can answer. At most one bound per side is
+// accepted; anything else — other operators, several attributes,
+// qualified references, duplicate bounds, nested boolean structure —
+// returns ok=false, leaving the caller on the scan path with its full
+// predicate semantics.
+func RangeConjunction(pred Expr) (attr string, lo, hi *RangeBound, ok bool) {
+	var terms []Expr
+	switch p := pred.(type) {
+	case Cmp:
+		terms = []Expr{p}
+	case And:
+		terms = p.Terms
+	default:
+		return "", nil, nil, false
+	}
+	if len(terms) == 0 {
+		return "", nil, nil, false
+	}
+	for _, t := range terms {
+		cmp, isCmp := t.(Cmp)
+		if !isCmp {
+			return "", nil, nil, false
+		}
+		op := cmp.Op
+		a, aOK := cmp.L.(Attr)
+		c, cOK := cmp.R.(Const)
+		if !aOK || !cOK {
+			a, aOK = cmp.R.(Attr)
+			c, cOK = cmp.L.(Const)
+			if !aOK || !cOK {
+				return "", nil, nil, false
+			}
+			// const op attr reads right-to-left: 3 < x means x > 3.
+			switch op {
+			case OpLt:
+				op = OpGt
+			case OpLe:
+				op = OpGe
+			case OpGt:
+				op = OpLt
+			case OpGe:
+				op = OpLe
+			}
+		}
+		if a.Rel != "" {
+			return "", nil, nil, false
+		}
+		if attr == "" {
+			attr = a.Name
+		} else if attr != a.Name {
+			return "", nil, nil, false
+		}
+		b := &RangeBound{V: c.V}
+		switch op {
+		case OpGt:
+			b.Strict = true
+			fallthrough
+		case OpGe:
+			if lo != nil {
+				return "", nil, nil, false
+			}
+			lo = b
+		case OpLt:
+			b.Strict = true
+			fallthrough
+		case OpLe:
+			if hi != nil {
+				return "", nil, nil, false
+			}
+			hi = b
+		default:
+			return "", nil, nil, false
+		}
+	}
+	return attr, lo, hi, true
+}
+
+// rangeComparable reports whether a bound of kind have orders against
+// every value an attribute of kind want can store. Stored values have
+// the declared kind (or Int in a Float attribute), and Compare handles
+// any numeric pair, so numeric kinds are mutually fine; otherwise the
+// kinds must match exactly.
+func rangeComparable(want, have Kind) bool {
+	numeric := func(k Kind) bool { return k == KindInt || k == KindFloat }
+	return want == have || (numeric(want) && numeric(have))
+}
+
+// ProbeableRange reports whether a MatchRange over attr with these
+// bounds is guaranteed to return exactly the tuples a predicate scan for
+// the same range conjunction would — so a caller holding a
+// RangeConjunction decomposition may substitute the probe for the scan.
+// The guarantee requires that the attribute resolves, that at least one
+// bound exists, and that no bound is null (three-valued: a null bound
+// matches nothing) or of a kind Compare cannot order against the
+// attribute's values. Unlike ProbeableEqual no index is required: the
+// probe's access path is an ordered view built once per relation
+// version and amortized across every range over the same attribute,
+// which a hash-bucket index cannot provide.
+func (r *Relation) ProbeableRange(attr string, lo, hi *RangeBound) bool {
+	if lo == nil && hi == nil {
+		return false
+	}
+	idx, err := r.lookupIndices("ProbeableRange", []string{attr})
+	if err != nil {
+		return false
+	}
+	a := r.schema.Attr(idx[0])
+	for _, b := range []*RangeBound{lo, hi} {
+		if b == nil {
+			continue
+		}
+		if b.V.IsNull() || !rangeComparable(a.Type, b.V.Kind()) {
+			return false
+		}
+	}
+	return true
+}
+
+// rangeEntry pairs a stored tuple with its encoded primary key, so a
+// selected window can be put back into primary-key order.
+type rangeEntry struct {
+	ek string
+	t  Tuple
+}
+
+// rangePlan is the cached ordered view over one attribute of one
+// relation version: every tuple with a non-null value there (null never
+// satisfies a range), sorted by Compare on that value with ties broken
+// by primary key. Published plans are immutable; in-place mutation
+// (a write transaction's private clone) drops them — see dropRanges.
+type rangePlan struct {
+	ai      int
+	entries []rangeEntry
+}
+
+// buildRangePlan materializes the ordered view, costing one full scan
+// plus the sort.
+func (r *Relation) buildRangePlan(ai int) (*rangePlan, error) {
+	p := &rangePlan{ai: ai, entries: make([]rangeEntry, 0, len(r.rows))}
+	for ek, t := range r.rows {
+		if t[ai].IsNull() {
+			continue
+		}
+		p.entries = append(p.entries, rangeEntry{ek: ek, t: t})
+	}
+	var sortErr error
+	sort.Slice(p.entries, func(i, j int) bool {
+		c, err := Compare(p.entries[i].t[ai], p.entries[j].t[ai])
+		if err != nil && sortErr == nil {
+			sortErr = err
+		}
+		if c != 0 {
+			return c < 0
+		}
+		return p.entries[i].ek < p.entries[j].ek
+	})
+	if sortErr != nil {
+		return nil, fmt.Errorf("reldb: %s: MatchRange: %w", r.Name(), sortErr)
+	}
+	return p, nil
+}
+
+// MatchRange returns the tuples whose attribute attr lies within the
+// given bounds (either may be nil for a half-open range), in
+// primary-key order — the same result a Select over the equivalent
+// range conjunction produces. The ordered view it binary-searches is
+// resolved once per relation version through the lookup-plan cache
+// (key "range"+sep+attr) and reused by every subsequent range over the
+// same attribute.
+func (r *Relation) MatchRange(attr string, lo, hi *RangeBound) ([]Tuple, error) {
+	return r.MatchRangeStats(attr, lo, hi, nil)
+}
+
+// MatchRangeStats is MatchRange that additionally accumulates lookup
+// cost into st (which may be nil): a view build charges a full scan,
+// a cache hit charges only the tuples in the selected window.
+func (r *Relation) MatchRangeStats(attr string, lo, hi *RangeBound, st *MatchStats) ([]Tuple, error) {
+	idx, err := r.lookupIndices("MatchRange", []string{attr})
+	if err != nil {
+		return nil, err
+	}
+	a := r.schema.Attr(idx[0])
+	for _, b := range []*RangeBound{lo, hi} {
+		if b == nil {
+			continue
+		}
+		if b.V.IsNull() {
+			// x < null is null — satisfied by nothing, same as a scan.
+			r.obsProbe(st, 0)
+			return nil, nil
+		}
+		if !rangeComparable(a.Type, b.V.Kind()) {
+			return nil, fmt.Errorf("reldb: %s: MatchRange: attribute %s has kind %s, cannot order against %s",
+				r.Name(), a.Name, a.Type, b.V.Kind())
+		}
+	}
+
+	key := "range" + planKeySep + attr
+	p := r.plans.getRange(key)
+	built := false
+	if p == nil {
+		if p, err = r.buildRangePlan(idx[0]); err != nil {
+			return nil, err
+		}
+		p, built = r.plans.putRange(key, p)
+	}
+	obs.Default.PlanCacheLookups.Inc()
+	if built {
+		obs.Default.PlanCacheMisses.Inc()
+	} else {
+		obs.Default.PlanCacheHits.Inc()
+	}
+
+	// Binary-search the window. Bounds were vetted against the attribute
+	// kind above and nulls are excluded from the view, so Compare cannot
+	// fail here.
+	cmp := func(v Value, b *RangeBound) int {
+		c, _ := Compare(v, b.V)
+		return c
+	}
+	n := len(p.entries)
+	start, end := 0, n
+	if lo != nil {
+		start = sort.Search(n, func(i int) bool {
+			c := cmp(p.entries[i].t[p.ai], lo)
+			return c > 0 || (!lo.Strict && c == 0)
+		})
+	}
+	if hi != nil {
+		end = sort.Search(n, func(i int) bool {
+			c := cmp(p.entries[i].t[p.ai], hi)
+			return c > 0 || (hi.Strict && c == 0)
+		})
+	}
+	if end < start {
+		end = start
+	}
+
+	window := make([]rangeEntry, end-start)
+	copy(window, p.entries[start:end])
+	sort.Slice(window, func(i, j int) bool { return window[i].ek < window[j].ek })
+	out := make([]Tuple, len(window))
+	for i, e := range window {
+		out[i] = e.t.Clone()
+	}
+	if built {
+		r.obsScan(st, r.Count())
+	} else {
+		r.obsProbe(st, len(out))
+	}
+	return out, nil
+}

@@ -1,0 +1,223 @@
+package reldb
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRangeConjunction(t *testing.T) {
+	lt := func(a string, v Value) Expr { return Cmp{Op: OpLt, L: Attr{Name: a}, R: Const{V: v}} }
+	ge := func(a string, v Value) Expr { return Cmp{Op: OpGe, L: Attr{Name: a}, R: Const{V: v}} }
+
+	// Single upper bound.
+	attr, lo, hi, ok := RangeConjunction(lt("PID", Int(5)))
+	if !ok || attr != "PID" || lo != nil || hi == nil || !hi.Strict || !hi.V.Equal(Int(5)) {
+		t.Fatalf("PID < 5: attr=%q lo=%v hi=%v ok=%v", attr, lo, hi, ok)
+	}
+
+	// Constant on the left flips the side: 5 < PID is PID > 5.
+	attr, lo, hi, ok = RangeConjunction(Cmp{Op: OpLt, L: Const{V: Int(5)}, R: Attr{Name: "PID"}})
+	if !ok || attr != "PID" || hi != nil || lo == nil || !lo.Strict || !lo.V.Equal(Int(5)) {
+		t.Fatalf("5 < PID: attr=%q lo=%v hi=%v ok=%v", attr, lo, hi, ok)
+	}
+
+	// Bounded range over one attribute.
+	attr, lo, hi, ok = RangeConjunction(And{Terms: []Expr{ge("PID", Int(2)), lt("PID", Int(7))}})
+	if !ok || attr != "PID" || lo == nil || lo.Strict || hi == nil || !hi.Strict {
+		t.Fatalf("2 <= PID < 7: attr=%q lo=%v hi=%v ok=%v", attr, lo, hi, ok)
+	}
+
+	// Rejections: other operators, two attributes, qualified references,
+	// duplicate same-side bounds, nested structure, equality mixes.
+	for _, pred := range []Expr{
+		Cmp{Op: OpEq, L: Attr{Name: "PID"}, R: Const{V: Int(5)}},
+		Cmp{Op: OpNe, L: Attr{Name: "PID"}, R: Const{V: Int(5)}},
+		And{Terms: []Expr{lt("PID", Int(5)), ge("Grade", String("B"))}},
+		Cmp{Op: OpLt, L: Attr{Rel: "G", Name: "PID"}, R: Const{V: Int(5)}},
+		And{Terms: []Expr{lt("PID", Int(5)), lt("PID", Int(7))}},
+		And{Terms: []Expr{ge("PID", Int(2)), ge("PID", Int(3))}},
+		And{Terms: []Expr{lt("PID", Int(5)), Eq("Grade", String("A"))}},
+		Or{Terms: []Expr{lt("PID", Int(5))}},
+		Not{E: lt("PID", Int(5))},
+		And{},
+		Cmp{Op: OpLt, L: Attr{Name: "PID"}, R: Attr{Name: "Other"}},
+	} {
+		if _, _, _, ok := RangeConjunction(pred); ok {
+			t.Fatalf("decomposed non-range predicate %s", pred)
+		}
+	}
+}
+
+func TestProbeableRange(t *testing.T) {
+	r := newGradesRel(t)
+	lo := &RangeBound{V: Int(1)}
+	if !r.ProbeableRange("PID", lo, nil) {
+		t.Fatal("half-open int range on int attribute should probe")
+	}
+	if !r.ProbeableRange("PID", &RangeBound{V: Float(1.5)}, nil) {
+		t.Fatal("float bound on int attribute orders numerically, should probe")
+	}
+	if r.ProbeableRange("PID", nil, nil) {
+		t.Fatal("unbounded range has nothing to probe")
+	}
+	if r.ProbeableRange("PID", &RangeBound{V: Null()}, nil) {
+		t.Fatal("null bound needs scan semantics")
+	}
+	if r.ProbeableRange("PID", &RangeBound{V: String("x")}, nil) {
+		t.Fatal("string bound on int attribute cannot order")
+	}
+	if r.ProbeableRange("Nope", lo, nil) {
+		t.Fatal("unknown attribute should not probe")
+	}
+}
+
+// TestMatchRangeMatchesSelect pins the substitution guarantee: for every
+// probeable range, MatchRange returns exactly what a predicate scan
+// does — same tuples, same primary-key order — including rows holding
+// null in the ranged attribute (which no range matches).
+func TestMatchRangeMatchesSelect(t *testing.T) {
+	s := MustSchema("T", []Attribute{
+		{Name: "K", Type: KindInt},
+		{Name: "N", Type: KindInt, Nullable: true},
+		{Name: "S", Type: KindString, Nullable: true},
+	}, []string{"K"})
+	r := NewRelation(s)
+	for k := 0; k < 40; k++ {
+		n := Value(Int(int64((k * 7) % 13)))
+		if k%5 == 0 {
+			n = Null()
+		}
+		if err := r.Insert(Tuple{Int(int64(k)), n, String(fmt.Sprintf("s%02d", k%9))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := func(v Value, strict bool) *RangeBound { return &RangeBound{V: v, Strict: strict} }
+	cases := []struct {
+		attr   string
+		lo, hi *RangeBound
+		pred   Expr
+	}{
+		{"N", b(Int(4), true), nil, Cmp{Op: OpGt, L: Attr{Name: "N"}, R: Const{V: Int(4)}}},
+		{"N", b(Int(4), false), nil, Cmp{Op: OpGe, L: Attr{Name: "N"}, R: Const{V: Int(4)}}},
+		{"N", nil, b(Int(6), true), Cmp{Op: OpLt, L: Attr{Name: "N"}, R: Const{V: Int(6)}}},
+		{"N", b(Int(3), false), b(Int(9), true), And{Terms: []Expr{
+			Cmp{Op: OpGe, L: Attr{Name: "N"}, R: Const{V: Int(3)}},
+			Cmp{Op: OpLt, L: Attr{Name: "N"}, R: Const{V: Int(9)}},
+		}}},
+		{"N", b(Int(100), false), nil, Cmp{Op: OpGe, L: Attr{Name: "N"}, R: Const{V: Int(100)}}},
+		{"N", b(Int(9), false), b(Int(3), false), And{Terms: []Expr{
+			Cmp{Op: OpGe, L: Attr{Name: "N"}, R: Const{V: Int(9)}},
+			Cmp{Op: OpLe, L: Attr{Name: "N"}, R: Const{V: Int(3)}},
+		}}},
+		{"N", b(Float(4.5), true), nil, Cmp{Op: OpGt, L: Attr{Name: "N"}, R: Const{V: Float(4.5)}}},
+		{"S", b(String("s03"), false), b(String("s07"), true), And{Terms: []Expr{
+			Cmp{Op: OpGe, L: Attr{Name: "S"}, R: Const{V: String("s03")}},
+			Cmp{Op: OpLt, L: Attr{Name: "S"}, R: Const{V: String("s07")}},
+		}}},
+		{"K", b(Int(10), true), b(Int(20), false), And{Terms: []Expr{
+			Cmp{Op: OpGt, L: Attr{Name: "K"}, R: Const{V: Int(10)}},
+			Cmp{Op: OpLe, L: Attr{Name: "K"}, R: Const{V: Int(20)}},
+		}}},
+	}
+	for i, c := range cases {
+		if !r.ProbeableRange(c.attr, c.lo, c.hi) {
+			t.Fatalf("case %d: not probeable", i)
+		}
+		want, err := r.Select(c.pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.MatchRange(c.attr, c.lo, c.hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("case %d (%s): %d tuples, scan found %d", i, c.pred, len(got), len(want))
+		}
+		for j := range got {
+			if !got[j].Equal(want[j]) {
+				t.Fatalf("case %d (%s): tuple %d = %v, scan has %v", i, c.pred, j, got[j], want[j])
+			}
+		}
+	}
+
+	// A null bound matches nothing, exactly like the scan's three-valued
+	// comparison, and does not error.
+	got, err := r.MatchRange("N", b(Null(), false), nil)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("null bound: %v, %v", got, err)
+	}
+	// A kind mismatch errors rather than silently returning nothing.
+	if _, err := r.MatchRange("N", b(String("x"), false), nil); err == nil {
+		t.Fatal("string bound against int attribute should error")
+	}
+}
+
+// TestRangePlanCacheAccounting pins the cache lifecycle: first range
+// over an attribute builds the ordered view (miss, charged a scan),
+// repeats hit it (charged the window), row mutation drops it
+// (invalidation, next call is a miss again), and hits+misses always
+// reconcile with lookups.
+func TestRangePlanCacheAccounting(t *testing.T) {
+	r := newGradesRel(t)
+	for i := 0; i < 10; i++ {
+		if err := r.Insert(grade(fmt.Sprintf("CS%03d", i), int64(i), "A")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lo := &RangeBound{V: Int(3)}
+	l0, h0, m0, i0 := planCounts()
+
+	var st MatchStats
+	if _, err := r.MatchRangeStats("PID", lo, nil, &st); err != nil {
+		t.Fatal(err)
+	}
+	l, h, m, _ := planCounts()
+	if l-l0 != 1 || h-h0 != 0 || m-m0 != 1 {
+		t.Fatalf("first range: lookups+%d hits+%d misses+%d, want +1/+0/+1", l-l0, h-h0, m-m0)
+	}
+	if st.Scans != 1 || st.Scanned != r.Count() {
+		t.Fatalf("view build charged %+v, want one full scan", st)
+	}
+
+	st = MatchStats{}
+	out, err := r.MatchRangeStats("PID", lo, nil, &st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, h, m, _ = planCounts()
+	if l-l0 != 2 || h-h0 != 1 || m-m0 != 1 {
+		t.Fatalf("second range: lookups+%d hits+%d misses+%d, want +2/+1/+1", l-l0, h-h0, m-m0)
+	}
+	if st.Probes != 1 || st.Scanned != len(out) {
+		t.Fatalf("cached range charged %+v for %d tuples, want one window probe", st, len(out))
+	}
+
+	// Another attribute's view caches independently.
+	if _, err := r.MatchRange("CourseID", &RangeBound{V: String("CS005")}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if r.plans.size() < 2 {
+		t.Fatalf("plan cache holds %d entries, want the two ordered views", r.plans.size())
+	}
+
+	// Mutation drops the views; the next range rebuilds.
+	if err := r.Insert(grade("CS999", 999, "B")); err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, inv := planCounts()
+	if inv-i0 != 2 {
+		t.Fatalf("invalidations +%d after mutation, want +2 (both views dropped)", inv-i0)
+	}
+	got, err := r.MatchRange("PID", &RangeBound{V: Int(500)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !got[0].Equal(grade("CS999", 999, "B")) {
+		t.Fatalf("rebuilt view missed the new row: %v", got)
+	}
+	l, h, m, _ = planCounts()
+	if (h-h0)+(m-m0) != l-l0 {
+		t.Fatalf("counters do not reconcile: lookups+%d hits+%d misses+%d", l-l0, h-h0, m-m0)
+	}
+}

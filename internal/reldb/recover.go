@@ -55,6 +55,16 @@ type OpenOptions struct {
 	// the 30-second default; negative disables the background
 	// checkpointer (Checkpoint can still be called manually).
 	CheckpointInterval time.Duration
+	// CheckpointPhase delays the background checkpointer's first tick,
+	// staggering checkpoints across databases that share an interval: N
+	// shards opened with phase i*interval/N snapshot in rotation instead
+	// of fsyncing simultaneously. Zero means no extra delay.
+	CheckpointPhase time.Duration
+	// ShardLabel, when non-empty, is the shard label value the database's
+	// WAL metrics are additionally recorded under (the reldb.wal.*
+	// families split by obs.Default.Shards). Empty for unsharded
+	// databases.
+	ShardLabel string
 }
 
 const (
@@ -150,10 +160,14 @@ func OpenDatabaseWith(dir string, opts OpenOptions) (*Database, error) {
 
 	db.dataDir = dir
 	db.wal = newWAL(dir, opts.Sync, opts.SyncInterval, tail, tailStart, db.gen)
+	if opts.ShardLabel != "" {
+		db.obsShard = obs.Default.Shards.Intern(opts.ShardLabel)
+		db.wal.slot = db.obsShard
+	}
 	if ckptEvery > 0 {
 		db.ckptStop = make(chan struct{})
 		db.ckptDone = make(chan struct{})
-		go db.checkpointLoop(ckptEvery)
+		go db.checkpointLoop(ckptEvery, opts.CheckpointPhase)
 	}
 	return db, nil
 }
@@ -260,18 +274,74 @@ func replaySegment(db *Database, path string, last bool) (keep int64, err error)
 		if err != nil {
 			return -1, fmt.Errorf("reldb: %s: %w: record at offset %d: %v", path, ErrWALCorrupt, off, err)
 		}
-		if rec.gen > db.gen {
-			if rec.gen != db.gen+1 {
-				return -1, fmt.Errorf("reldb: %s: %w: generation gap — record %d on state %d (missing segment?)",
-					path, ErrWALCorrupt, rec.gen, db.gen)
+		switch rec.typ {
+		case recCrossPrepare:
+			// No generation yet: stash the pending batch until a decide
+			// resolves it. A leftover at the end of replay is in-doubt.
+			if db.pendingX == nil {
+				db.pendingX = make(map[string]*pendingCross)
 			}
-			if err := applyWALRecord(db, rec); err != nil {
-				return -1, fmt.Errorf("reldb: %s: %w: applying record gen %d: %v", path, ErrWALCorrupt, rec.gen, err)
+			db.pendingX[rec.xid] = &pendingCross{batch: rec.batch, parts: rec.parts}
+			obs.Default.WALReplayed.Inc()
+		case recCrossDecide:
+			if err := replayCrossDecide(db, rec); err != nil {
+				return -1, fmt.Errorf("reldb: %s: %w: cross-decide %s: %v", path, ErrWALCorrupt, rec.xid, err)
 			}
 			obs.Default.WALReplayed.Inc()
+		default:
+			if rec.gen > db.gen {
+				if rec.gen != db.gen+1 {
+					return -1, fmt.Errorf("reldb: %s: %w: generation gap — record %d on state %d (missing segment?)",
+						path, ErrWALCorrupt, rec.gen, db.gen)
+				}
+				if err := applyWALRecord(db, rec); err != nil {
+					return -1, fmt.Errorf("reldb: %s: %w: applying record gen %d: %v", path, ErrWALCorrupt, rec.gen, err)
+				}
+				obs.Default.WALReplayed.Inc()
+			}
 		}
 		off += 8 + length
 	}
+}
+
+// replayCrossDecide resolves a stashed cross-shard prepare during
+// replay. Abort decides drop the pending batch; commit decides apply it
+// at the generation the decide carries (subject to the same continuity
+// check as ordinary commits — the snapshot may already cover it). Either
+// way the decision is remembered so the sharded open can resolve a
+// sibling shard's in-doubt prepare against it.
+func replayCrossDecide(db *Database, rec *walRecord) error {
+	if db.decidedX == nil {
+		db.decidedX = make(map[string]bool)
+	}
+	db.decidedX[rec.xid] = rec.commit
+	p := db.pendingX[rec.xid]
+	delete(db.pendingX, rec.xid)
+	if !rec.commit {
+		return nil
+	}
+	if rec.gen <= db.gen {
+		// Already folded into the snapshot the replay started from.
+		return nil
+	}
+	if rec.gen != db.gen+1 {
+		return fmt.Errorf("generation gap — decide %d on state %d", rec.gen, db.gen)
+	}
+	if p == nil {
+		return fmt.Errorf("commit decision without a prepare")
+	}
+	for _, d := range p.batch.Deltas {
+		rel, ok := db.relations[d.Relation]
+		if !ok {
+			return fmt.Errorf("delta for unknown relation %s", d.Relation)
+		}
+		if err := applyDelta(rel, d); err != nil {
+			return err
+		}
+		rel.gen = rec.gen
+	}
+	db.gen = rec.gen
+	return nil
 }
 
 // applyWALRecord folds one record into the recovering database. Recovery
@@ -299,21 +369,8 @@ func applyWALRecord(db *Database, rec *walRecord) error {
 			if !ok {
 				return fmt.Errorf("delta for unknown relation %s", d.Relation)
 			}
-			s := rel.Schema()
-			for _, t := range d.Inserts {
-				if err := rel.Insert(t); err != nil {
-					return err
-				}
-			}
-			for _, t := range d.Deletes {
-				if _, err := rel.Delete(s.KeyOf(t)); err != nil {
-					return err
-				}
-			}
-			for _, rc := range d.Replaces {
-				if err := rel.Replace(s.KeyOf(rc.Old), rc.New); err != nil {
-					return err
-				}
+			if err := applyDelta(rel, d); err != nil {
+				return err
 			}
 			rel.gen = rec.gen
 		}

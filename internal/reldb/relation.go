@@ -88,6 +88,7 @@ func (r *Relation) Insert(t Tuple) error {
 	for _, ix := range r.indexes {
 		ix.add(t, ek)
 	}
+	r.invalidateRangePlans()
 	return nil
 }
 
@@ -134,6 +135,7 @@ func (r *Relation) Delete(key Tuple) (Tuple, error) {
 	for _, ix := range r.indexes {
 		ix.remove(t, ek)
 	}
+	r.invalidateRangePlans()
 	return t, nil
 }
 
@@ -167,6 +169,7 @@ func (r *Relation) Replace(oldKey Tuple, newTuple Tuple) error {
 		ix.remove(old, oldEK)
 		ix.add(nt, newEK)
 	}
+	r.invalidateRangePlans()
 	return nil
 }
 

@@ -214,11 +214,11 @@ func (tx *Tx) Commit() error {
 	// is stable under the writer lock. An append failure aborts the
 	// commit cleanly — nothing was published, the committed state is
 	// untouched.
-	var walGen uint64
+	var walSeq uint64
 	durable := published > 0 && tx.db.wal != nil
 	if durable {
 		tx.db.mu.RLock()
-		walGen = tx.db.gen + 1
+		walGen := tx.db.gen + 1
 		tx.db.mu.RUnlock()
 		batch.Gen = walGen
 		for i := range batch.Deltas {
@@ -226,7 +226,7 @@ func (tx *Tx) Commit() error {
 		}
 		payload, err := encodeCommitRecord(batch)
 		if err == nil {
-			err = tx.db.wal.append(walGen, payload)
+			walSeq, err = tx.db.wal.append(walGen, payload)
 		}
 		if err != nil {
 			tx.db.mu.Lock()
@@ -295,8 +295,8 @@ func (tx *Tx) Commit() error {
 	// failure the commit is visible in memory but not provably durable;
 	// the error says so.
 	if durable {
-		if err := tx.db.wal.waitDurable(walGen); err != nil {
-			return fmt.Errorf("reldb: commit gen %d published but not durable: %w", walGen, err)
+		if err := tx.db.wal.waitDurable(walSeq); err != nil {
+			return fmt.Errorf("reldb: commit gen %d published but not durable: %w", gen, err)
 		}
 	}
 	return nil

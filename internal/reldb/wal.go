@@ -30,6 +30,10 @@ import (
 //	    u32 nRep | (oldTuple, newTuple)*
 //	  recordType 2 (create): schema (name, attrs, key — codec.go layout)
 //	  recordType 3 (drop):   string relation
+//	  recordType 4 (cross-prepare): string xid | u32 nParts | u32* parts |
+//	    commit body (gen field is 0 — assigned by the decide)
+//	  recordType 5 (cross-decide): string xid | u8 commit (gen field is
+//	    the published generation for commits, 0 for aborts)
 //
 // Tuples and values reuse the snapshot codec's encoding (codec.go), so
 // the log is the serialized DeltaBatch stream.
@@ -75,6 +79,13 @@ const (
 	recCommit byte = 1
 	recCreate byte = 2
 	recDrop   byte = 3
+	// recCrossPrepare and recCrossDecide are the two-shard commit
+	// protocol's markers (see prepared.go): a prepare carries a pending
+	// delta batch with no generation assigned yet (gen field 0), a decide
+	// resolves it — commit decides carry the generation the batch
+	// publishes as, abort decides carry gen 0.
+	recCrossPrepare byte = 4
+	recCrossDecide  byte = 5
 
 	// maxWALRecord caps a record's payload length: a frame claiming more
 	// is treated as damage, not as an allocation request.
@@ -97,12 +108,17 @@ type wal struct {
 	dir      string
 	mode     SyncMode
 	interval time.Duration
+	// slot is the shard label slot the log's obs counters are additionally
+	// recorded under (obs.Default.Shards); -1 for unsharded databases,
+	// which report only into the unlabeled totals. Set once at open.
+	slot int
 
 	// mu guards the active file handle and the append-side watermarks.
 	mu       sync.Mutex
 	f        *os.File
 	segStart uint64 // generation the active segment starts after
 	appended uint64 // highest generation appended
+	seq      uint64 // appends so far; each append's sequence number
 
 	// fsyncMu serializes fsync-and-close against the active file: the
 	// syncer fsyncs under it, and a checkpoint roll swaps files and
@@ -110,11 +126,16 @@ type wal struct {
 	// a sync on it is in flight.
 	fsyncMu sync.Mutex
 
-	// smu guards the durability watermark and wakes the syncer.
+	// smu guards the durability watermark and wakes the syncer. The
+	// watermark counts append sequence numbers, not generations: prepare
+	// records of the two-shard commit protocol are appended before their
+	// generation is assigned, and an aborted prepare's provisional
+	// generation may be reused by a later commit, so generations are not
+	// unique per record — sequence numbers are.
 	smu    sync.Mutex
 	scond  *sync.Cond
-	want   uint64 // highest generation some committer wants durable
-	synced uint64 // highest generation known durable
+	want   uint64 // highest append sequence some committer wants durable
+	synced uint64 // highest append sequence known durable
 	serr   error  // sticky fsync failure: fail all later commits loudly
 	closed bool
 	done   chan struct{} // syncer exit
@@ -128,8 +149,7 @@ func newWAL(dir string, mode SyncMode, interval time.Duration, f *os.File, segSt
 		f:        f,
 		segStart: segStart,
 		appended: head,
-		want:     head,
-		synced:   head,
+		slot:     -1,
 		done:     make(chan struct{}),
 	}
 	w.scond = sync.NewCond(&w.smu)
@@ -144,57 +164,69 @@ func newWAL(dir string, mode SyncMode, interval time.Duration, f *os.File, segSt
 	return w
 }
 
-// append writes one framed record for gen. The caller holds the database
-// writer lock, so calls arrive in strictly increasing generation order.
-// The bytes reach the OS (buffered); durability is the syncer's job.
-func (w *wal) append(gen uint64, payload []byte) error {
+// append writes one framed record for gen and returns the record's
+// append sequence number (the handle to waitDurable on). The caller
+// holds the database writer lock, so calls arrive in order; generations
+// are non-decreasing, with gen 0 marking records that carry no
+// generation (cross-shard prepares and abort decides). The bytes reach
+// the OS (buffered); durability is the syncer's job.
+func (w *wal) append(gen uint64, payload []byte) (uint64, error) {
 	var frame [8]byte
 	putU32(frame[0:4], uint32(len(payload)))
 	putU32(frame[4:8], crc32.Checksum(payload, castagnoli))
 	w.mu.Lock()
 	if w.f == nil {
 		w.mu.Unlock()
-		return ErrDatabaseClosed
+		return 0, ErrDatabaseClosed
 	}
 	if _, err := w.f.Write(frame[:]); err != nil {
 		w.mu.Unlock()
-		return fmt.Errorf("reldb: wal append gen %d: %w", gen, err)
+		return 0, fmt.Errorf("reldb: wal append gen %d: %w", gen, err)
 	}
 	if _, err := w.f.Write(payload); err != nil {
 		w.mu.Unlock()
-		return fmt.Errorf("reldb: wal append gen %d: %w", gen, err)
+		return 0, fmt.Errorf("reldb: wal append gen %d: %w", gen, err)
 	}
-	w.appended = gen
+	if gen > w.appended {
+		w.appended = gen
+	}
+	w.seq++
+	seq := w.seq
 	w.mu.Unlock()
 	obs.Default.WALAppends.Inc()
 	obs.Default.WALBytes.Add(int64(len(frame) + len(payload)))
+	if w.slot >= 0 {
+		obs.Default.WALAppendsByShard.At(w.slot).Inc()
+		obs.Default.WALBytesByShard.At(w.slot).Add(int64(len(frame) + len(payload)))
+	}
 	if w.mode == SyncCommit {
 		w.smu.Lock()
-		if gen > w.want {
-			w.want = gen
+		if seq > w.want {
+			w.want = seq
 		}
 		w.smu.Unlock()
 		w.scond.Broadcast()
 	}
-	return nil
+	return seq, nil
 }
 
-// waitDurable blocks until the log is durable through gen (SyncCommit
-// mode; the other modes acknowledge immediately). A sticky fsync error
-// fails every waiter: durability can no longer be promised.
-func (w *wal) waitDurable(gen uint64) error {
+// waitDurable blocks until the log is durable through the given append
+// sequence (SyncCommit mode; the other modes acknowledge immediately).
+// A sticky fsync error fails every waiter: durability can no longer be
+// promised.
+func (w *wal) waitDurable(seq uint64) error {
 	if w.mode != SyncCommit {
 		return nil
 	}
 	w.smu.Lock()
 	defer w.smu.Unlock()
-	for w.synced < gen && w.serr == nil && !w.closed {
+	for w.synced < seq && w.serr == nil && !w.closed {
 		w.scond.Wait()
 	}
 	if w.serr != nil {
 		return w.serr
 	}
-	if w.synced < gen {
+	if w.synced < seq {
 		return ErrDatabaseClosed
 	}
 	return nil
@@ -244,7 +276,7 @@ func (w *wal) intervalLoop() {
 // advance is still sound.
 func (w *wal) syncPass() {
 	w.mu.Lock()
-	target := w.appended
+	target := w.seq
 	f := w.f
 	w.mu.Unlock()
 	var err error
@@ -254,6 +286,9 @@ func (w *wal) syncPass() {
 		err = f.Sync()
 		obs.Default.WALFsyncNs.Observe(time.Since(start).Nanoseconds())
 		obs.Default.WALFsyncs.Inc()
+		if w.slot >= 0 {
+			obs.Default.WALFsyncsByShard.At(w.slot).Inc()
+		}
 		w.fsyncMu.Unlock()
 	}
 	w.smu.Lock()
@@ -300,6 +335,9 @@ func (w *wal) roll() (uint64, error) {
 	// them advance the watermark past the old segment's records.
 	syncErr := old.Sync()
 	obs.Default.WALFsyncs.Inc()
+	if w.slot >= 0 {
+		obs.Default.WALFsyncsByShard.At(w.slot).Inc()
+	}
 	closeErr := old.Close()
 	if syncErr != nil {
 		return 0, fmt.Errorf("reldb: wal roll: %w", syncErr)
@@ -367,30 +405,74 @@ func encodeCommitRecord(batch DeltaBatch) ([]byte, error) {
 	var buf bytes.Buffer
 	buf.WriteByte(recCommit)
 	writeU64(&buf, batch.Gen)
-	writeU32(&buf, uint32(len(batch.Deltas)))
+	if err := writeBatchBody(&buf, batch); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// writeBatchBody serializes a DeltaBatch's deltas (the commit-record body
+// layout, shared with cross-shard prepare records).
+func writeBatchBody(buf *bytes.Buffer, batch DeltaBatch) error {
+	writeU32(buf, uint32(len(batch.Deltas)))
 	for _, d := range batch.Deltas {
-		writeString(&buf, d.Relation)
-		writeU32(&buf, uint32(len(d.Inserts)))
+		writeString(buf, d.Relation)
+		writeU32(buf, uint32(len(d.Inserts)))
 		for _, t := range d.Inserts {
-			if err := writeTuple(&buf, t); err != nil {
-				return nil, err
+			if err := writeTuple(buf, t); err != nil {
+				return err
 			}
 		}
-		writeU32(&buf, uint32(len(d.Deletes)))
+		writeU32(buf, uint32(len(d.Deletes)))
 		for _, t := range d.Deletes {
-			if err := writeTuple(&buf, t); err != nil {
-				return nil, err
+			if err := writeTuple(buf, t); err != nil {
+				return err
 			}
 		}
-		writeU32(&buf, uint32(len(d.Replaces)))
+		writeU32(buf, uint32(len(d.Replaces)))
 		for _, rc := range d.Replaces {
-			if err := writeTuple(&buf, rc.Old); err != nil {
-				return nil, err
+			if err := writeTuple(buf, rc.Old); err != nil {
+				return err
 			}
-			if err := writeTuple(&buf, rc.New); err != nil {
-				return nil, err
+			if err := writeTuple(buf, rc.New); err != nil {
+				return err
 			}
 		}
+	}
+	return nil
+}
+
+// encodeCrossPrepareRecord serializes a two-shard commit prepare: the
+// transaction id, the participant shard indices, and the pending delta
+// batch. The record carries gen 0 — the generation is assigned by the
+// decide record that resolves it.
+func encodeCrossPrepareRecord(xid string, parts []int, batch DeltaBatch) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteByte(recCrossPrepare)
+	writeU64(&buf, 0)
+	writeString(&buf, xid)
+	writeU32(&buf, uint32(len(parts)))
+	for _, p := range parts {
+		writeU32(&buf, uint32(p))
+	}
+	if err := writeBatchBody(&buf, batch); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// encodeCrossDecideRecord serializes a two-shard commit decision. Commit
+// decisions carry the generation the pending batch publishes as; abort
+// decisions carry gen 0 (no generation is consumed).
+func encodeCrossDecideRecord(xid string, commit bool, gen uint64) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteByte(recCrossDecide)
+	writeU64(&buf, gen)
+	writeString(&buf, xid)
+	if commit {
+		buf.WriteByte(1)
+	} else {
+		buf.WriteByte(0)
 	}
 	return buf.Bytes(), nil
 }
@@ -419,9 +501,12 @@ func encodeDropRecord(gen uint64, name string) ([]byte, error) {
 type walRecord struct {
 	typ    byte
 	gen    uint64
-	batch  DeltaBatch // recCommit
+	batch  DeltaBatch // recCommit, recCrossPrepare
 	schema *Schema    // recCreate
 	rel    string     // recDrop
+	xid    string     // recCrossPrepare, recCrossDecide
+	parts  []int      // recCrossPrepare
+	commit bool       // recCrossDecide
 }
 
 // decodeWALRecord parses a CRC-verified payload.
@@ -438,58 +523,40 @@ func decodeWALRecord(payload []byte) (*walRecord, error) {
 	rec := &walRecord{typ: typ, gen: gen}
 	switch typ {
 	case recCommit:
-		nDeltas, err := readU32(r)
+		if rec.batch, err = readBatchBody(r, gen); err != nil {
+			return nil, err
+		}
+	case recCrossPrepare:
+		if rec.xid, err = readString(r); err != nil {
+			return nil, err
+		}
+		nParts, err := readU32(r)
 		if err != nil {
 			return nil, err
 		}
-		if nDeltas > maxSnapshotCount {
-			return nil, fmt.Errorf("delta count %d too large", nDeltas)
+		if nParts > maxSnapshotCount {
+			return nil, fmt.Errorf("participant count %d too large", nParts)
 		}
-		rec.batch.Gen = gen
-		for i := uint32(0); i < nDeltas; i++ {
-			d := Delta{Gen: gen}
-			if d.Relation, err = readString(r); err != nil {
-				return nil, err
-			}
-			nIns, err := readU32(r)
+		rec.parts = make([]int, nParts)
+		for i := range rec.parts {
+			p, err := readU32(r)
 			if err != nil {
 				return nil, err
 			}
-			for j := uint32(0); j < nIns; j++ {
-				t, err := readTuple(r)
-				if err != nil {
-					return nil, err
-				}
-				d.Inserts = append(d.Inserts, t)
-			}
-			nDel, err := readU32(r)
-			if err != nil {
-				return nil, err
-			}
-			for j := uint32(0); j < nDel; j++ {
-				t, err := readTuple(r)
-				if err != nil {
-					return nil, err
-				}
-				d.Deletes = append(d.Deletes, t)
-			}
-			nRep, err := readU32(r)
-			if err != nil {
-				return nil, err
-			}
-			for j := uint32(0); j < nRep; j++ {
-				old, err := readTuple(r)
-				if err != nil {
-					return nil, err
-				}
-				nw, err := readTuple(r)
-				if err != nil {
-					return nil, err
-				}
-				d.Replaces = append(d.Replaces, TupleChange{Old: old, New: nw})
-			}
-			rec.batch.Deltas = append(rec.batch.Deltas, d)
+			rec.parts[i] = int(p)
 		}
+		if rec.batch, err = readBatchBody(r, 0); err != nil {
+			return nil, err
+		}
+	case recCrossDecide:
+		if rec.xid, err = readString(r); err != nil {
+			return nil, err
+		}
+		cb, err := r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		rec.commit = cb == 1
 	case recCreate:
 		if rec.schema, err = readSchema(r); err != nil {
 			return nil, err
@@ -505,4 +572,63 @@ func decodeWALRecord(payload []byte) (*walRecord, error) {
 		return nil, fmt.Errorf("record gen %d: %d trailing bytes", gen, r.Len())
 	}
 	return rec, nil
+}
+
+// readBatchBody decodes what writeBatchBody produced, stamping every
+// delta with gen.
+func readBatchBody(r *bytes.Reader, gen uint64) (DeltaBatch, error) {
+	var batch DeltaBatch
+	nDeltas, err := readU32(r)
+	if err != nil {
+		return batch, err
+	}
+	if nDeltas > maxSnapshotCount {
+		return batch, fmt.Errorf("delta count %d too large", nDeltas)
+	}
+	batch.Gen = gen
+	for i := uint32(0); i < nDeltas; i++ {
+		d := Delta{Gen: gen}
+		if d.Relation, err = readString(r); err != nil {
+			return batch, err
+		}
+		nIns, err := readU32(r)
+		if err != nil {
+			return batch, err
+		}
+		for j := uint32(0); j < nIns; j++ {
+			t, err := readTuple(r)
+			if err != nil {
+				return batch, err
+			}
+			d.Inserts = append(d.Inserts, t)
+		}
+		nDel, err := readU32(r)
+		if err != nil {
+			return batch, err
+		}
+		for j := uint32(0); j < nDel; j++ {
+			t, err := readTuple(r)
+			if err != nil {
+				return batch, err
+			}
+			d.Deletes = append(d.Deletes, t)
+		}
+		nRep, err := readU32(r)
+		if err != nil {
+			return batch, err
+		}
+		for j := uint32(0); j < nRep; j++ {
+			old, err := readTuple(r)
+			if err != nil {
+				return batch, err
+			}
+			nw, err := readTuple(r)
+			if err != nil {
+				return batch, err
+			}
+			d.Replaces = append(d.Replaces, TupleChange{Old: old, New: nw})
+		}
+		batch.Deltas = append(batch.Deltas, d)
+	}
+	return batch, nil
 }

@@ -11,6 +11,7 @@ import (
 	"penguin/internal/obs"
 	"penguin/internal/oql"
 	"penguin/internal/reldb"
+	"penguin/internal/reldb/shard"
 	"penguin/internal/viewobject"
 	"penguin/internal/vupdate"
 )
@@ -40,6 +41,14 @@ type Config struct {
 	// object without an updater serves reads only (its update endpoints
 	// answer 405).
 	Updaters map[string]*vupdate.Updater
+	// Cluster serves the same API over a sharded database instead of a
+	// single one: queries fan out across every shard and merge in pivot-
+	// key order, point reads go to the key's home shard, and updates
+	// route through the coordinator (island-local fast path or the
+	// cross-shard commit). When set, DB/Objects/Updaters are ignored —
+	// the tier publishes exactly the cluster's registered objects, all
+	// of them updatable.
+	Cluster *shard.Cluster
 	// MaxReadInFlight and MaxWriteInFlight bound concurrently admitted
 	// requests per class; arrivals beyond the bound are shed with 429
 	// instead of queueing (DESIGN.md §14). Zero means the defaults
@@ -189,10 +198,14 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 }
 
 // updateStatus maps an update-translation failure to a status code: a
-// rejection by the §5 pipeline (carrying a reason) is the client's
-// conflict, anything else the server's fault.
+// rejection by the §5 pipeline (carrying a reason) and a replacement the
+// shard router refuses to re-home are the client's conflict, anything
+// else the server's fault.
 func updateStatus(err error) int {
 	if vupdate.ReasonOf(err) != vupdate.ReasonUnknown {
+		return http.StatusConflict
+	}
+	if errors.Is(err, shard.ErrCrossShardMove) {
 		return http.StatusConflict
 	}
 	if errors.Is(err, reldb.ErrNoSuchRelation) {
@@ -201,8 +214,20 @@ func updateStatus(err error) int {
 	return http.StatusInternalServerError
 }
 
-// object resolves {name}; a miss answers 404 and returns nil.
+// object resolves {name}; a miss answers 404 and returns nil. Clustered,
+// the resolved definition is shard 0's copy — every shard's definition
+// has the identical shape, so it serves for parsing queries, keys, and
+// documents (reads against a specific shard use that shard's own copy
+// inside the cluster).
 func (s *Server) object(w http.ResponseWriter, name string) *viewobject.Definition {
+	if c := s.cfg.Cluster; c != nil {
+		def, err := c.Object(name, 0)
+		if err != nil {
+			writeError(w, http.StatusNotFound, "no object named %q", name)
+			return nil
+		}
+		return def
+	}
 	def, ok := s.cfg.Objects[name]
 	if !ok {
 		writeError(w, http.StatusNotFound, "no object named %q", name)
@@ -211,10 +236,31 @@ func (s *Server) object(w http.ResponseWriter, name string) *viewobject.Definiti
 	return def
 }
 
+// generation samples the commit generation clients see in responses:
+// the database's, or the cluster-wide sum when sharded.
+func (s *Server) generation() uint64 {
+	if c := s.cfg.Cluster; c != nil {
+		return c.Generation()
+	}
+	return s.cfg.DB.Generation()
+}
+
+// pivotSchema returns the pivot relation's schema for key parsing.
+// Shard schemas are identical, so shard 0's copy answers for a cluster.
+func (s *Server) pivotSchema(def *viewobject.Definition) (*reldb.Schema, error) {
+	db := s.cfg.DB
+	if c := s.cfg.Cluster; c != nil {
+		db = c.DB(0)
+	}
+	rel, err := db.Relation(def.Pivot())
+	if err != nil {
+		return nil, err
+	}
+	return rel.Schema(), nil
+}
+
 // handleList answers GET /objects: every object's shape in name order.
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	rtx := s.cfg.DB.BeginRead()
-	defer rtx.Close()
 	type objInfo struct {
 		Name       string   `json:"name"`
 		Pivot      string   `json:"pivot"`
@@ -222,15 +268,36 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		Complexity int      `json:"complexity"`
 		Updatable  bool     `json:"updatable"`
 	}
-	infos := make([]objInfo, 0, len(s.cfg.Objects))
-	for name, def := range s.cfg.Objects {
-		infos = append(infos, objInfo{
-			Name:       name,
-			Pivot:      def.Pivot(),
-			Key:        def.Key(),
-			Complexity: def.Complexity(),
-			Updatable:  s.cfg.Updaters[name] != nil,
-		})
+	var infos []objInfo
+	if c := s.cfg.Cluster; c != nil {
+		names := c.Objects()
+		infos = make([]objInfo, 0, len(names))
+		for _, name := range names {
+			def, err := c.Object(name, 0)
+			if err != nil {
+				continue
+			}
+			infos = append(infos, objInfo{
+				Name:       name,
+				Pivot:      def.Pivot(),
+				Key:        def.Key(),
+				Complexity: def.Complexity(),
+				Updatable:  c.Updatable(name),
+			})
+		}
+	} else {
+		rtx := s.cfg.DB.BeginRead()
+		defer rtx.Close()
+		infos = make([]objInfo, 0, len(s.cfg.Objects))
+		for name, def := range s.cfg.Objects {
+			infos = append(infos, objInfo{
+				Name:       name,
+				Pivot:      def.Pivot(),
+				Key:        def.Key(),
+				Complexity: def.Complexity(),
+				Updatable:  s.cfg.Updaters[name] != nil,
+			})
+		}
 	}
 	// Map order is random; the API is not.
 	for i := 1; i < len(infos); i++ {
@@ -243,8 +310,11 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 
 // handleQuery answers GET /objects/{name}[?q=OQL]: the instances the
 // (optionally filtered) object query selects, in pivot-key order.
+// Clustered, the query fans out to every shard's snapshot and the
+// merged result carries the cluster generation.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	def := s.object(w, r.PathValue("name"))
+	name := r.PathValue("name")
+	def := s.object(w, name)
 	if def == nil {
 		return
 	}
@@ -253,9 +323,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad query: %v", err)
 		return
 	}
-	rtx := s.cfg.DB.BeginRead()
-	defer rtx.Close()
-	insts, err := viewobject.Instantiate(rtx, def, q)
+	var (
+		insts []*viewobject.Instance
+		gen   uint64
+	)
+	if c := s.cfg.Cluster; c != nil {
+		insts, err = c.Instantiate(name, q)
+		gen = c.Generation()
+	} else {
+		rtx := s.cfg.DB.BeginRead()
+		defer rtx.Close()
+		insts, err = viewobject.Instantiate(rtx, def, q)
+		gen = rtx.Generation()
+	}
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "instantiate: %v", err)
 		return
@@ -266,44 +346,53 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"count":      len(docs),
-		"generation": rtx.Generation(),
+		"generation": gen,
 		"instances":  docs,
 	})
 }
 
 // handleGet answers GET /objects/{name}/{key...}: one instance by pivot
-// key, key attributes as slash-separated path segments.
+// key, key attributes as slash-separated path segments. Clustered, the
+// read goes to the key's home shard alone.
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
-	def := s.object(w, r.PathValue("name"))
+	name := r.PathValue("name")
+	def := s.object(w, name)
 	if def == nil {
 		return
 	}
-	rtx := s.cfg.DB.BeginRead()
-	defer rtx.Close()
-	key, err := s.pathKey(rtx, def, r.PathValue("key"))
+	key, err := s.pathKey(def, r.PathValue("key"))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad key: %v", err)
 		return
 	}
-	inst, ok, err := viewobject.InstantiateByKey(rtx, def, key)
+	var (
+		inst *viewobject.Instance
+		ok   bool
+	)
+	if c := s.cfg.Cluster; c != nil {
+		inst, ok, err = c.InstantiateByKey(name, key)
+	} else {
+		rtx := s.cfg.DB.BeginRead()
+		defer rtx.Close()
+		inst, ok, err = viewobject.InstantiateByKey(rtx, def, key)
+	}
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "instantiate: %v", err)
 		return
 	}
 	if !ok {
-		writeError(w, http.StatusNotFound, "no %s instance with that key", r.PathValue("name"))
+		writeError(w, http.StatusNotFound, "no %s instance with that key", name)
 		return
 	}
 	writeJSON(w, http.StatusOK, InstanceDoc(inst))
 }
 
 // pathKey parses slash-separated path segments into a typed pivot key.
-func (s *Server) pathKey(rtx *reldb.ReadTx, def *viewobject.Definition, raw string) (reldb.Tuple, error) {
-	rel, err := rtx.Relation(def.Pivot())
+func (s *Server) pathKey(def *viewobject.Definition, raw string) (reldb.Tuple, error) {
+	schema, err := s.pivotSchema(def)
 	if err != nil {
 		return nil, err
 	}
-	schema := rel.Schema()
 	keyIdx := schema.Key()
 	segs := strings.Split(raw, "/")
 	if raw == "" || len(segs) != len(keyIdx) {
@@ -323,11 +412,11 @@ func (s *Server) pathKey(rtx *reldb.ReadTx, def *viewobject.Definition, raw stri
 // bodyKey decodes a JSON key array into a typed pivot key, checking
 // arity against the pivot relation's key.
 func (s *Server) bodyKey(def *viewobject.Definition, raw []any) (reldb.Tuple, error) {
-	rel, err := s.cfg.DB.Relation(def.Pivot())
+	schema, err := s.pivotSchema(def)
 	if err != nil {
 		return nil, err
 	}
-	keyIdx := rel.Schema().Key()
+	keyIdx := schema.Key()
 	if len(raw) != len(keyIdx) {
 		return nil, fmt.Errorf("key of %s has %d attribute(s), got %d", def.Pivot(), len(keyIdx), len(raw))
 	}
@@ -352,7 +441,7 @@ func (s *Server) dispatchUpdate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST needs a verb: /objects/%s:delete|insert|replace", target)
 		return
 	}
-	var h func(http.ResponseWriter, *http.Request, string, *vupdate.Updater, updateRequest)
+	var h func(http.ResponseWriter, string, *viewobject.Definition, updateRequest)
 	switch verb {
 	case "delete":
 		h = s.handleDelete
@@ -366,11 +455,15 @@ func (s *Server) dispatchUpdate(w http.ResponseWriter, r *http.Request) {
 	}
 	endpoint := verb
 	s.admit(endpoint, s.writes, func(w http.ResponseWriter, r *http.Request) {
-		if s.object(w, name) == nil {
+		def := s.object(w, name)
+		if def == nil {
 			return
 		}
-		u := s.cfg.Updaters[name]
-		if u == nil {
+		readOnly := s.cfg.Updaters[name] == nil
+		if c := s.cfg.Cluster; c != nil {
+			readOnly = !c.Updatable(name)
+		}
+		if readOnly {
 			writeError(w, http.StatusMethodNotAllowed, "object %q is read-only (no translator configured)", name)
 			return
 		}
@@ -381,14 +474,16 @@ func (s *Server) dispatchUpdate(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 			return
 		}
-		h(w, r, name, u, req)
+		h(w, name, def, req)
 	})(w, r)
 }
 
 // updateResponse acknowledges a committed update. Generation is the
-// database generation the commit published; a client that received
-// this response can expect the state to survive a crash (SyncCommit
-// makes the WAL append durable before the updater returns).
+// commit generation the update published (cluster-wide sum when
+// sharded); a client that received this response can expect the state
+// to survive a crash (SyncCommit makes the WAL append — and, cross-
+// shard, the commit decision on every participant — durable before the
+// updater returns).
 func (s *Server) updateResponse(w http.ResponseWriter, res *vupdate.Result) {
 	ops := make([]string, len(res.Ops))
 	for i, op := range res.Ops {
@@ -397,18 +492,23 @@ func (s *Server) updateResponse(w http.ResponseWriter, res *vupdate.Result) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"ops":        ops,
 		"count":      len(ops),
-		"generation": s.cfg.DB.Generation(),
+		"generation": s.generation(),
 	})
 }
 
 // handleDelete performs complete deletion (VO-CD) by pivot key.
-func (s *Server) handleDelete(w http.ResponseWriter, _ *http.Request, name string, u *vupdate.Updater, req updateRequest) {
-	key, err := s.bodyKey(u.T.Definition(), req.Key)
+func (s *Server) handleDelete(w http.ResponseWriter, name string, def *viewobject.Definition, req updateRequest) {
+	key, err := s.bodyKey(def, req.Key)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad key: %v", err)
 		return
 	}
-	res, err := u.DeleteByKey(key)
+	var res *vupdate.Result
+	if c := s.cfg.Cluster; c != nil {
+		res, err = c.DeleteByKey(name, key)
+	} else {
+		res, err = s.cfg.Updaters[name].DeleteByKey(key)
+	}
 	if err != nil {
 		writeError(w, updateStatus(err), "delete rejected: %v", err)
 		return
@@ -417,17 +517,24 @@ func (s *Server) handleDelete(w http.ResponseWriter, _ *http.Request, name strin
 }
 
 // handleInsert performs complete insertion (VO-CI) of the document.
-func (s *Server) handleInsert(w http.ResponseWriter, _ *http.Request, name string, u *vupdate.Updater, req updateRequest) {
+func (s *Server) handleInsert(w http.ResponseWriter, name string, def *viewobject.Definition, req updateRequest) {
 	if req.Instance == nil {
 		writeError(w, http.StatusBadRequest, "insert needs an \"instance\" document")
 		return
 	}
-	inst, err := InstanceFromDoc(u.T.Definition(), req.Instance)
+	inst, err := InstanceFromDoc(def, req.Instance)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad instance: %v", err)
 		return
 	}
-	res, err := u.InsertInstance(inst)
+	var res *vupdate.Result
+	if c := s.cfg.Cluster; c != nil {
+		// The instance was parsed against shard 0's definition; the
+		// coordinator re-homes it onto the pivot key's shard.
+		res, err = c.InsertInstance(name, inst)
+	} else {
+		res, err = s.cfg.Updaters[name].InsertInstance(inst)
+	}
 	if err != nil {
 		writeError(w, updateStatus(err), "insert rejected: %v", err)
 		return
@@ -438,8 +545,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, _ *http.Request, name strin
 // handleReplace performs replacement (VO-R): the server instantiates
 // the current instance under the key, builds the desired instance from
 // the document, and hands both to the translator.
-func (s *Server) handleReplace(w http.ResponseWriter, _ *http.Request, name string, u *vupdate.Updater, req updateRequest) {
-	def := u.T.Definition()
+func (s *Server) handleReplace(w http.ResponseWriter, name string, def *viewobject.Definition, req updateRequest) {
 	if req.Instance == nil {
 		writeError(w, http.StatusBadRequest, "replace needs an \"instance\" document")
 		return
@@ -449,9 +555,17 @@ func (s *Server) handleReplace(w http.ResponseWriter, _ *http.Request, name stri
 		writeError(w, http.StatusBadRequest, "bad key: %v", err)
 		return
 	}
-	rtx := s.cfg.DB.BeginRead()
-	oldInst, ok, err := viewobject.InstantiateByKey(rtx, def, key)
-	rtx.Close()
+	var (
+		oldInst *viewobject.Instance
+		ok      bool
+	)
+	if c := s.cfg.Cluster; c != nil {
+		oldInst, ok, err = c.InstantiateByKey(name, key)
+	} else {
+		rtx := s.cfg.DB.BeginRead()
+		oldInst, ok, err = viewobject.InstantiateByKey(rtx, def, key)
+		rtx.Close()
+	}
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "instantiate: %v", err)
 		return
@@ -465,7 +579,12 @@ func (s *Server) handleReplace(w http.ResponseWriter, _ *http.Request, name stri
 		writeError(w, http.StatusBadRequest, "bad instance: %v", err)
 		return
 	}
-	res, err := u.ReplaceInstance(oldInst, newInst)
+	var res *vupdate.Result
+	if c := s.cfg.Cluster; c != nil {
+		res, err = c.ReplaceInstance(name, oldInst, newInst)
+	} else {
+		res, err = s.cfg.Updaters[name].ReplaceInstance(oldInst, newInst)
+	}
 	if err != nil {
 		writeError(w, updateStatus(err), "replace rejected: %v", err)
 		return

@@ -234,107 +234,113 @@ func attachGraph(db *reldb.Database) *structural.Graph {
 // Figure 4 query selects it.
 func Seed(db *reldb.Database) error {
 	return db.RunInTx(func(tx *reldb.Tx) error {
-		ins := func(rel string, rows ...reldb.Tuple) error {
+		return seedRows(func(rel string, rows ...reldb.Tuple) error {
 			for _, row := range rows {
 				if err := tx.Insert(rel, row); err != nil {
 					return fmt.Errorf("university: seeding %s: %w", rel, err)
 				}
 			}
 			return nil
-		}
-		s := reldb.String
-		i := reldb.Int
-		f := reldb.Float
-		b := reldb.Bool
-
-		if err := ins(Department,
-			reldb.Tuple{s("Computer Science"), s("Gates"), f(1_200_000)},
-			reldb.Tuple{s("Electrical Engineering"), s("Packard"), f(900_000)},
-			reldb.Tuple{s("Mechanical Engineering"), s("Building 530"), f(750_000)},
-		); err != nil {
-			return err
-		}
-		if err := ins(People,
-			reldb.Tuple{i(1), s("Alice Hacker"), s("Computer Science"), s("alice@cs")},
-			reldb.Tuple{i(2), s("Bob Builder"), s("Mechanical Engineering"), s("bob@me")},
-			reldb.Tuple{i(3), s("Carol Circuits"), s("Electrical Engineering"), s("carol@ee")},
-			reldb.Tuple{i(4), s("Dan Data"), s("Computer Science"), s("dan@cs")},
-			reldb.Tuple{i(5), s("Eve Embedded"), s("Electrical Engineering"), s("eve@ee")},
-			reldb.Tuple{i(6), s("Frank Faculty"), s("Computer Science"), s("frank@cs")},
-			reldb.Tuple{i(7), s("Grace Prof"), s("Electrical Engineering"), s("grace@ee")},
-			reldb.Tuple{i(8), s("Heidi Admin"), s("Computer Science"), s("heidi@cs")},
-		); err != nil {
-			return err
-		}
-		if err := ins(Student,
-			reldb.Tuple{i(1), s("PhD"), i(3)},
-			reldb.Tuple{i(2), s("MS"), i(1)},
-			reldb.Tuple{i(3), s("MS"), i(2)},
-			reldb.Tuple{i(4), s("BS"), i(4)},
-			reldb.Tuple{i(5), s("PhD"), i(5)},
-		); err != nil {
-			return err
-		}
-		if err := ins(Faculty,
-			reldb.Tuple{i(6), s("Associate Professor"), b(true)},
-			reldb.Tuple{i(7), s("Professor"), b(true)},
-		); err != nil {
-			return err
-		}
-		if err := ins(Staff,
-			reldb.Tuple{i(8), s("Department Administrator")},
-		); err != nil {
-			return err
-		}
-		if err := ins(Courses,
-			reldb.Tuple{s("CS101"), s("Introduction to Computing"), s("Computer Science"), i(3), s("undergraduate")},
-			reldb.Tuple{s("CS345"), s("Database Systems"), s("Computer Science"), i(4), s("graduate")},
-			reldb.Tuple{s("CS445"), s("Distributed Systems"), s("Computer Science"), i(4), s("graduate")},
-			reldb.Tuple{s("EE201"), s("Circuits I"), s("Electrical Engineering"), i(3), s("undergraduate")},
-			reldb.Tuple{s("EE380"), s("VLSI Design"), s("Electrical Engineering"), i(4), s("graduate")},
-			reldb.Tuple{s("ME301"), s("Dynamics"), s("Mechanical Engineering"), i(4), s("undergraduate")},
-		); err != nil {
-			return err
-		}
-		if err := ins(Curriculum,
-			reldb.Tuple{s("Computer Science"), s("BS"), s("CS101")},
-			reldb.Tuple{s("Computer Science"), s("MS"), s("CS345")},
-			reldb.Tuple{s("Computer Science"), s("PhD"), s("CS345")},
-			reldb.Tuple{s("Computer Science"), s("PhD"), s("CS445")},
-			reldb.Tuple{s("Electrical Engineering"), s("BS"), s("EE201")},
-			reldb.Tuple{s("Electrical Engineering"), s("MS"), s("EE380")},
-			reldb.Tuple{s("Mechanical Engineering"), s("BS"), s("ME301")},
-		); err != nil {
-			return err
-		}
-		if err := ins(Grades,
-			// CS101: a large undergraduate course (5 students).
-			reldb.Tuple{s("CS101"), i(1), s("Aut90"), s("A")},
-			reldb.Tuple{s("CS101"), i(2), s("Aut90"), s("B+")},
-			reldb.Tuple{s("CS101"), i(3), s("Aut90"), s("A-")},
-			reldb.Tuple{s("CS101"), i(4), s("Aut90"), s("B")},
-			reldb.Tuple{s("CS101"), i(5), s("Aut90"), s("A")},
-			// CS345: graduate, 3 students (< 5, selected by Figure 4).
-			reldb.Tuple{s("CS345"), i(1), s("Win91"), s("A")},
-			reldb.Tuple{s("CS345"), i(4), s("Win91"), s("B+")},
-			reldb.Tuple{s("CS345"), i(5), s("Win91"), s("A-")},
-			// CS445: graduate, 2 students (< 5, selected by Figure 4).
-			reldb.Tuple{s("CS445"), i(1), s("Spr91"), s("A")},
-			reldb.Tuple{s("CS445"), i(5), s("Spr91"), s("B")},
-			// EE380: graduate, 5 students (not selected by Figure 4).
-			reldb.Tuple{s("EE380"), i(1), s("Win91"), s("B")},
-			reldb.Tuple{s("EE380"), i(2), s("Win91"), s("A")},
-			reldb.Tuple{s("EE380"), i(3), s("Win91"), s("A-")},
-			reldb.Tuple{s("EE380"), i(4), s("Win91"), s("B+")},
-			reldb.Tuple{s("EE380"), i(5), s("Win91"), s("A")},
-			// EE201, ME301: undergraduate.
-			reldb.Tuple{s("EE201"), i(3), s("Aut90"), s("A")},
-			reldb.Tuple{s("ME301"), i(2), s("Aut90"), s("B")},
-		); err != nil {
-			return err
-		}
-		return nil
+		})
 	})
+}
+
+// seedRows feeds the paper's illustrative rows through ins, relation by
+// relation — the one row source behind both the single-database Seed
+// and the partitioned SeedSharded.
+func seedRows(ins func(rel string, rows ...reldb.Tuple) error) error {
+	s := reldb.String
+	i := reldb.Int
+	f := reldb.Float
+	b := reldb.Bool
+
+	if err := ins(Department,
+		reldb.Tuple{s("Computer Science"), s("Gates"), f(1_200_000)},
+		reldb.Tuple{s("Electrical Engineering"), s("Packard"), f(900_000)},
+		reldb.Tuple{s("Mechanical Engineering"), s("Building 530"), f(750_000)},
+	); err != nil {
+		return err
+	}
+	if err := ins(People,
+		reldb.Tuple{i(1), s("Alice Hacker"), s("Computer Science"), s("alice@cs")},
+		reldb.Tuple{i(2), s("Bob Builder"), s("Mechanical Engineering"), s("bob@me")},
+		reldb.Tuple{i(3), s("Carol Circuits"), s("Electrical Engineering"), s("carol@ee")},
+		reldb.Tuple{i(4), s("Dan Data"), s("Computer Science"), s("dan@cs")},
+		reldb.Tuple{i(5), s("Eve Embedded"), s("Electrical Engineering"), s("eve@ee")},
+		reldb.Tuple{i(6), s("Frank Faculty"), s("Computer Science"), s("frank@cs")},
+		reldb.Tuple{i(7), s("Grace Prof"), s("Electrical Engineering"), s("grace@ee")},
+		reldb.Tuple{i(8), s("Heidi Admin"), s("Computer Science"), s("heidi@cs")},
+	); err != nil {
+		return err
+	}
+	if err := ins(Student,
+		reldb.Tuple{i(1), s("PhD"), i(3)},
+		reldb.Tuple{i(2), s("MS"), i(1)},
+		reldb.Tuple{i(3), s("MS"), i(2)},
+		reldb.Tuple{i(4), s("BS"), i(4)},
+		reldb.Tuple{i(5), s("PhD"), i(5)},
+	); err != nil {
+		return err
+	}
+	if err := ins(Faculty,
+		reldb.Tuple{i(6), s("Associate Professor"), b(true)},
+		reldb.Tuple{i(7), s("Professor"), b(true)},
+	); err != nil {
+		return err
+	}
+	if err := ins(Staff,
+		reldb.Tuple{i(8), s("Department Administrator")},
+	); err != nil {
+		return err
+	}
+	if err := ins(Courses,
+		reldb.Tuple{s("CS101"), s("Introduction to Computing"), s("Computer Science"), i(3), s("undergraduate")},
+		reldb.Tuple{s("CS345"), s("Database Systems"), s("Computer Science"), i(4), s("graduate")},
+		reldb.Tuple{s("CS445"), s("Distributed Systems"), s("Computer Science"), i(4), s("graduate")},
+		reldb.Tuple{s("EE201"), s("Circuits I"), s("Electrical Engineering"), i(3), s("undergraduate")},
+		reldb.Tuple{s("EE380"), s("VLSI Design"), s("Electrical Engineering"), i(4), s("graduate")},
+		reldb.Tuple{s("ME301"), s("Dynamics"), s("Mechanical Engineering"), i(4), s("undergraduate")},
+	); err != nil {
+		return err
+	}
+	if err := ins(Curriculum,
+		reldb.Tuple{s("Computer Science"), s("BS"), s("CS101")},
+		reldb.Tuple{s("Computer Science"), s("MS"), s("CS345")},
+		reldb.Tuple{s("Computer Science"), s("PhD"), s("CS345")},
+		reldb.Tuple{s("Computer Science"), s("PhD"), s("CS445")},
+		reldb.Tuple{s("Electrical Engineering"), s("BS"), s("EE201")},
+		reldb.Tuple{s("Electrical Engineering"), s("MS"), s("EE380")},
+		reldb.Tuple{s("Mechanical Engineering"), s("BS"), s("ME301")},
+	); err != nil {
+		return err
+	}
+	if err := ins(Grades,
+		// CS101: a large undergraduate course (5 students).
+		reldb.Tuple{s("CS101"), i(1), s("Aut90"), s("A")},
+		reldb.Tuple{s("CS101"), i(2), s("Aut90"), s("B+")},
+		reldb.Tuple{s("CS101"), i(3), s("Aut90"), s("A-")},
+		reldb.Tuple{s("CS101"), i(4), s("Aut90"), s("B")},
+		reldb.Tuple{s("CS101"), i(5), s("Aut90"), s("A")},
+		// CS345: graduate, 3 students (< 5, selected by Figure 4).
+		reldb.Tuple{s("CS345"), i(1), s("Win91"), s("A")},
+		reldb.Tuple{s("CS345"), i(4), s("Win91"), s("B+")},
+		reldb.Tuple{s("CS345"), i(5), s("Win91"), s("A-")},
+		// CS445: graduate, 2 students (< 5, selected by Figure 4).
+		reldb.Tuple{s("CS445"), i(1), s("Spr91"), s("A")},
+		reldb.Tuple{s("CS445"), i(5), s("Spr91"), s("B")},
+		// EE380: graduate, 5 students (not selected by Figure 4).
+		reldb.Tuple{s("EE380"), i(1), s("Win91"), s("B")},
+		reldb.Tuple{s("EE380"), i(2), s("Win91"), s("A")},
+		reldb.Tuple{s("EE380"), i(3), s("Win91"), s("A-")},
+		reldb.Tuple{s("EE380"), i(4), s("Win91"), s("B+")},
+		reldb.Tuple{s("EE380"), i(5), s("Win91"), s("A")},
+		// EE201, ME301: undergraduate.
+		reldb.Tuple{s("EE201"), i(3), s("Aut90"), s("A")},
+		reldb.Tuple{s("ME301"), i(2), s("Aut90"), s("B")},
+	); err != nil {
+		return err
+	}
+	return nil
 }
 
 // NewSeeded builds the university database, structural schema, and the

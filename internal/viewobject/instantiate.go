@@ -2,6 +2,7 @@ package viewobject
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -139,16 +140,27 @@ func InstantiateOp(res structural.Resolver, def *Definition, q Query, parent obs
 // order, and reports how many stored tuples the selection visited.
 // When pred is an indexable equality conjunction (EqConjunction +
 // ProbeableEqual) it runs as a MatchEqual probe charging only the
-// tuples actually visited; otherwise it scans — in parallel when the
-// relation and worker budget warrant it — charging the whole relation,
-// which is what a scan visits. Both the naive and batched assembly
-// paths share this selection, so their pivot sets (and scan accounting)
-// are identical by construction.
+// tuples actually visited; when it is a range conjunction over one
+// attribute (RangeConjunction + ProbeableRange) it binary-searches the
+// relation version's cached ordered view, charging a full scan only the
+// first time the view is built; otherwise it scans — in parallel when
+// the relation and worker budget warrant it — charging the whole
+// relation, which is what a scan visits. Both the naive and batched
+// assembly paths share this selection, so their pivot sets (and scan
+// accounting) are identical by construction.
 func pivotSelect(pivotRel *reldb.Relation, pred reldb.Expr, workers int) ([]reldb.Tuple, int64, error) {
 	if pred != nil {
 		if attrs, vals, ok := reldb.EqConjunction(pred); ok && pivotRel.ProbeableEqual(attrs, vals) {
 			var st reldb.MatchStats
 			pivots, err := pivotRel.MatchEqualStats(attrs, vals, &st)
+			if err != nil {
+				return nil, 0, err
+			}
+			return pivots, int64(st.Scanned), nil
+		}
+		if attr, lo, hi, ok := reldb.RangeConjunction(pred); ok && pivotRel.ProbeableRange(attr, lo, hi) {
+			var st reldb.MatchStats
+			pivots, err := pivotRel.MatchRangeStats(attr, lo, hi, &st)
 			if err != nil {
 				return nil, 0, err
 			}
@@ -253,31 +265,20 @@ func assembleInstance(res structural.Resolver, def *Definition, pivotTuple reldb
 // lookup per path edge for the whole level) and the results distributed
 // back, preserving the per-parent key ordering and dedup semantics of the
 // naive path. The freshly built level then recurses as one batch.
+//
+// A level whose parent set is large enough may be split across idle
+// worker tokens (work stealing, see parallel.go): helper goroutines fill
+// disjoint contiguous parent segments concurrently and the segment
+// results concatenate back in parent order, so the assembled instances
+// are identical to a sequential fill.
 func fillLevel(res structural.Resolver, def *Definition, parents []*InstNode) error {
 	if len(parents) == 0 {
 		return nil
 	}
 	for _, child := range parents[0].node.Children {
-		var st reldb.MatchStats
-		perParent, err := traverseLevel(res, parents, child.Path, &st)
+		level, err := fillChildLevel(res, def, parents, child)
 		if err != nil {
-			return fmt.Errorf("viewobject: %s: node %s: %w", def.Name, child.ID, err)
-		}
-		obs.Default.TuplesScanned.Add(int64(st.Scanned))
-		obs.Default.InstTuplesByObject.At(def.obsSlot).Add(int64(st.Scanned))
-		var level []*InstNode
-		for i, p := range parents {
-			targets := perParent[i]
-			obs.Default.NodeFanOut.Observe(int64(len(targets)))
-			for _, tt := range targets {
-				cn, err := p.AddChild(def, child.ID, tt)
-				if err != nil {
-					return err
-				}
-				obs.Default.InstNodes.Inc()
-				obs.Default.InstNodesByObject.At(def.obsSlot).Inc()
-				level = append(level, cn)
-			}
+			return err
 		}
 		obs.Default.LevelFanOut.Observe(int64(len(level)))
 		if err := fillLevel(res, def, level); err != nil {
@@ -285,6 +286,84 @@ func fillLevel(res structural.Resolver, def *Definition, parents []*InstNode) er
 		}
 	}
 	return nil
+}
+
+// fillChildLevel builds every parent's children at one definition node,
+// splitting the parent set across stolen worker tokens when the level is
+// wide and spare parallelism exists. Each segment touches only its own
+// parents (AddChild mutates nothing outside the parent node), so the
+// helpers need no locks; segment results concatenate in parent order.
+func fillChildLevel(res structural.Resolver, def *Definition, parents []*InstNode, child *Node) ([]*InstNode, error) {
+	helpers := 0
+	if len(parents) >= 2*minStealParents {
+		helpers = grabStealTokens(len(parents)/minStealParents - 1)
+	}
+	if helpers == 0 {
+		return fillChildSegment(res, def, parents, child)
+	}
+	defer releaseStealTokens(helpers)
+	obs.Default.ParallelSteals.Add(int64(helpers))
+	segs := helpers + 1
+	per := (len(parents) + segs - 1) / segs
+	results := make([][]*InstNode, segs)
+	errs := make([]error, segs)
+	var wg sync.WaitGroup
+	for s := 1; s < segs; s++ {
+		lo, hi := s*per, (s+1)*per
+		if hi > len(parents) {
+			hi = len(parents)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			results[s], errs[s] = fillChildSegment(res, def, parents[lo:hi], child)
+		}(s, lo, hi)
+	}
+	results[0], errs[0] = fillChildSegment(res, def, parents[:per], child)
+	wg.Wait()
+	total := 0
+	for s := 0; s < segs; s++ {
+		if errs[s] != nil {
+			return nil, errs[s] // lowest-segment error wins: deterministic
+		}
+		total += len(results[s])
+	}
+	level := make([]*InstNode, 0, total)
+	for _, seg := range results {
+		level = append(level, seg...)
+	}
+	return level, nil
+}
+
+// fillChildSegment is the sequential unit of a level fill: one batched
+// traversal for a contiguous run of parents, results attached in
+// per-parent key order.
+func fillChildSegment(res structural.Resolver, def *Definition, parents []*InstNode, child *Node) ([]*InstNode, error) {
+	var st reldb.MatchStats
+	perParent, err := traverseLevel(res, parents, child.Path, &st)
+	if err != nil {
+		return nil, fmt.Errorf("viewobject: %s: node %s: %w", def.Name, child.ID, err)
+	}
+	obs.Default.TuplesScanned.Add(int64(st.Scanned))
+	obs.Default.InstTuplesByObject.At(def.obsSlot).Add(int64(st.Scanned))
+	var level []*InstNode
+	for i, p := range parents {
+		targets := perParent[i]
+		obs.Default.NodeFanOut.Observe(int64(len(targets)))
+		for _, tt := range targets {
+			cn, err := p.AddChild(def, child.ID, tt)
+			if err != nil {
+				return nil, err
+			}
+			obs.Default.InstNodes.Inc()
+			obs.Default.InstNodesByObject.At(def.obsSlot).Inc()
+			level = append(level, cn)
+		}
+	}
+	return level, nil
 }
 
 // traverseLevel follows one connection path for many source nodes at

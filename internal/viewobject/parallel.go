@@ -57,6 +57,46 @@ func Parallelism() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// minStealParents is the smallest parent-segment size worth handing to a
+// stolen worker: below this the traversal batching already amortizes the
+// lookups and a goroutine handoff costs more than it saves.
+const minStealParents = 8
+
+// stealActive counts helper goroutines currently running stolen level
+// segments, across every instantiation in the process. The budget is
+// Parallelism()-1 — the caller's own goroutine is the "+1" — so a lone
+// deep instantiation can fan a wide level across otherwise-idle CPUs,
+// while saturated pools (every worker busy) steal nothing and pay
+// nothing beyond one atomic load per level.
+var stealActive atomic.Int32
+
+// grabStealTokens claims up to max helper tokens from the global steal
+// budget, returning how many were claimed (possibly 0).
+func grabStealTokens(max int) int {
+	if max <= 0 {
+		return 0
+	}
+	for {
+		cur := stealActive.Load()
+		budget := int32(Parallelism() - 1)
+		if cur >= budget {
+			return 0
+		}
+		take := budget - cur
+		if take > int32(max) {
+			take = int32(max)
+		}
+		if stealActive.CompareAndSwap(cur, cur+take) {
+			return int(take)
+		}
+	}
+}
+
+// releaseStealTokens returns claimed tokens to the budget.
+func releaseStealTokens(n int) {
+	stealActive.Add(int32(-n))
+}
+
 // instantiateParallel assembles the pivot frontier on a bounded worker
 // pool: the pivots (already in key order) are split into contiguous
 // chunks, workers pull chunk indexes from a shared cursor and assemble

@@ -200,3 +200,108 @@ func TestParallelErrorPropagation(t *testing.T) {
 		t.Fatalf("sequential err = %v, want errResolveBoom", err)
 	}
 }
+
+// The range probe: an ordering predicate over the pivot key must serve
+// from the cached ordered view — full scan charged once on the build,
+// only the window afterward — and must select exactly the pivots the
+// scan would, in the same order.
+func TestPivotRangeProbe(t *testing.T) {
+	w, err := workload.BuildTree(workload.TreeSpec{Depth: 1, Width: 1, Fanout: 1, Roots: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := structural.NewGraph(w.DB)
+	def, err := NewDefinition("pivot-only-range", g, &Node{Relation: "N0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scannedBy := func(q Query) (int64, []*Instance) {
+		before := obs.Capture()
+		insts, err := Instantiate(w.DB, def, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := obs.Capture().Sub(before)
+		return d.Counter("viewobject.instantiate.tuples_scanned"), insts
+	}
+	rangePred := reldb.And{Terms: []reldb.Expr{
+		reldb.Cmp{Op: reldb.OpGe, L: reldb.Attr{Name: "K0"}, R: reldb.Const{V: reldb.Int(10)}},
+		reldb.Cmp{Op: reldb.OpLt, L: reldb.Attr{Name: "K0"}, R: reldb.Const{V: reldb.Int(20)}},
+	}}
+
+	// First range on this relation version builds the ordered view: the
+	// whole relation is charged, exactly like a scan.
+	buildScanned, built := scannedBy(Query{PivotPred: rangePred})
+	if len(built) != 10 {
+		t.Fatalf("range selected %d instances, want 10", len(built))
+	}
+	if buildScanned != 40 {
+		t.Fatalf("view build charged %d tuples, want the whole relation (40)", buildScanned)
+	}
+
+	// Repeats (even with different bounds) binary-search the cached view,
+	// charging only the selected window.
+	hitScanned, hit := scannedBy(Query{PivotPred: rangePred})
+	if len(hit) != 10 || hitScanned != 10 {
+		t.Fatalf("cached range: %d instances, %d scanned; want 10, 10", len(hit), hitScanned)
+	}
+	narrowScanned, narrow := scannedBy(Query{PivotPred: reldb.Cmp{
+		Op: reldb.OpGt, L: reldb.Attr{Name: "K0"}, R: reldb.Const{V: reldb.Int(36)},
+	}})
+	if len(narrow) != 3 || narrowScanned != 3 {
+		t.Fatalf("narrow range: %d instances, %d scanned; want 3, 3", len(narrow), narrowScanned)
+	}
+
+	// The same predicate forced down the scan path selects identically.
+	_, scanInsts := scannedBy(Query{PivotPred: reldb.Or{Terms: []reldb.Expr{rangePred}}})
+	if len(scanInsts) != len(hit) {
+		t.Fatalf("scan and range paths disagree: %d vs %d instances", len(scanInsts), len(hit))
+	}
+	for i := range hit {
+		if hit[i].Render() != scanInsts[i].Render() {
+			t.Fatalf("instance %d differs between range probe and scan selection", i)
+		}
+	}
+}
+
+// Work stealing: a wide level must split across spare worker tokens —
+// and produce instances byte-identical to a sequential fill, which is
+// the whole point of the disjoint-segment design.
+func TestLevelWorkStealingMatchesSequential(t *testing.T) {
+	w, err := workload.BuildTree(workload.TreeSpec{Depth: 2, Width: 2, Fanout: 10, Roots: 2, Peninsulas: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two pivots keep the chunked fan-out off (below minParallelPivots),
+	// so any parallelism below comes from level stealing alone.
+	prev := SetParallelism(4)
+	defer SetParallelism(prev)
+	before := obs.Capture()
+	stolen, err := Instantiate(w.DB, w.Def, Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := obs.Capture().Sub(before).Counter("viewobject.parallel.steals"); n == 0 {
+		t.Fatal("wide levels with spare workers recorded no steals")
+	}
+
+	SetParallelism(1)
+	before = obs.Capture()
+	sequential, err := Instantiate(w.DB, w.Def, Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := obs.Capture().Sub(before).Counter("viewobject.parallel.steals"); n != 0 {
+		t.Fatalf("parallelism 1 stole %d times", n)
+	}
+
+	if len(stolen) != len(sequential) || len(stolen) != 2 {
+		t.Fatalf("instance counts: stolen %d, sequential %d, want 2", len(stolen), len(sequential))
+	}
+	for i := range stolen {
+		if stolen[i].Render() != sequential[i].Render() {
+			t.Fatalf("instance %d differs between stolen and sequential assembly:\n%s\n---\n%s",
+				i, stolen[i].Render(), sequential[i].Render())
+		}
+	}
+}

@@ -97,10 +97,28 @@ func (r *Result) String() string {
 // The database must be the one the translator's definition was built over.
 type Updater struct {
 	T *Translator
+	// Hooks, when non-nil, lets a coordinator intercept the transaction
+	// lifecycle (sharding uses this to supply a pre-acquired transaction
+	// and to take over the commit decision). An Updater with hooks is
+	// single-use state owned by its coordinator call; the plain shared
+	// Updater keeps Hooks nil.
+	Hooks *TxHooks
 }
 
 // NewUpdater creates an updater for the translator.
 func NewUpdater(t *Translator) *Updater { return &Updater{T: t} }
+
+// TxHooks intercepts an update's transaction lifecycle. Begin supplies
+// the write transaction instead of db.Begin(); Finish receives the
+// translated operations after a successful translation and owns the
+// commit (run neither commits nor rolls back when Finish is set — on a
+// Finish error the coordinator decides the transaction's fate).
+// Translation failures still roll back the supplied transaction inside
+// run, exactly like the unhooked path.
+type TxHooks struct {
+	Begin  func() (*reldb.Tx, error)
+	Finish func(tx *reldb.Tx, ops []DBOp) error
+}
 
 // session carries one in-flight update translation: the transaction, the
 // op log, and bookkeeping shared by the algorithms.
@@ -148,7 +166,19 @@ func (u *Updater) run(fn func(*session) error) (*Result, error) {
 	// The root span opens before Begin so the commit child (which covers
 	// Begin→Commit) nests inside it even across writer-lock waits.
 	op := obs.Default.StartOp("vupdate.update")
-	s := &session{tr: u.T, def: def, g: def.Graph(), op: op, tx: db.Begin()}
+	var tx *reldb.Tx
+	if u.Hooks != nil && u.Hooks.Begin != nil {
+		var err error
+		if tx, err = u.Hooks.Begin(); err != nil {
+			if op.Active() {
+				op.Finish(fmt.Sprintf("object=%s begin failed", def.Name))
+			}
+			return nil, err
+		}
+	} else {
+		tx = db.Begin()
+	}
+	s := &session{tr: u.T, def: def, g: def.Graph(), op: op, tx: tx}
 	s.tx.SetTraceOp(op)
 	slot := def.MetricSlot()
 	if err := fn(s); err != nil {
@@ -159,7 +189,11 @@ func (u *Updater) run(fn func(*session) error) (*Result, error) {
 		}
 		return nil, err
 	}
-	if err := s.tx.Commit(); err != nil {
+	if u.Hooks != nil && u.Hooks.Finish != nil {
+		if err := u.Hooks.Finish(s.tx, s.ops); err != nil {
+			return nil, err
+		}
+	} else if err := s.tx.Commit(); err != nil {
 		return nil, err
 	}
 	obs.Default.UpdatesCommitted.Inc()

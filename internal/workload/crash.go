@@ -153,10 +153,13 @@ func buildOracle(sub *reldb.Subscription, head uint64) (*genOracle, error) {
 }
 
 // walRecordInfo locates one record inside a segment file: the frame
-// starts at Off, ends at End, and carries generation Gen.
+// starts at Off, ends at End, and carries generation Gen. Type is the
+// record type byte (commit=1, create=2, drop=3, cross-prepare=4,
+// cross-decide=5 — the format of DESIGN.md §13).
 type walRecordInfo struct {
 	Off, End int64
 	Gen      uint64
+	Type     byte
 }
 
 // walSegmentMagicLen is the size of the segment header ("PNGWAL01" —
@@ -194,7 +197,7 @@ func scanWALRecords(path string) ([]walRecordInfo, error) {
 		if len(payload) < 9 {
 			return nil, fmt.Errorf("%s: record at %d too short for type+gen", path, off)
 		}
-		recs = append(recs, walRecordInfo{Off: off, End: end, Gen: binary.BigEndian.Uint64(payload[1:9])})
+		recs = append(recs, walRecordInfo{Off: off, End: end, Gen: binary.BigEndian.Uint64(payload[1:9]), Type: payload[0]})
 		off = end
 	}
 	return recs, nil

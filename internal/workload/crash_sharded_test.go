@@ -1,0 +1,366 @@
+package workload
+
+// Cross-shard crash matrix: proves the two-shard commit protocol leaves
+// no half-committed island behind. Two layers:
+//
+//   - a deterministic truncation matrix that cuts each shard's log at
+//     the cross-decide / cross-prepare boundaries of a known cross-shard
+//     update and asserts the reopened cluster lands on exactly the
+//     before-state (presumed abort) or the after-state (commit decision
+//     found on a sibling) — never in between, on either shard;
+//   - a kill -9 harness (child process re-execution, like
+//     TestCrashMatrixKill9) that murders a cluster mid-2PC under real
+//     concurrent traffic and checks acknowledged generations, replica
+//     agreement, and instance invariants after recovery.
+
+import (
+	"bufio"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"penguin/internal/reldb"
+	"penguin/internal/viewobject"
+)
+
+const (
+	recCrossPrepare byte = 4
+	recCrossDecide  byte = 5
+)
+
+var shardCrashSpec = StressSpec{
+	Tree:    TreeSpec{Depth: 1, Width: 1, Fanout: 1, Roots: 2, Peninsulas: 1},
+	Readers: 1,
+	Writers: 2,
+	Cycles:  2,
+}
+
+// digestReplicas digests each replicated (non-island) relation per
+// shard; divergence between shards is a broken replication invariant.
+func digestReplicas(sw *ShardedWorkload, rels []string) ([]uint64, error) {
+	out := make([]uint64, sw.C.N())
+	for i := 0; i < sw.C.N(); i++ {
+		h := fnv.New64a()
+		rtx := sw.C.DB(i).BeginRead()
+		for _, name := range rels {
+			rel, err := rtx.Relation(name)
+			if err != nil {
+				rtx.Close()
+				return nil, err
+			}
+			var eks []string
+			rel.Scan(func(t reldb.Tuple) bool {
+				eks = append(eks, t.Encode())
+				return true
+			})
+			sort.Strings(eks)
+			io.WriteString(h, name)
+			for _, ek := range eks {
+				io.WriteString(h, ek)
+				h.Write([]byte{0})
+			}
+		}
+		rtx.Close()
+		out[i] = h.Sum64()
+	}
+	return out, nil
+}
+
+// clusterDigests digests every shard's full state.
+func clusterDigests(sw *ShardedWorkload) []uint64 {
+	out := make([]uint64, sw.C.N())
+	for i := range out {
+		out[i] = DigestDatabase(sw.C.DB(i))
+	}
+	return out
+}
+
+// TestCrashMatrixCrossShard2PC is the deterministic matrix: one known
+// cross-shard deletion is the last update in both logs; the matrix cuts
+// each shard's tail at the decide and prepare records and asserts
+// both-or-neither on reopen.
+func TestCrashMatrixCrossShard2PC(t *testing.T) {
+	const nShards = 2
+	spec := shardCrashSpec.Tree
+	dir := t.TempDir()
+	sw, err := OpenShardedTree(dir, nShards, spec, reldb.OpenOptions{CheckpointInterval: -1}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quiesce, then record the before-state, run exactly one cross-shard
+	// update (VO-CD touches the replicated peninsula), record the
+	// after-state, and close cleanly.
+	before := clusterDigests(sw)
+	gensBefore := sw.C.Generations()
+	if _, err := sw.C.DeleteByKey(ShardedObject, reldb.Tuple{reldb.Int(0)}); err != nil {
+		t.Fatal(err)
+	}
+	after := clusterDigests(sw)
+	gensAfter := sw.C.Generations()
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nShards; i++ {
+		if gensAfter[i] != gensBefore[i]+1 {
+			t.Fatalf("shard %d: deletion advanced gen %d -> %d, want one cross-shard commit on every shard",
+				i, gensBefore[i], gensAfter[i])
+		}
+	}
+
+	// Locate each shard's final prepare/decide pair.
+	type tail struct {
+		seg             string
+		prepOff, decOff int64
+	}
+	tails := make([]tail, nShards)
+	for i := 0; i < nShards; i++ {
+		segs, err := dataFiles(filepath.Join(dir, fmt.Sprintf("shard-%d", i)), "wal-", ".log")
+		if err != nil || len(segs) != 1 {
+			t.Fatalf("shard %d segments: %v %v", i, segs, err)
+		}
+		recs, err := scanWALRecords(segs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) < 2 {
+			t.Fatalf("shard %d: %d records", i, len(recs))
+		}
+		dec, prep := recs[len(recs)-1], recs[len(recs)-2]
+		if dec.Type != recCrossDecide || prep.Type != recCrossPrepare {
+			t.Fatalf("shard %d tail types %d,%d, want prepare,decide", i, prep.Type, dec.Type)
+		}
+		tails[i] = tail{seg: segs[0], prepOff: prep.Off, decOff: dec.Off}
+	}
+
+	// reopenCut copies the cluster, truncates shard i's log at cuts[i]
+	// (0 = no cut), reopens, and returns the recovered workload.
+	reopenCut := func(name string, cuts [nShards]int64) *ShardedWorkload {
+		t.Helper()
+		scratch := filepath.Join(t.TempDir(), name)
+		for i := 0; i < nShards; i++ {
+			sub := fmt.Sprintf("shard-%d", i)
+			if err := copyDir(filepath.Join(scratch, sub), filepath.Join(dir, sub)); err != nil {
+				t.Fatal(err)
+			}
+			if cuts[i] > 0 {
+				if err := os.Truncate(filepath.Join(scratch, sub, filepath.Base(tails[i].seg)), cuts[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		re, err := OpenShardedTree(scratch, nShards, spec, reldb.OpenOptions{Sync: reldb.SyncNone, CheckpointInterval: -1}, false)
+		if err != nil {
+			t.Fatalf("%s: reopen: %v", name, err)
+		}
+		for i := 0; i < nShards; i++ {
+			if xids := re.C.DB(i).InDoubt(); len(xids) != 0 {
+				t.Fatalf("%s: shard %d still in doubt: %v", name, i, xids)
+			}
+		}
+		return re
+	}
+	check := func(name string, re *ShardedWorkload, want []uint64) {
+		t.Helper()
+		defer re.Close()
+		got := clusterDigests(re)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: shard %d digest %x, want %x (half-committed island)", name, i, got[i], want[i])
+			}
+		}
+	}
+
+	// Decide lost on shard 1: shard 0's decision is the cluster commit
+	// point — recovery must commit the in-doubt prepare on shard 1.
+	check("decide-lost-1", reopenCut("decide-lost-1", [nShards]int64{0, tails[1].decOff}), after)
+	// Symmetric: decide lost on shard 0.
+	check("decide-lost-0", reopenCut("decide-lost-0", [nShards]int64{tails[0].decOff, 0}), after)
+	// Both decides lost: no decision anywhere — presumed abort, both
+	// shards back to the before-state.
+	check("both-decides-lost", reopenCut("both-decides-lost", [nShards]int64{tails[0].decOff, tails[1].decOff}), before)
+	// Both pairs lost entirely (crash before any prepare was durable):
+	// the update never happened anywhere.
+	check("both-prepares-lost", reopenCut("both-prepares-lost", [nShards]int64{tails[0].prepOff, tails[1].prepOff}), before)
+}
+
+// crashShardChildEnv carries the data dir to the re-executed child.
+const crashShardChildEnv = "PENGUIN_CRASH_SHARD_DIR"
+
+// TestCrashMatrixShardKill9 SIGKILLs a child driving sharded stress
+// (constant cross-shard 2PC traffic) and recovers the cluster: every
+// acknowledged per-shard generation survives, replicas agree, and every
+// recoverable instance is whole and uniformly stamped.
+func TestCrashMatrixShardKill9(t *testing.T) {
+	if dir := os.Getenv(crashShardChildEnv); dir != "" {
+		crashShardChild(dir)
+		return // unreachable: the child loops until killed
+	}
+
+	const nShards = 2
+	dir := t.TempDir()
+	ack := filepath.Join(dir, "acked")
+	cmd := exec.Command(os.Args[0], "-test.run=^TestCrashMatrixShardKill9$", "-test.v")
+	cmd.Env = append(os.Environ(), crashShardChildEnv+"="+dir)
+	var childOut strings.Builder
+	cmd.Stdout, cmd.Stderr = &childOut, &childOut
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if data, err := os.ReadFile(ack); err == nil && strings.Count(string(data), "\n") >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatalf("child never acknowledged traffic; output:\n%s", childOut.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	time.Sleep(31 * time.Millisecond) // land the kill inside a traffic round
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+	if strings.Contains(childOut.String(), "CHILD-ERROR") {
+		t.Fatalf("child failed before the kill:\n%s", childOut.String())
+	}
+
+	// Last complete ack line: "gen0 digest0 gen1 digest1".
+	ackGen := make([]uint64, nShards)
+	ackDigest := make([]uint64, nShards)
+	acked := false
+	f, err := os.Open(ack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) != 2*nShards {
+			continue
+		}
+		g := make([]uint64, nShards)
+		d := make([]uint64, nShards)
+		ok := true
+		for i := 0; i < nShards; i++ {
+			var e1, e2 error
+			g[i], e1 = strconv.ParseUint(fields[2*i], 10, 64)
+			d[i], e2 = strconv.ParseUint(fields[2*i+1], 16, 64)
+			if e1 != nil || e2 != nil {
+				ok = false
+			}
+		}
+		if ok {
+			copy(ackGen, g)
+			copy(ackDigest, d)
+			acked = true
+		}
+	}
+	f.Close()
+	if !acked {
+		t.Fatalf("no complete ack line; output:\n%s", childOut.String())
+	}
+
+	// Reopen: shard.Open replays both logs and resolves in-doubt
+	// prepares cluster-wide before returning.
+	sw, err := OpenShardedTree(dir, nShards, shardCrashSpec.Tree, reldb.OpenOptions{CheckpointInterval: -1}, false)
+	if err != nil {
+		t.Fatalf("reopen after kill -9: %v", err)
+	}
+	defer sw.Close()
+
+	// Durability: no acknowledged per-shard generation may be lost.
+	for i := 0; i < nShards; i++ {
+		g := sw.C.DB(i).Generation()
+		if g < ackGen[i] {
+			t.Fatalf("shard %d recovered generation %d lost acknowledged %d", i, g, ackGen[i])
+		}
+		if g == ackGen[i] {
+			if got := DigestDatabase(sw.C.DB(i)); got != ackDigest[i] {
+				t.Fatalf("shard %d digest %x != acknowledged %x at gen %d", i, got, ackDigest[i], g)
+			}
+		}
+	}
+
+	// Replication: the peninsula replicas must agree byte-for-byte — a
+	// half-committed cross-shard update would leave them divergent.
+	reps, err := digestReplicas(sw, sw.Shards[0].PeninsulaRels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < nShards; i++ {
+		if reps[i] != reps[0] {
+			t.Fatalf("replica divergence after recovery: shard 0 %x, shard %d %x", reps[0], i, reps[i])
+		}
+	}
+
+	// Translation atomicity per instance, across shards.
+	for k := 0; k < shardCrashSpec.Tree.Roots; k++ {
+		inst, ok, err := sw.C.InstantiateByKey(ShardedObject, reldb.Tuple{reldb.Int(int64(k))})
+		if err != nil {
+			t.Fatalf("key %d: %v", k, err)
+		}
+		if !ok {
+			continue // killed between this key's VO-CD and VO-CI
+		}
+		if msg := checkInstance(sw.Shards[0], shardCrashSpec.Tree, inst); msg != "" {
+			t.Fatalf("key %d recovered torn: %s", k, msg)
+		}
+	}
+
+	// And the cluster still accepts updates: a fresh pivot-only insert
+	// routes, translates, and commits.
+	def, err := sw.C.Object(ShardedObject, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := viewobject.MustNewInstance(def, reldb.Tuple{reldb.Int(999999), reldb.String("post-crash")})
+	if _, err := sw.C.InsertInstance(ShardedObject, fresh); err != nil {
+		t.Fatalf("post-crash insert: %v", err)
+	}
+}
+
+// crashShardChild is the killed process: durable sharded stress rounds
+// forever with fast background checkpointers racing the traffic,
+// acknowledging per-shard "gen digest" pairs into a synced side file
+// after each round.
+func crashShardChild(dir string) {
+	fail := func(err error) {
+		fmt.Printf("CHILD-ERROR: %v\n", err)
+		os.Exit(1)
+	}
+	sw, err := OpenShardedTree(dir, 2, shardCrashSpec.Tree, reldb.OpenOptions{CheckpointInterval: 50 * time.Millisecond}, true)
+	if err != nil {
+		fail(err)
+	}
+	ack, err := os.OpenFile(filepath.Join(dir, "acked"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		fail(err)
+	}
+	for {
+		if _, err := RunShardedStressOn(sw, shardCrashSpec); err != nil {
+			fail(err)
+		}
+		line := ""
+		for i := 0; i < sw.C.N(); i++ {
+			line += fmt.Sprintf("%d %x ", sw.C.DB(i).Generation(), DigestDatabase(sw.C.DB(i)))
+		}
+		if _, err := fmt.Fprintln(ack, strings.TrimSpace(line)); err != nil {
+			fail(err)
+		}
+		if err := ack.Sync(); err != nil {
+			fail(err)
+		}
+	}
+}

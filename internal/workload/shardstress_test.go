@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"testing"
+
+	"penguin/internal/reldb"
+	"penguin/internal/viewobject"
+)
+
+// TestShardedStress drives the full reader/writer mix through the
+// coordinator over in-memory shards: concurrent VO cycles routed by
+// pivot key, cross-shard two-phase commits on every peninsula touch,
+// fan-out reads merging per-shard snapshots. Run under -race by the
+// shard-stress make target.
+func TestShardedStress(t *testing.T) {
+	spec := StressSpec{
+		Tree:            TreeSpec{Depth: 1, Width: 2, Fanout: 2, Roots: 8, Peninsulas: 1},
+		Readers:         2,
+		ParallelReaders: 1,
+		Writers:         4,
+		Cycles:          3,
+	}
+	res, err := RunShardedStress(spec, 4)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, res.Summary())
+	}
+	if len(res.Violations) > 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	wantWrites := int64(spec.Tree.Roots * spec.Cycles)
+	if res.Replaces != wantWrites || res.Deletes != wantWrites || res.Inserts != wantWrites {
+		t.Fatalf("writer tallies %d/%d/%d, want %d each", res.Replaces, res.Deletes, res.Inserts, wantWrites)
+	}
+	// Peninsula traffic forces the cross-shard path: every VO-CD and
+	// VO-CI touches replicated rows, so cross-commits must have happened.
+	if res.Metrics.Counter("reldb.cross.commits") == 0 {
+		t.Fatal("no cross-shard commits recorded; coordinator never left the fast path")
+	}
+	t.Log(res.Summary())
+}
+
+// TestShardedStressFastPathOnly: without peninsulas every translation
+// stays inside the island, so no cross-shard commit may occur.
+func TestShardedStressFastPathOnly(t *testing.T) {
+	spec := StressSpec{
+		Tree:    TreeSpec{Depth: 1, Width: 1, Fanout: 2, Roots: 6, Peninsulas: 0},
+		Readers: 1,
+		Writers: 2,
+		Cycles:  2,
+	}
+	res, err := RunShardedStress(spec, 2)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, res.Summary())
+	}
+	if len(res.Violations) > 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	if n := res.Metrics.Counter("reldb.cross.commits"); n != 0 {
+		t.Fatalf("%d cross-shard commits on an island-only workload", n)
+	}
+}
+
+// TestShardedMatchesUnsharded: the same deterministic update sequence
+// applied to a 1-shard cluster and a 4-shard cluster must leave every
+// instance identical — partitioning is invisible to the object model.
+func TestShardedMatchesUnsharded(t *testing.T) {
+	spec := TreeSpec{Depth: 1, Width: 2, Fanout: 2, Roots: 6, Peninsulas: 1}
+	build := func(n int) *ShardedWorkload {
+		sw, err := NewShardedTree(spec, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sw
+	}
+	drive := func(sw *ShardedWorkload) {
+		for k := 0; k < spec.Roots; k++ {
+			if _, err := shardedReplaceStamped(sw, int64(k), "det"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := sw.C.DeleteByKey(ShardedObject, reldb.Tuple{reldb.Int(2)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, b := build(1), build(4)
+	drive(a)
+	drive(b)
+	ia, err := a.C.Instantiate(ShardedObject, viewobject.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib, err := b.C.Instantiate(ShardedObject, viewobject.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ia) != len(ib) || len(ia) != spec.Roots-1 {
+		t.Fatalf("instance counts %d vs %d, want %d", len(ia), len(ib), spec.Roots-1)
+	}
+	for i := range ia {
+		if ia[i].Render() != ib[i].Render() {
+			t.Fatalf("instance %d diverges:\n1 shard:\n%s\n4 shards:\n%s", i, ia[i].Render(), ib[i].Render())
+		}
+	}
+}

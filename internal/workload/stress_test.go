@@ -146,7 +146,11 @@ func TestRunStressMaterializedReaders(t *testing.T) {
 		t.Fatal("materializer never served from the patched cache")
 	}
 	if res.Metrics.Counter("viewobject.materialize.patches") == 0 {
-		t.Fatal("materializer never patched despite writer commits")
+		t.Fatalf("materializer never patched despite writer commits (hits=%d misses=%d fallbacks=%d resyncs=%d mat_insts=%d)",
+			hits, misses,
+			res.Metrics.Counter("viewobject.materialize.falls_back"),
+			res.Metrics.Counter("viewobject.materialize.resyncs"),
+			res.MaterializedInstantiations)
 	}
 	// 18 writer commits against an 8-generation threshold: the aged
 	// ReadTx must have tripped both alerts.

@@ -63,7 +63,14 @@ func BuildTree(spec TreeSpec) (*Workload, error) {
 // generated schema, seed data, and all subsequent stress traffic flow
 // through the write-ahead log (the crash-matrix harness drives this).
 func BuildTreeIn(db *reldb.Database, spec TreeSpec) (*Workload, error) {
-	return buildTree(db, spec, true)
+	return buildTree(db, spec, true, true)
+}
+
+// BuildTreeSchemaIn creates the relations, connections, and definition
+// but seeds no data — the sharded build uses it to broadcast identical
+// DDL to every shard and then seeds each shard with its own partition.
+func BuildTreeSchemaIn(db *reldb.Database, spec TreeSpec) (*Workload, error) {
+	return buildTree(db, spec, true, false)
 }
 
 // AttachTree rebuilds the structural graph and view-object definition
@@ -72,10 +79,10 @@ func BuildTreeIn(db *reldb.Database, spec TreeSpec) (*Workload, error) {
 // data is seeded; only the connection graph (and its edge indexes,
 // derived state the WAL does not carry) is re-registered.
 func AttachTree(db *reldb.Database, spec TreeSpec) (*Workload, error) {
-	return buildTree(db, spec, false)
+	return buildTree(db, spec, false, false)
 }
 
-func buildTree(db *reldb.Database, spec TreeSpec, create bool) (*Workload, error) {
+func buildTree(db *reldb.Database, spec TreeSpec, create, seed bool) (*Workload, error) {
 	if spec.Width < 0 || spec.Depth < 0 || spec.Roots < 1 {
 		return nil, fmt.Errorf("workload: invalid spec %+v", spec)
 	}
@@ -170,7 +177,7 @@ func buildTree(db *reldb.Database, spec TreeSpec, create bool) (*Workload, error
 		return nil, err
 	}
 	w.Def = def
-	if create {
+	if seed {
 		if err := seedTree(w, spec); err != nil {
 			return nil, err
 		}
@@ -183,51 +190,65 @@ func buildTree(db *reldb.Database, spec TreeSpec, create bool) (*Workload, error
 // tuples per pivot tuple per peninsula.
 func seedTree(w *Workload, spec TreeSpec) error {
 	return w.DB.RunInTx(func(tx *reldb.Tx) error {
-		// Pivot rows.
-		for r := 0; r < spec.Roots; r++ {
-			if err := tx.Insert("N0", reldb.Tuple{reldb.Int(int64(r)), reldb.String(fmt.Sprintf("root%d", r))}); err != nil {
-				return err
-			}
+		return forEachSeedRow(w.Def, spec, func(_ int64, rel string, _ bool, t reldb.Tuple) error {
+			return tx.Insert(rel, t)
+		})
+	})
+}
+
+// forEachSeedRow enumerates every row the seed generates, tagging each
+// with the pivot root key it descends from and whether its relation
+// belongs to the dependency island. The single-database seed inserts
+// them all into one transaction; the sharded seed routes island rows to
+// the root's home shard and replicates the rest.
+func forEachSeedRow(def *viewobject.Definition, spec TreeSpec, emit func(root int64, rel string, island bool, t reldb.Tuple) error) error {
+	// Pivot rows.
+	for r := 0; r < spec.Roots; r++ {
+		if err := emit(int64(r), "N0", true, reldb.Tuple{reldb.Int(int64(r)), reldb.String(fmt.Sprintf("root%d", r))}); err != nil {
+			return err
 		}
-		// Owned rows, level by level, following the definition tree.
-		var fill func(n *viewobject.Node, parentKeys []reldb.Tuple) error
-		fill = func(n *viewobject.Node, parentKeys []reldb.Tuple) error {
-			for _, child := range n.Children {
-				if len(child.Path) == 1 && child.Path[0].Conn.Type == structural.Ownership {
-					var childKeys []reldb.Tuple
-					for _, pk := range parentKeys {
-						for f := 0; f < spec.Fanout; f++ {
-							key := append(pk.Clone(), reldb.Int(int64(f)))
-							tuple := append(key.Clone(), reldb.String("v"))
-							if err := tx.Insert(child.Relation, tuple); err != nil {
-								return err
-							}
-							childKeys = append(childKeys, key)
-						}
-					}
-					if err := fill(child, childKeys); err != nil {
-						return err
-					}
-					continue
-				}
-				// Peninsula: Fanout referencing rows per pivot tuple.
-				pk := 0
-				for _, root := range parentKeys {
+	}
+	// Owned rows, level by level, following the definition tree. Every
+	// key is root-to-here, so pk[0] is the owning pivot root.
+	var fill func(n *viewobject.Node, parentKeys []reldb.Tuple) error
+	fill = func(n *viewobject.Node, parentKeys []reldb.Tuple) error {
+		for _, child := range n.Children {
+			if len(child.Path) == 1 && child.Path[0].Conn.Type == structural.Ownership {
+				var childKeys []reldb.Tuple
+				for _, pk := range parentKeys {
+					root, _ := pk[0].AsInt()
 					for f := 0; f < spec.Fanout; f++ {
-						tuple := reldb.Tuple{reldb.Int(int64(pk)), root[0], reldb.String("p")}
-						if err := tx.Insert(child.Relation, tuple); err != nil {
+						key := append(pk.Clone(), reldb.Int(int64(f)))
+						tuple := append(key.Clone(), reldb.String("v"))
+						if err := emit(root, child.Relation, true, tuple); err != nil {
 							return err
 						}
-						pk++
+						childKeys = append(childKeys, key)
 					}
 				}
+				if err := fill(child, childKeys); err != nil {
+					return err
+				}
+				continue
 			}
-			return nil
+			// Peninsula: Fanout referencing rows per pivot tuple.
+			pk := 0
+			for _, rootKey := range parentKeys {
+				root, _ := rootKey[0].AsInt()
+				for f := 0; f < spec.Fanout; f++ {
+					tuple := reldb.Tuple{reldb.Int(int64(pk)), rootKey[0], reldb.String("p")}
+					if err := emit(root, child.Relation, false, tuple); err != nil {
+						return err
+					}
+					pk++
+				}
+			}
 		}
-		roots := make([]reldb.Tuple, spec.Roots)
-		for r := range roots {
-			roots[r] = reldb.Tuple{reldb.Int(int64(r))}
-		}
-		return fill(w.Def.Root(), roots)
-	})
+		return nil
+	}
+	roots := make([]reldb.Tuple, spec.Roots)
+	for r := range roots {
+		roots[r] = reldb.Tuple{reldb.Int(int64(r))}
+	}
+	return fill(def.Root(), roots)
 }

@@ -1,0 +1,35 @@
+package penguin
+
+import (
+	"penguin/internal/reldb/shard"
+)
+
+// Sharded execution (internal/reldb/shard): the database partitioned by
+// pivot-key hash into N independent shards, with view-object updates
+// routed through a coordinator. Island-local updates commit on the home
+// shard's fast path; updates touching replicated relations run the
+// cross-shard two-phase protocol, with in-doubt transactions resolved
+// at open.
+type (
+	// ShardCluster is a set of shard databases plus the view objects
+	// registered over them; reads fan out and merge, updates route by
+	// pivot key.
+	ShardCluster = shard.Cluster
+)
+
+// Sharding entry points.
+var (
+	// NewShardCluster assembles a cluster over pre-opened in-memory
+	// shard databases (the caller partitions island relations and
+	// replicates the rest when loading).
+	NewShardCluster = shard.New
+	// OpenShardCluster opens (or creates) an N-shard durable cluster
+	// under a data directory — one WAL directory per shard, staggered
+	// checkpoints, and cluster-wide in-doubt resolution after replay.
+	OpenShardCluster = shard.Open
+)
+
+// ErrCrossShardMove reports a replacement that changes an instance's
+// pivot key onto a different shard; the coordinator refuses to migrate
+// islands, so callers delete and re-insert instead.
+var ErrCrossShardMove = shard.ErrCrossShardMove
